@@ -1,0 +1,100 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! BRAM latency, bus width, ELL engine width, BCSR block size and an
+//! extrapolated 64×64 partition. Each variant streams the same matrix so
+//! the timing differences are attributable to the configuration knob.
+
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_workloads::{random, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsemat::{Coo, FormatKind};
+use std::hint::black_box;
+
+fn matrix() -> Coo<f32> {
+    random::uniform_square(256, 0.05, &mut seeded_rng(6))
+}
+
+fn run(platform: &Platform, m: &Coo<f32>, kind: FormatKind) -> u64 {
+    platform.run(m, kind).unwrap().total_cycles
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let m = matrix();
+    let base = || {
+        let mut hw = HwConfig::with_partition_size(16);
+        hw.verify_functional = false;
+        hw
+    };
+
+    let mut group = c.benchmark_group("ablation/bram_latency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for l in [1u64, 2, 4] {
+        let mut hw = base();
+        hw.bram_read_latency = l;
+        let platform = Platform::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(l), &platform, |b, p| {
+            b.iter(|| black_box(run(p, &m, FormatKind::Csr)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/bus_bytes");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for bus in [4usize, 8, 16] {
+        let mut hw = base();
+        hw.bus_bytes_per_cycle = bus;
+        let platform = Platform::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bus), &platform, |b, p| {
+            b.iter(|| black_box(run(p, &m, FormatKind::Coo)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/ell_width");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for w in [4usize, 6, 8] {
+        let mut hw = base();
+        hw.ell_hw_width = w;
+        let platform = Platform::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &platform, |b, p| {
+            b.iter(|| black_box(run(p, &m, FormatKind::Ell)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/bcsr_block");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for blk in [2usize, 4, 8] {
+        let mut hw = base();
+        hw.bcsr_block = blk;
+        let platform = Platform::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(blk), &platform, |b, p| {
+            b.iter(|| black_box(run(p, &m, FormatKind::Bcsr)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/partition_64");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for p in [16usize, 64] {
+        let mut hw = base();
+        hw.partition_size = p;
+        let platform = Platform::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &platform, |b, pf| {
+            b.iter(|| black_box(run(pf, &m, FormatKind::Lil)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

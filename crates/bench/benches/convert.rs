@@ -1,0 +1,23 @@
+//! Format-conversion benchmarks: COO → each format for a mid-size matrix.
+
+use copernicus_workloads::{random, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsemat::{AnyMatrix, FormatKind};
+use std::hint::black_box;
+
+fn bench_convert(c: &mut Criterion) {
+    let coo = random::uniform_square(512, 0.02, &mut seeded_rng(2));
+    let mut group = c.benchmark_group("encode_from_coo");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for kind in FormatKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(AnyMatrix::encode(&coo, kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

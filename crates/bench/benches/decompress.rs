@@ -1,0 +1,29 @@
+//! Per-format decompression micro-benchmarks: one 16×16 tile through each
+//! decompressor model at two densities (the compute stage of Fig. 2).
+
+use copernicus_hls::{decompress, EncodedPartition, HwConfig};
+use copernicus_workloads::{random, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsemat::FormatKind;
+use std::hint::black_box;
+
+fn bench_decompress(c: &mut Criterion) {
+    let cfg = HwConfig::with_partition_size(16);
+    for (name, density) in [("sparse", 0.05), ("dense", 0.5)] {
+        let tile = random::uniform_square(16, density, &mut seeded_rng(1));
+        let mut group = c.benchmark_group(format!("decompress/{name}"));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+        for kind in FormatKind::CHARACTERIZED {
+            let part = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
+            group.bench_with_input(BenchmarkId::from_parameter(kind), &part, |b, part| {
+                b.iter(|| black_box(decompress(part, &cfg)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure-regeneration benchmarks: wall-clock cost of each experiment
+//! driver at the quick preset (one sample each — the drivers are heavy).
+
+use copernicus::experiments as ex;
+use copernicus::ExperimentConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("figures");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.sample_size(10);
+    group.bench_function("fig03", |b| b.iter(|| black_box(ex::fig03::run(&cfg).unwrap())));
+    group.bench_function("fig05", |b| b.iter(|| black_box(ex::fig05::run(&cfg).unwrap())));
+    group.bench_function("fig06", |b| b.iter(|| black_box(ex::fig06::run(&cfg).unwrap())));
+    group.bench_function("fig10", |b| b.iter(|| black_box(ex::fig10::run(&cfg).unwrap())));
+    group.bench_function("fig11", |b| b.iter(|| black_box(ex::fig11::run(&cfg).unwrap())));
+    group.bench_function("table2", |b| b.iter(|| black_box(ex::table2::run(&[8, 16, 32]))));
+    group.bench_function("fig13", |b| b.iter(|| black_box(ex::fig13::run(&[8, 16, 32]))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end platform-model benchmarks: a 256×256 matrix streamed through
+//! the full encode → decompress → dot-product pipeline per format.
+
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_workloads::{band, random, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsemat::FormatKind;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut hw = HwConfig::with_partition_size(16);
+    hw.verify_functional = false;
+    let platform = Platform::new(hw).unwrap();
+    let workloads = [
+        ("random", random::uniform_square(256, 0.02, &mut seeded_rng(4))),
+        ("band", band::band(256, 16, &mut seeded_rng(5))),
+    ];
+    for (name, matrix) in &workloads {
+        let mut group = c.benchmark_group(format!("pipeline/{name}"));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+        for kind in FormatKind::CHARACTERIZED {
+            group.bench_with_input(BenchmarkId::from_parameter(kind), matrix, |b, m| {
+                b.iter(|| black_box(platform.run(m, kind).unwrap()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Software SpMV benchmarks: each format's native traversal on the same
+//! matrix (the reference kernels behind the platform model).
+
+use copernicus_workloads::{random, seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsemat::{AnyMatrix, FormatKind, Matrix};
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let coo = random::uniform_square(1024, 0.01, &mut seeded_rng(3));
+    let x: Vec<f32> = (0..1024).map(|i| (i % 7) as f32).collect();
+    let mut group = c.benchmark_group("spmv");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for kind in FormatKind::ALL {
+        let m = AnyMatrix::encode(&coo, kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &m, |b, m| {
+            b.iter(|| black_box(m.spmv(&x).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Workload-generator benchmarks: how fast each synthetic family produces
+//! its matrices.
+
+use copernicus_workloads::rmat::RmatParams;
+use copernicus_workloads::{band, circuit, random, rmat, road, seeded_rng, stencil};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("uniform_512_d0.02", |b| {
+        b.iter(|| black_box(random::uniform_square(512, 0.02, &mut seeded_rng(1))));
+    });
+    group.bench_function("band_512_w16", |b| {
+        b.iter(|| black_box(band::band(512, 16, &mut seeded_rng(2))));
+    });
+    group.bench_function("rmat_scale9_4k_edges", |b| {
+        b.iter(|| black_box(rmat::rmat(9, 4096, RmatParams::GRAPH500, &mut seeded_rng(3))));
+    });
+    group.bench_function("circuit_512", |b| {
+        b.iter(|| black_box(circuit::circuit(512, 4.0, 0.9, &mut seeded_rng(4))));
+    });
+    group.bench_function("road_mesh_22x22", |b| {
+        b.iter(|| black_box(road::road_mesh(22, 22, 0.9, 0.05, &mut seeded_rng(5))));
+    });
+    group.bench_function("laplacian_2d_23x23", |b| {
+        b.iter(|| black_box(stencil::laplacian_2d(23, 23)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

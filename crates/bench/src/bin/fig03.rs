@@ -1,0 +1,13 @@
+//! Regenerates Fig. 03 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig03;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig03::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig03 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig03::render(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 04 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig04;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig04::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig04 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig04::render(&rows));
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 5 of the paper (σ vs density, random matrices, p=16).
+//! Pass `--chart` to render one bar chart per density step.
+
+use copernicus::experiments::fig05;
+use copernicus::plot::BarChart;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig05::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig05 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig05::render(&rows));
+    if cli.chart {
+        let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+        densities.dedup();
+        for d in densities {
+            let mut c = BarChart::new(&format!("sigma at density {d} (| = dense baseline)"), 48);
+            c.reference(1.0);
+            for r in rows.iter().filter(|r| r.density == d) {
+                c.bar(r.format.label(), r.sigma);
+            }
+            println!("\n{}", c.render());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 6 of the paper (σ vs band width, p=16).
+//! Pass `--chart` to render one bar chart per width.
+
+use copernicus::experiments::fig06;
+use copernicus::plot::BarChart;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig06::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig06 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig06::render(&rows));
+    if cli.chart {
+        let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();
+        widths.dedup();
+        for w in widths {
+            let mut c = BarChart::new(&format!("sigma at band width {w} (| = dense baseline)"), 48);
+            c.reference(1.0);
+            for r in rows.iter().filter(|r| r.width == w) {
+                c.bar(r.format.label(), r.sigma);
+            }
+            println!("\n{}", c.render());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 07 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig07;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig07::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig07 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig07::render(&rows));
+}

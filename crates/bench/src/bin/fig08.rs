@@ -1,0 +1,34 @@
+//! Regenerates Fig. 8 of the paper (memory vs compute latency / balance
+//! ratio). Pass `--chart` to render a log-log scatter per workload class,
+//! with each format drawn as its initial letter and the dotted diagonal as
+//! the perfect-balance line.
+
+use copernicus::experiments::fig08;
+use copernicus::plot::ScatterPlot;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig08::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig08 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig08::render(&rows));
+    if cli.chart {
+        let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();
+        classes.dedup();
+        for class in classes {
+            let mut p = ScatterPlot::new(
+                &format!("{class}: memory vs compute cycles (log-log)"),
+                64,
+                20,
+                true,
+            );
+            for r in rows.iter().filter(|r| r.class == class) {
+                let glyph = r.format.label().chars().next().unwrap_or('?');
+                p.point(r.mem_cycles as f64, r.compute_cycles as f64, glyph);
+            }
+            println!("\n{}", p.render());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 09 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig09;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig09::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig09 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig09::render(&rows));
+}

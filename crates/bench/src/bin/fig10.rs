@@ -1,0 +1,26 @@
+//! Regenerates Fig. 10 of the paper (bandwidth utilization vs density,
+//! p=16). Pass `--chart` to render one bar chart per density step.
+
+use copernicus::experiments::fig10;
+use copernicus::plot::BarChart;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig10::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig10 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig10::render(&rows));
+    if cli.chart {
+        let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+        densities.dedup();
+        for d in densities {
+            let mut c = BarChart::new(&format!("bandwidth utilization at density {d}"), 48);
+            for r in rows.iter().filter(|r| r.density == d) {
+                c.bar(r.format.label(), r.bandwidth_utilization);
+            }
+            println!("\n{}", c.render());
+        }
+    }
+}

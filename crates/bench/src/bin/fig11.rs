@@ -1,0 +1,13 @@
+//! Regenerates Fig. 11 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig11;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig11::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig11 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig11::render(&rows));
+}

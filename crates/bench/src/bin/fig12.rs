@@ -1,0 +1,13 @@
+//! Regenerates Fig. 12 of the paper. See `copernicus_bench::Cli` for flags.
+
+use copernicus::experiments::fig12;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig12::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig12 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig12::render(&rows));
+}

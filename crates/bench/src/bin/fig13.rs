@@ -1,0 +1,11 @@
+//! Regenerates Fig. 13 of the paper (dynamic-power breakdown into logic,
+//! BRAM and signal components).
+
+use copernicus::experiments::fig13;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig13::run(&[8, 16, 32]);
+    emit(&cli, &fig13::render(&rows));
+}

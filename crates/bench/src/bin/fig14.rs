@@ -1,0 +1,14 @@
+//! Regenerates Fig. 14 of the paper (the normalized six-metric summary per
+//! workload class).
+
+use copernicus::experiments::fig14;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = fig14::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("fig14 failed: {e}");
+        std::process::exit(1);
+    });
+    emit(&cli, &fig14::render(&rows));
+}

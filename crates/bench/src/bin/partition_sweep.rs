@@ -1,0 +1,14 @@
+//! Beyond-paper partition-size sweep (4..64) validating §8's claim that
+//! partitions beyond 8x8/16x16 hurt dense (NN-inference) workloads.
+
+use copernicus::experiments::ext_partition_sweep;
+use copernicus_bench::{emit_named, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = ext_partition_sweep::run(&cli.cfg).unwrap_or_else(|e| {
+        eprintln!("partition_sweep failed: {e}");
+        std::process::exit(1);
+    });
+    emit_named(&cli, "partition_sweep", &ext_partition_sweep::render(&rows));
+}

@@ -1,0 +1,41 @@
+//! Coarse-grained parallelism sweep (§5.1: "Instances of this architecture
+//! can be aggregated"): how each format scales when 1–16 compute instances
+//! share one memory channel — the quantified version of §8's "the memory
+//! bandwidth is not always the bottleneck".
+//!
+//! ```sh
+//! cargo run --release -p copernicus-bench --bin scaling
+//! ```
+
+use copernicus::table::{f3, TextTable};
+use copernicus_bench::{emit, Cli};
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_workloads::Workload;
+use sparsemat::FormatKind;
+
+fn main() {
+    let cli = Cli::from_env();
+    let dim = cli.cfg.sweep_dim.max(256);
+    let matrix = Workload::Random { n: dim, density: 0.05 }.generate(0, cli.cfg.seed);
+    let mut hw = HwConfig::with_partition_size(16);
+    hw.verify_functional = false;
+    let platform = Platform::new(hw).expect("valid config");
+
+    let mut t = TextTable::new(&[
+        "format", "lanes", "total_cycles", "speedup", "efficiency", "bound",
+    ]);
+    for format in FormatKind::CHARACTERIZED {
+        for lanes in [1usize, 2, 4, 8, 16] {
+            let r = platform.run_parallel(&matrix, format, lanes).expect("run");
+            t.row(&[
+                format.to_string(),
+                lanes.to_string(),
+                r.total_cycles.to_string(),
+                f3(r.speedup()),
+                f3(r.efficiency()),
+                if r.is_memory_bound() { "memory" } else { "compute" }.to_string(),
+            ]);
+        }
+    }
+    emit(&cli, &t.render());
+}

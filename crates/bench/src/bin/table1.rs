@@ -1,0 +1,10 @@
+//! Regenerates Table 1 of the paper (the workload registry with the
+//! reproduction's stand-in families).
+
+use copernicus::experiments::table1;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    emit(&cli, &table1::render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2 of the paper (FPGA resources and dynamic power per
+//! format and partition size).
+
+use copernicus::experiments::table2;
+use copernicus_bench::{emit, Cli};
+
+fn main() {
+    let cli = Cli::from_env();
+    let rows = table2::run(&[8, 16, 32]);
+    emit(&cli, &table2::render(&rows));
+}

@@ -1,0 +1,200 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--paper` — paper-scale matrices (8000×8000 sweeps, 4096-row suite
+//!   stand-ins). Default is the quick preset (seconds per figure).
+//! * `--dim N` — override the sweep matrix dimension.
+//! * `--suite-dim N` — override the suite stand-in dimension cap.
+//! * `--seed N` — workload generation seed.
+//! * `--tsv` — print tab-separated values instead of the aligned table.
+
+use copernicus::ExperimentConfig;
+
+/// Parsed command line shared by all regeneration binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The experiment configuration assembled from the flags.
+    pub cfg: ExperimentConfig,
+    /// Emit TSV instead of aligned text.
+    pub tsv: bool,
+    /// Additionally render an ASCII chart of the figure.
+    pub chart: bool,
+    /// When set, also write each emitted artifact as TSV into this
+    /// directory.
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string on unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut cfg = ExperimentConfig::quick();
+        let mut tsv = false;
+        let mut chart = false;
+        let mut out_dir = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => cfg = ExperimentConfig::paper(),
+                "--tsv" => tsv = true,
+                "--chart" => chart = true,
+                "--out" => {
+                    let v = args.next().ok_or("--out needs a directory")?;
+                    out_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--dim" => {
+                    let v = args.next().ok_or("--dim needs a value")?;
+                    cfg.sweep_dim = v.parse().map_err(|e| format!("bad --dim {v:?}: {e}"))?;
+                }
+                "--suite-dim" => {
+                    let v = args.next().ok_or("--suite-dim needs a value")?;
+                    cfg.suite_max_dim =
+                        v.parse().map_err(|e| format!("bad --suite-dim {v:?}: {e}"))?;
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    cfg.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--tsv] [--chart] [--out DIR]"
+                    ));
+                }
+            }
+        }
+        Ok(Cli {
+            cfg,
+            tsv,
+            chart,
+            out_dir,
+        })
+    }
+
+    /// Parses the process arguments, exiting with the usage message on
+    /// error.
+    pub fn from_env() -> Cli {
+        match Cli::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_quick() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.cfg, ExperimentConfig::quick());
+        assert!(!cli.tsv);
+    }
+
+    #[test]
+    fn paper_flag_switches_preset() {
+        let cli = parse(&["--paper"]).unwrap();
+        assert_eq!(cli.cfg.sweep_dim, 8000);
+    }
+
+    #[test]
+    fn overrides_apply_after_preset() {
+        let cli = parse(&["--paper", "--dim", "1000", "--seed", "7", "--tsv", "--chart"]).unwrap();
+        assert_eq!(cli.cfg.sweep_dim, 1000);
+        assert_eq!(cli.cfg.seed, 7);
+        assert!(cli.tsv);
+        assert!(cli.chart);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(parse(&["--what"]).is_err());
+        assert!(parse(&["--dim"]).is_err());
+        assert!(parse(&["--dim", "abc"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn out_dir_is_parsed() {
+        let cli = parse(&["--out", "/tmp/x"]).unwrap();
+        assert_eq!(cli.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+}
+
+/// Converts an aligned table produced by the figure drivers into TSV:
+/// drops the header rule and collapses the 2+-space column gaps into tabs.
+pub fn to_tsv(aligned: &str) -> String {
+    let mut out = String::new();
+    for (i, line) in aligned.lines().enumerate() {
+        if i == 1 && line.chars().all(|c| c == '-') {
+            continue;
+        }
+        let mut cells: Vec<&str> = Vec::new();
+        let mut rest = line.trim_end();
+        while let Some(pos) = rest.find("  ") {
+            cells.push(rest[..pos].trim_end());
+            rest = rest[pos..].trim_start();
+        }
+        if !rest.is_empty() {
+            cells.push(rest);
+        }
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a driver's output honoring the `--tsv` flag.
+pub fn emit(cli: &Cli, aligned: &str) {
+    if cli.tsv {
+        print!("{}", to_tsv(aligned));
+    } else {
+        print!("{aligned}");
+    }
+}
+
+/// Like [`emit`], additionally writing the TSV form to
+/// `<out_dir>/<name>.tsv` when `--out` was given. I/O failures are
+/// reported on stderr but do not abort the run — the console output is the
+/// primary artifact.
+pub fn emit_named(cli: &Cli, name: &str, aligned: &str) {
+    emit(cli, aligned);
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(format!("{name}.tsv")), to_tsv(aligned)))
+        {
+            eprintln!("warning: could not write {name}.tsv: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tsv_tests {
+    use super::*;
+
+    #[test]
+    fn to_tsv_drops_rule_and_tabs_columns() {
+        let aligned = "a    b\n------\n1    2\n";
+        assert_eq!(to_tsv(aligned), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn to_tsv_keeps_single_spaces_inside_cells() {
+        let aligned = "name          kind\n------------------\nFreescale2    Circuit Sim. Matrix\n";
+        assert_eq!(
+            to_tsv(aligned),
+            "name\tkind\nFreescale2\tCircuit Sim. Matrix\n"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 1 — the SuiteSparse workload registry (with the stand-in family
+//! each entry maps to in this reproduction).
+
+use crate::table::TextTable;
+use copernicus_workloads::{SuiteMatrix, SUITE};
+
+/// Returns the 20 Table-1 entries in the paper's order.
+pub fn run() -> &'static [SuiteMatrix; 20] {
+    &SUITE
+}
+
+/// Renders Table 1 with the reproduction's generator family appended.
+pub fn render() -> String {
+    let mut t = TextTable::new(&["ID", "Name", "Dim.(M)", "NNZ(M)", "Kind", "Stand-in"]);
+    for m in run() {
+        t.row(&[
+            m.id.to_string(),
+            m.name.to_string(),
+            format!("{}", m.dim_millions),
+            format!("{}", m.nnz_millions),
+            m.kind.to_string(),
+            format!("{:?}", m.family),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_twenty_rows() {
+        let s = render();
+        assert_eq!(s.lines().count(), 22); // header + rule + 20 rows
+        for m in run() {
+            assert!(s.contains(m.name), "missing {}", m.name);
+        }
+    }
+
+    #[test]
+    fn preserves_paper_order() {
+        assert_eq!(run()[0].id, "2C");
+        assert_eq!(run()[19].id, "WI");
+    }
+}

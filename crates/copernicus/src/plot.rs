@@ -1,0 +1,258 @@
+//! Terminal plotting for the figure binaries: horizontal bar charts for
+//! the σ/utilization figures and a scatter grid for the Fig.-8 balance
+//! plot, so `--chart` renders a readable approximation of each paper
+//! figure directly in the terminal.
+
+/// A horizontal bar chart: labeled rows scaled to a common axis.
+///
+/// ```
+/// use copernicus::plot::BarChart;
+///
+/// let mut c = BarChart::new("sigma", 20);
+/// c.bar("CSR", 1.5);
+/// c.bar("CSC", 3.0);
+/// let s = c.render();
+/// assert!(s.contains("CSR"));
+/// assert!(s.contains('█'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+    reference: Option<f64>,
+}
+
+impl BarChart {
+    /// Creates a chart with the given title and maximum bar width in
+    /// characters.
+    pub fn new(title: &str, width: usize) -> Self {
+        BarChart {
+            title: title.to_string(),
+            width: width.max(1),
+            bars: Vec::new(),
+            reference: None,
+        }
+    }
+
+    /// Appends one labeled bar.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
+        self.bars.push((label.to_string(), value));
+        self
+    }
+
+    /// Draws a vertical reference line at `value` (e.g. σ = 1, the dense
+    /// baseline).
+    pub fn reference(&mut self, value: f64) -> &mut Self {
+        self.reference = Some(value);
+        self
+    }
+
+    /// Number of bars added so far.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Whether no bars were added.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Renders the chart. Bars scale to the largest value (and the
+    /// reference line, if any); non-finite or negative values render as
+    /// empty bars.
+    pub fn render(&self) -> String {
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|&(_, v)| if v.is_finite() { v } else { 0.0 })
+            .chain(self.reference)
+            .fold(0.0f64, f64::max);
+        let mut out = format!("{}\n", self.title);
+        let ref_col = self
+            .reference
+            .filter(|_| max > 0.0)
+            .map(|r| ((r / max) * self.width as f64).round() as usize);
+        for (label, value) in &self.bars {
+            let v = if value.is_finite() && *value > 0.0 {
+                *value
+            } else {
+                0.0
+            };
+            let filled = if max > 0.0 {
+                ((v / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            let mut bar: Vec<char> = std::iter::repeat_n('█', filled)
+                .chain(std::iter::repeat_n(' ', self.width.saturating_sub(filled)))
+                .collect();
+            if let Some(rc) = ref_col {
+                let rc = rc.min(self.width.saturating_sub(1));
+                if bar[rc] == ' ' {
+                    bar[rc] = '|';
+                } else {
+                    bar[rc] = '▌';
+                }
+            }
+            let bar: String = bar.into_iter().collect();
+            out.push_str(&format!("{label:<label_w$} {bar} {value:.3}\n"));
+        }
+        out
+    }
+}
+
+/// A character-cell scatter plot on log-log or linear axes — used for the
+/// Fig.-8 memory-vs-compute balance plot, where the diagonal is the
+/// perfect-balance line.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    cols: usize,
+    rows: usize,
+    log: bool,
+    points: Vec<(f64, f64, char)>,
+}
+
+impl ScatterPlot {
+    /// Creates a scatter plot with the given character-grid size.
+    pub fn new(title: &str, cols: usize, rows: usize, log: bool) -> Self {
+        ScatterPlot {
+            title: title.to_string(),
+            cols: cols.max(2),
+            rows: rows.max(2),
+            log,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point drawn with the given glyph (e.g. the format's initial).
+    pub fn point(&mut self, x: f64, y: f64, glyph: char) -> &mut Self {
+        if x.is_finite() && y.is_finite() && (!self.log || (x > 0.0 && y > 0.0)) {
+            self.points.push((x, y, glyph));
+        }
+        self
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points were retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        if self.log {
+            v.ln()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the grid with a `·` diagonal marking `y = x` (the balance
+    /// line) and later points overwriting earlier ones per cell.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        if self.points.is_empty() {
+            out.push_str("(no points)\n");
+            return out;
+        }
+        let xs: Vec<f64> = self.points.iter().map(|&(x, _, _)| self.transform(x)).collect();
+        let ys: Vec<f64> = self.points.iter().map(|&(_, y, _)| self.transform(y)).collect();
+        // Shared bounds so the y = x diagonal is meaningful.
+        let lo = xs
+            .iter()
+            .chain(&ys)
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = xs
+            .iter()
+            .chain(&ys)
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut grid = vec![vec![' '; self.cols]; self.rows];
+        // Balance diagonal.
+        for c in 0..self.cols {
+            let r = ((c as f64 / (self.cols - 1) as f64) * (self.rows - 1) as f64).round() as usize;
+            grid[self.rows - 1 - r][c] = '·';
+        }
+        for (i, &(_, _, glyph)) in self.points.iter().enumerate() {
+            let cx = (((xs[i] - lo) / span) * (self.cols - 1) as f64).round() as usize;
+            let cy = (((ys[i] - lo) / span) * (self.rows - 1) as f64).round() as usize;
+            grid[self.rows - 1 - cy][cx] = glyph;
+        }
+        for row in grid {
+            out.push_str(&row.into_iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str("x: memory →, y: compute ↑, ·: balance line\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("a", 5.0).bar("b", 10.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let count = |l: &str| l.chars().filter(|&ch| ch == '█').count();
+        assert_eq!(count(lines[1]), 5);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn reference_line_is_drawn() {
+        let mut c = BarChart::new("sigma", 20);
+        c.bar("CSC", 4.0).reference(1.0);
+        let s = c.render();
+        // The reference sits at 1/4 of the bar, inside the filled region.
+        assert!(s.contains('▌'), "{s}");
+    }
+
+    #[test]
+    fn degenerate_values_do_not_panic() {
+        let mut c = BarChart::new("t", 8);
+        c.bar("nan", f64::NAN).bar("neg", -3.0).bar("zero", 0.0);
+        let s = c.render();
+        assert!(!s.contains('█'));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn scatter_places_points_and_diagonal() {
+        let mut p = ScatterPlot::new("balance", 20, 10, false);
+        p.point(1.0, 1.0, 'A').point(10.0, 2.0, 'B');
+        let s = p.render();
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains('·'));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn log_scatter_drops_nonpositive_points() {
+        let mut p = ScatterPlot::new("t", 10, 5, true);
+        p.point(0.0, 1.0, 'X').point(1.0, f64::NAN, 'Y').point(2.0, 3.0, 'Z');
+        assert_eq!(p.len(), 1);
+        assert!(p.render().contains('Z'));
+    }
+
+    #[test]
+    fn empty_scatter_renders_placeholder() {
+        let p = ScatterPlot::new("t", 10, 5, false);
+        assert!(p.is_empty());
+        assert!(p.render().contains("(no points)"));
+    }
+}

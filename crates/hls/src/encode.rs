@@ -1,0 +1,298 @@
+//! Per-partition encoding and transfer-size accounting.
+//!
+//! The memory side of the characterization: for each format, how many bytes
+//! cross the AXI stream when one compressed `p×p` partition is transferred
+//! (data *and* metadata), and how many of those bytes are "useful" — the
+//! actual non-zero values. The ratio is the paper's memory-bandwidth
+//! utilization metric (§4.2: "the ratio of useful data over all transmitted
+//! data (i.e., useful data plus metadata)").
+
+use crate::HwConfig;
+use sparsemat::{AnyMatrix, Bcsr, Coo, Dia, Ell, FormatKind, Lil, Matrix, SparseError};
+
+/// One named transfer stream of an encoded partition (values, indices,
+/// offsets, …) with its byte count — the AXIS streamlines of Fig. 2.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stream {
+    /// Array name as the paper's listings call it.
+    pub name: &'static str,
+    /// Bytes transferred on this stream for one partition.
+    pub bytes: u64,
+}
+
+/// A `p×p` partition encoded in one characterized format, with its transfer
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct EncodedPartition {
+    /// The encoded matrix (kept concrete behind [`AnyMatrix`] so the
+    /// decompressor models can reach format internals).
+    pub matrix: AnyMatrix<f32>,
+    /// Transfer streams (data + metadata).
+    pub streams: Vec<Stream>,
+    /// Bytes of genuinely useful payload (non-zero values only).
+    pub useful_bytes: u64,
+}
+
+impl EncodedPartition {
+    /// Encodes one partition's COO tile in the given format and computes its
+    /// transfer accounting.
+    ///
+    /// `Dok` is accepted and accounted exactly like `Coo` — §5.2: "The same
+    /// procedure is also applicable to DOK."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::UnknownFormat`] for formats the paper does not
+    /// characterize on the platform (`Sell`, `Jds`).
+    pub fn encode(tile: &Coo<f32>, format: FormatKind, cfg: &HwConfig) -> Result<Self, SparseError> {
+        let vb = cfg.value_bytes as u64;
+        let ib = cfg.index_bytes as u64;
+        let p = cfg.partition_size as u64;
+        let nnz = tile.nnz() as u64;
+
+        let (matrix, streams) = match format {
+            FormatKind::Dense => {
+                let m = AnyMatrix::Dense(tile.to_dense());
+                // The dense baseline streams every cell, zeros included.
+                (m, vec![Stream { name: "values", bytes: p * p * vb }])
+            }
+            FormatKind::Csr => {
+                let csr = sparsemat::Csr::from(tile);
+                // Duplicate COO coordinates merge during encoding, so the
+                // streamed entry count is the *encoded* structure's.
+                let stored = csr.nnz() as u64;
+                let streams = vec![
+                    Stream { name: "offsets", bytes: (p + 1) * ib },
+                    Stream { name: "colInx", bytes: stored * ib },
+                    Stream { name: "values", bytes: stored * vb },
+                ];
+                (AnyMatrix::Csr(csr), streams)
+            }
+            FormatKind::Csc => {
+                let csc = sparsemat::Csc::from(tile);
+                let stored = csc.nnz() as u64;
+                let streams = vec![
+                    Stream { name: "offsets", bytes: (p + 1) * ib },
+                    Stream { name: "rowInx", bytes: stored * ib },
+                    Stream { name: "values", bytes: stored * vb },
+                ];
+                (AnyMatrix::Csc(csc), streams)
+            }
+            FormatKind::Bcsr => {
+                let bcsr = Bcsr::from_coo(tile, cfg.bcsr_block)?;
+                let block_rows = bcsr.block_rows() as u64;
+                let nblk = bcsr.num_blocks() as u64;
+                let b2 = (cfg.bcsr_block * cfg.bcsr_block) as u64;
+                let streams = vec![
+                    Stream { name: "offsets", bytes: (block_rows + 1) * ib },
+                    Stream { name: "colInx", bytes: nblk * ib },
+                    // The whole block is streamed, intra-block zeros too —
+                    // the paper's first BCSR downside.
+                    Stream { name: "values", bytes: nblk * b2 * vb },
+                ];
+                (AnyMatrix::Bcsr(bcsr), streams)
+            }
+            FormatKind::Coo | FormatKind::Dok => {
+                // (row, col, value) per entry; DOK streams identically.
+                let streams = vec![
+                    Stream { name: "rowInx", bytes: nnz * ib },
+                    Stream { name: "colInx", bytes: nnz * ib },
+                    Stream { name: "values", bytes: nnz * vb },
+                ];
+                (AnyMatrix::Coo(tile.clone()), streams)
+            }
+            FormatKind::Lil => {
+                let lil = Lil::from_coo_columns(tile);
+                // values[HEIGHT][WIDTH] + Inx[HEIGHT][WIDTH] where HEIGHT is
+                // the longest column plus the end-marker row §5.2 describes.
+                let height = lil.max_line_len() as u64 + 1;
+                let streams = vec![
+                    Stream { name: "Inx", bytes: height * p * ib },
+                    Stream { name: "values", bytes: height * p * vb },
+                ];
+                (AnyMatrix::Lil(lil), streams)
+            }
+            FormatKind::Ell => {
+                let ell = Ell::from_coo_natural(tile);
+                let w = ell.width() as u64;
+                let streams = vec![
+                    Stream { name: "colInx", bytes: w * p * ib },
+                    Stream { name: "values", bytes: w * p * vb },
+                ];
+                (AnyMatrix::Ell(ell), streams)
+            }
+            FormatKind::Dia => {
+                let dia = Dia::from_coo(tile);
+                // Listing 7 stores `diags[NUM_DIAGONALS][MAX_DIAGONAL_LEN]`:
+                // every stored diagonal travels as a fixed-length row of
+                // p + 1 elements (header + maximum diagonal length, §2),
+                // zero-padded when the diagonal is shorter. This padding is
+                // exactly why §6.3 finds DIA's bandwidth utilization on
+                // non-diagonal band matrices no better than the generic
+                // formats.
+                let bytes: u64 = dia.num_diagonals() as u64 * (p + 1) * vb;
+                (
+                    AnyMatrix::Dia(dia),
+                    vec![Stream { name: "diags", bytes }],
+                )
+            }
+            other @ (FormatKind::Bcsc | FormatKind::Sell | FormatKind::Jds) => {
+                return Err(SparseError::UnknownFormat(format!(
+                    "{other} is not part of the characterized platform"
+                )));
+            }
+        };
+
+        // Useful payload = the non-zero values the encoded structure
+        // actually carries (duplicates merged where the format merges them).
+        let useful_bytes = matrix.nnz() as u64 * vb;
+        Ok(EncodedPartition {
+            matrix,
+            streams,
+            useful_bytes,
+        })
+    }
+
+    /// Total bytes transferred for this partition (data + metadata).
+    pub fn total_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Memory-bandwidth utilization of this partition: useful / total.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.useful_bytes as f64 / total as f64
+        }
+    }
+
+    /// Memory latency in cycles to stream this partition in (§4.2 metric i).
+    pub fn memory_cycles(&self, cfg: &HwConfig) -> u64 {
+        cfg.transfer_cycles(self.total_bytes())
+    }
+
+    /// The format this partition is encoded in.
+    pub fn kind(&self) -> FormatKind {
+        self.matrix.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(entries: &[(usize, usize, f32)], p: usize) -> Coo<f32> {
+        let mut coo = Coo::new(p, p);
+        for &(r, c, v) in entries {
+            coo.push(r, c, v).unwrap();
+        }
+        coo
+    }
+
+    fn cfg() -> HwConfig {
+        HwConfig::with_partition_size(16)
+    }
+
+    #[test]
+    fn coo_utilization_is_one_third() {
+        // §6.3: "the memory bandwidth utilization of COO is always 0.3
+        // since it always transmits two indices per one non-zero entry."
+        let t = tile(&[(0, 0, 1.0), (3, 7, 2.0), (9, 2, 3.0)], 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Coo, &cfg()).unwrap();
+        assert!((e.bandwidth_utilization() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dok_accounts_like_coo() {
+        let t = tile(&[(0, 0, 1.0), (3, 7, 2.0)], 16);
+        let coo = EncodedPartition::encode(&t, FormatKind::Coo, &cfg()).unwrap();
+        let dok = EncodedPartition::encode(&t, FormatKind::Dok, &cfg()).unwrap();
+        assert_eq!(coo.total_bytes(), dok.total_bytes());
+        assert_eq!(coo.useful_bytes, dok.useful_bytes);
+    }
+
+    #[test]
+    fn dia_utilization_near_one_for_diagonal_tile() {
+        // §6.3: DIA's utilization on diagonal matrices is p/(p+1), the
+        // "slight difference [...] because of saving the diagonal number."
+        let entries: Vec<(usize, usize, f32)> = (0..16).map(|i| (i, i, 1.0)).collect();
+        let t = tile(&entries, 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Dia, &cfg()).unwrap();
+        assert!((e.bandwidth_utilization() - 16.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_transfers_all_cells() {
+        let t = tile(&[(1, 1, 5.0)], 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Dense, &cfg()).unwrap();
+        assert_eq!(e.total_bytes(), 16 * 16 * 4);
+        assert_eq!(e.useful_bytes, 4);
+    }
+
+    #[test]
+    fn csr_streams_offsets_indices_values() {
+        let t = tile(&[(0, 0, 1.0), (0, 5, 2.0), (4, 4, 3.0)], 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Csr, &cfg()).unwrap();
+        let names: Vec<&str> = e.streams.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["offsets", "colInx", "values"]);
+        assert_eq!(e.total_bytes(), (17 + 3 + 3) as u64 * 4);
+    }
+
+    #[test]
+    fn bcsr_transfers_full_blocks() {
+        // One entry → one 4x4 block → 16 values despite nnz = 1.
+        let t = tile(&[(0, 0, 1.0)], 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Bcsr, &cfg()).unwrap();
+        let values = e.streams.iter().find(|s| s.name == "values").unwrap();
+        assert_eq!(values.bytes, 16 * 4);
+        assert!(e.bandwidth_utilization() < 0.1);
+    }
+
+    #[test]
+    fn ell_bytes_scale_with_longest_row() {
+        let short = tile(&[(0, 0, 1.0)], 16);
+        let long = tile(&[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)], 16);
+        let cfg = cfg();
+        let e_short = EncodedPartition::encode(&short, FormatKind::Ell, &cfg).unwrap();
+        let e_long = EncodedPartition::encode(&long, FormatKind::Ell, &cfg).unwrap();
+        assert_eq!(e_short.total_bytes(), 2 * 16 * 4);
+        assert_eq!(e_long.total_bytes(), 3 * 2 * 16 * 4);
+    }
+
+    #[test]
+    fn lil_bytes_use_longest_column_plus_marker() {
+        // Column 0 has two entries → height = 3 rows of width 16, twice
+        // (values + indices).
+        let t = tile(&[(0, 0, 1.0), (5, 0, 2.0), (3, 8, 3.0)], 16);
+        let e = EncodedPartition::encode(&t, FormatKind::Lil, &cfg()).unwrap();
+        assert_eq!(e.total_bytes(), 2 * 3 * 16 * 4);
+    }
+
+    #[test]
+    fn memory_cycles_match_transfer_formula() {
+        let t = tile(&[(0, 0, 1.0)], 16);
+        let cfg = cfg();
+        let e = EncodedPartition::encode(&t, FormatKind::Dense, &cfg).unwrap();
+        assert_eq!(e.memory_cycles(&cfg), 4 + (16 * 16 * 4) / 8);
+    }
+
+    #[test]
+    fn uncharacterized_formats_are_rejected() {
+        let t = tile(&[(0, 0, 1.0)], 16);
+        assert!(EncodedPartition::encode(&t, FormatKind::Sell, &cfg()).is_err());
+        assert!(EncodedPartition::encode(&t, FormatKind::Jds, &cfg()).is_err());
+    }
+
+    #[test]
+    fn utilization_is_in_unit_interval_for_all_formats() {
+        let t = tile(&[(0, 0, 1.0), (2, 3, -2.0), (15, 15, 4.0), (7, 7, 1.0)], 16);
+        let cfg = cfg();
+        for kind in FormatKind::CHARACTERIZED {
+            let e = EncodedPartition::encode(&t, kind, &cfg).unwrap();
+            let u = e.bandwidth_utilization();
+            assert!((0.0..=1.0).contains(&u), "{kind}: {u}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Cycle-level model of the Copernicus HLS SpMV platform (§4–5 of the
+//! paper).
+//!
+//! The paper's measurement substrate is a Xilinx xc7z020 FPGA programmed
+//! through Vivado HLS; this crate is its simulation stand-in (see
+//! `DESIGN.md` for the substitution argument). It models the full
+//! architecture of Fig. 2:
+//!
+//! * an AXI-Stream memory interface ([`EncodedPartition`] — per-format byte
+//!   accounting and transfer latency),
+//! * one *decompressor per format* ([`decomp`]) whose cycle counts follow
+//!   the paper's HLS listings 1–7 statement by statement (II=1 pipelined
+//!   loops, single-cycle unrolled bodies over partitioned BRAMs, explicit
+//!   `offsets` reads),
+//! * a fine-grained dot-product engine (multiplier array + balanced adder
+//!   tree, [`HwConfig::dot_latency`]),
+//! * the three-stage outer pipeline ([`Platform`] — memory-read, compute,
+//!   memory-write, bottleneck-overlapped across partitions),
+//! * synthesis-side models: FPGA [`resources`] (Table 2) and [`power`]
+//!   (Table 2 + Fig. 13).
+//!
+//! Every decompressor is *functional*: it reconstructs the dense rows and
+//! the platform cross-checks them against the reference tile (the analog of
+//! the paper's C/RTL co-simulation), so the timing numbers always describe
+//! a datapath that provably computes the right answer.
+//!
+//! # Example
+//!
+//! ```
+//! use copernicus_hls::{HwConfig, Platform};
+//! use sparsemat::{Coo, FormatKind};
+//!
+//! # fn main() -> Result<(), copernicus_hls::PlatformError> {
+//! // A very sparse matrix: one entry every fourth row.
+//! let mut a = Coo::<f32>::new(32, 32);
+//! for i in (0..32).step_by(4) {
+//!     a.push(i, i, 2.0)?;
+//! }
+//! let platform = Platform::new(HwConfig::with_partition_size(16))?;
+//! let report = platform.run(&a, FormatKind::Csr)?;
+//! assert!(report.sigma() < 1.0); // CSR skips the zero rows, dense cannot
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod decomp;
+pub mod encode;
+pub mod explain;
+pub mod pipeline;
+pub mod power;
+pub mod resources;
+
+pub use config::{ceil_log2, HwConfig};
+pub use decomp::{decompress, Decompression};
+pub use encode::{EncodedPartition, Stream};
+pub use explain::{explain, CostBreakdown, CostTerm};
+pub use pipeline::{ParallelReport, PartitionTiming, Platform, PlatformError, RunReport};
+pub use power::PowerBreakdown;
+pub use resources::Resources;

@@ -1,0 +1,625 @@
+//! The three-stage streaming platform of Fig. 2: memory-read → compute
+//! (decompress + dot-product) → memory-write, pipelined across partitions.
+
+use crate::{decompress, EncodedPartition, HwConfig};
+use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid, SparseError};
+
+/// Errors produced by platform runs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The hardware configuration failed validation.
+    Config(String),
+    /// Partitioning or encoding failed.
+    Sparse(SparseError),
+    /// A decompressor produced rows that disagree with the reference tile —
+    /// the model equivalent of a C/RTL co-simulation mismatch.
+    FunctionalMismatch {
+        /// Format under test.
+        format: FormatKind,
+        /// Grid coordinates of the offending partition.
+        grid: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Config(msg) => write!(f, "invalid hardware config: {msg}"),
+            PlatformError::Sparse(e) => write!(f, "encoding failed: {e}"),
+            PlatformError::FunctionalMismatch { format, grid } => write!(
+                f,
+                "functional mismatch decompressing {format} partition ({}, {})",
+                grid.0, grid.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for PlatformError {
+    fn from(e: SparseError) -> Self {
+        PlatformError::Sparse(e)
+    }
+}
+
+/// Timing of a single partition through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionTiming {
+    /// Memory-read stage cycles (transfer of data + metadata).
+    pub mem_cycles: u64,
+    /// Compute stage cycles (decompression + dot products).
+    pub compute_cycles: u64,
+    /// Decompression share of the compute stage.
+    pub decomp_cycles: u64,
+    /// Write-back stage cycles (partial output vector).
+    pub writeback_cycles: u64,
+    /// Dot products issued.
+    pub dot_issues: u64,
+    /// Bytes transferred in (data + metadata).
+    pub bytes: u64,
+    /// Bytes of useful payload.
+    pub useful_bytes: u64,
+    /// BRAM read transactions (power model input).
+    pub bram_reads: u64,
+}
+
+/// Aggregated result of streaming a whole matrix through the platform in
+/// one format.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Format under test.
+    pub format: FormatKind,
+    /// Partition size `p`.
+    pub partition_size: usize,
+    /// Number of non-zero partitions processed.
+    pub partitions: usize,
+    /// Sum of memory-read cycles over partitions.
+    pub total_mem_cycles: u64,
+    /// Sum of compute cycles over partitions.
+    pub total_compute_cycles: u64,
+    /// Sum of decompression cycles over partitions.
+    pub total_decomp_cycles: u64,
+    /// Sum of write-back cycles over partitions.
+    pub total_writeback_cycles: u64,
+    /// Total dot products issued.
+    pub total_dot_issues: u64,
+    /// Total bytes transferred (data + metadata).
+    pub total_bytes: u64,
+    /// Total useful bytes (non-zero values).
+    pub useful_bytes: u64,
+    /// Total BRAM read transactions.
+    pub total_bram_reads: u64,
+    /// End-to-end pipelined cycles (fill + per-partition bottleneck stages).
+    pub total_cycles: u64,
+    /// Σ over partitions of the dense-baseline compute `p · T_dot(p)` —
+    /// the denominator of σ.
+    pub dense_equivalent_compute: u64,
+    /// Mean over partitions of `mem / compute` (the §4.2 balance ratio).
+    pub balance_ratio: f64,
+    /// Clock frequency used (MHz), recorded so throughput is reproducible.
+    pub clock_mhz: f64,
+}
+
+impl RunReport {
+    /// The paper's σ (Eq. 1): format compute cycles over the dense-baseline
+    /// compute cycles. Exactly 1.0 for the dense format.
+    pub fn sigma(&self) -> f64 {
+        if self.dense_equivalent_compute == 0 {
+            0.0
+        } else {
+            self.total_compute_cycles as f64 / self.dense_equivalent_compute as f64
+        }
+    }
+
+    /// Wall-clock seconds of the pipelined run at the configured clock.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Throughput in bytes processed per second (§4.2: "bytes processed per
+    /// second, which reflects the bubbles in the streaming pipeline").
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / t
+        }
+    }
+
+    /// Memory-bandwidth utilization: useful bytes over all transferred
+    /// bytes.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.useful_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// The modeled platform: a validated [`HwConfig`] plus the run entry points.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    cfg: HwConfig,
+}
+
+impl Platform {
+    /// Builds a platform from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Config`] when the configuration fails
+    /// [`HwConfig::validate`].
+    pub fn new(cfg: HwConfig) -> Result<Self, PlatformError> {
+        cfg.validate().map_err(PlatformError::Config)?;
+        Ok(Platform { cfg })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Streams a whole matrix through the platform in `format`: tiles it at
+    /// the configured partition size, drops all-zero partitions, and
+    /// pipelines the non-zero ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning/encoding failures and functional mismatches
+    /// (when [`HwConfig::verify_functional`] is set).
+    pub fn run(&self, matrix: &Coo<f32>, format: FormatKind) -> Result<RunReport, PlatformError> {
+        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
+        self.run_grid(&grid, format)
+    }
+
+    /// Like [`Platform::run`] for a matrix that is already tiled (lets one
+    /// grid be reused across the format sweep).
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`].
+    pub fn run_grid(
+        &self,
+        grid: &PartitionGrid<f32>,
+        format: FormatKind,
+    ) -> Result<RunReport, PlatformError> {
+        let p = self.cfg.partition_size;
+        let dense_per_part = p as u64 * self.cfg.dot_latency_full();
+        let mut report = RunReport {
+            format,
+            partition_size: p,
+            partitions: 0,
+            total_mem_cycles: 0,
+            total_compute_cycles: 0,
+            total_decomp_cycles: 0,
+            total_writeback_cycles: 0,
+            total_dot_issues: 0,
+            total_bytes: 0,
+            useful_bytes: 0,
+            total_bram_reads: 0,
+            total_cycles: 0,
+            dense_equivalent_compute: 0,
+            balance_ratio: 0.0,
+            clock_mhz: self.cfg.clock_mhz,
+        };
+        let mut balance_sum = 0.0f64;
+        let mut first_stage_sum: Option<u64> = None;
+        let mut first_stage_max: u64 = 0;
+        for part in grid.partitions() {
+            let timing = self.run_partition(part.coo.clone(), format, (part.grid_row, part.grid_col))?;
+            let bottleneck = timing
+                .mem_cycles
+                .max(timing.compute_cycles)
+                .max(timing.writeback_cycles);
+            if first_stage_sum.is_none() {
+                first_stage_sum =
+                    Some(timing.mem_cycles + timing.compute_cycles + timing.writeback_cycles);
+                first_stage_max = bottleneck;
+            }
+            report.partitions += 1;
+            report.total_mem_cycles += timing.mem_cycles;
+            report.total_compute_cycles += timing.compute_cycles;
+            report.total_decomp_cycles += timing.decomp_cycles;
+            report.total_writeback_cycles += timing.writeback_cycles;
+            report.total_dot_issues += timing.dot_issues;
+            report.total_bytes += timing.bytes;
+            report.useful_bytes += timing.useful_bytes;
+            report.total_bram_reads += timing.bram_reads;
+            report.total_cycles += bottleneck;
+            report.dense_equivalent_compute += dense_per_part;
+            balance_sum += timing.mem_cycles as f64 / timing.compute_cycles.max(1) as f64;
+        }
+        // Pipeline fill: the first partition flows through all three stages;
+        // afterwards one partition completes per bottleneck interval.
+        if let Some(first) = first_stage_sum {
+            report.total_cycles += first - first_stage_max;
+        }
+        if report.partitions > 0 {
+            report.balance_ratio = balance_sum / report.partitions as f64;
+        }
+        Ok(report)
+    }
+
+    /// Runs a single `p×p` tile (already in tile-local coordinates) through
+    /// encode → decompress → dot-product accounting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`].
+    pub fn run_partition(
+        &self,
+        tile: Coo<f32>,
+        format: FormatKind,
+        grid_pos: (usize, usize),
+    ) -> Result<PartitionTiming, PlatformError> {
+        let encoded = EncodedPartition::encode(&tile, format, &self.cfg)?;
+        let d = decompress(&encoded, &self.cfg);
+        if self.cfg.verify_functional && d.assemble(self.cfg.partition_size) != tile.to_dense() {
+            return Err(PlatformError::FunctionalMismatch {
+                format,
+                grid: grid_pos,
+            });
+        }
+        Ok(PartitionTiming {
+            mem_cycles: encoded.memory_cycles(&self.cfg),
+            compute_cycles: d.compute_cycles(&self.cfg),
+            decomp_cycles: d.decomp_cycles,
+            writeback_cycles: self
+                .cfg
+                .transfer_cycles((self.cfg.partition_size * self.cfg.value_bytes) as u64),
+            dot_issues: d.dot_issues,
+            bytes: encoded.total_bytes(),
+            useful_bytes: encoded.useful_bytes,
+            bram_reads: d.bram_reads,
+        })
+    }
+
+    /// Executes a full SpMV `y = A·x` through the modeled datapath — every
+    /// partition is encoded, decompressed and multiplied exactly as the
+    /// hardware would — and returns the result with the timing report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Sparse`] when `x.len() != A.ncols()`, plus
+    /// everything [`Platform::run`] can return.
+    pub fn run_spmv(
+        &self,
+        matrix: &Coo<f32>,
+        x: &[f32],
+        format: FormatKind,
+    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
+        if x.len() != matrix.ncols() {
+            return Err(PlatformError::Sparse(SparseError::ShapeMismatch {
+                expected: (matrix.ncols(), 1),
+                found: (x.len(), 1),
+            }));
+        }
+        let p = self.cfg.partition_size;
+        let grid = PartitionGrid::new(matrix, p)?;
+        let report = self.run_grid(&grid, format)?;
+        let mut y = vec![0.0f32; matrix.nrows()];
+        for part in grid.partitions() {
+            let encoded = EncodedPartition::encode(&part.coo, format, &self.cfg)?;
+            let d = decompress(&encoded, &self.cfg);
+            let row0 = part.grid_row * p;
+            let col0 = part.grid_col * p;
+            for (lr, row) in &d.contributions {
+                let gr = row0 + lr;
+                if gr >= matrix.nrows() {
+                    continue;
+                }
+                // The engine: element-wise multiply against the operand
+                // slice, then the balanced adder tree (here a sum).
+                let dot: f32 = row
+                    .iter()
+                    .enumerate()
+                    .map(|(lc, &v)| {
+                        let gc = col0 + lc;
+                        if gc < x.len() {
+                            v * x[gc]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                y[gr] += dot;
+            }
+        }
+        Ok((y, report))
+    }
+}
+
+
+/// Result of running the platform with several aggregated compute
+/// instances (§5.1: "Instances of this architecture can be aggregated for
+/// implementing coarse-grain parallelism").
+///
+/// The model: `lanes` identical decompress+dot pipelines share the single
+/// memory channel. Transfers serialize on the shared channel; partitions
+/// are dealt to the least-loaded lane. The run becomes memory-bound the
+/// moment the summed transfer time exceeds the slowest lane's compute —
+/// which quantifies the §8 insight that adding bandwidth only helps while
+/// the format is compute-bound.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParallelReport {
+    /// Number of aggregated compute instances.
+    pub lanes: usize,
+    /// The single-lane report the scaling is measured against.
+    pub single_lane: RunReport,
+    /// Cycles on the shared memory channel (all partitions, serialized).
+    pub shared_mem_cycles: u64,
+    /// Compute cycles of the most loaded lane.
+    pub max_lane_compute_cycles: u64,
+    /// End-to-end cycles of the aggregated system.
+    pub total_cycles: u64,
+}
+
+impl ParallelReport {
+    /// Speedup over the single-lane pipeline.
+    pub fn speedup(&self) -> f64 {
+        if self.total_cycles == 0 {
+            1.0
+        } else {
+            self.single_lane.total_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Parallel efficiency (`speedup / lanes`).
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.lanes as f64
+    }
+
+    /// Whether the aggregated system is limited by the shared channel.
+    pub fn is_memory_bound(&self) -> bool {
+        self.shared_mem_cycles >= self.max_lane_compute_cycles
+    }
+}
+
+impl Platform {
+    /// Runs a matrix through `lanes` aggregated platform instances sharing
+    /// one memory channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Config`] when `lanes == 0`, plus everything
+    /// [`Platform::run`] can return.
+    pub fn run_parallel(
+        &self,
+        matrix: &Coo<f32>,
+        format: FormatKind,
+        lanes: usize,
+    ) -> Result<ParallelReport, PlatformError> {
+        if lanes == 0 {
+            return Err(PlatformError::Config("lane count must be positive".into()));
+        }
+        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
+        let single_lane = self.run_grid(&grid, format)?;
+
+        let mut shared_mem_cycles = 0u64;
+        let mut lane_compute = vec![0u64; lanes];
+        for part in grid.partitions() {
+            let timing =
+                self.run_partition(part.coo.clone(), format, (part.grid_row, part.grid_col))?;
+            shared_mem_cycles += timing.mem_cycles;
+            // Deal to the least-loaded lane (online LPT).
+            let lane = lane_compute
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &load)| load)
+                .map(|(i, _)| i)
+                .expect("lanes > 0");
+            lane_compute[lane] += timing.compute_cycles;
+        }
+        let max_lane_compute_cycles = lane_compute.into_iter().max().unwrap_or(0);
+        Ok(ParallelReport {
+            lanes,
+            shared_mem_cycles,
+            max_lane_compute_cycles,
+            total_cycles: shared_mem_cycles.max(max_lane_compute_cycles),
+            single_lane,
+        })
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::new(HwConfig::default()).expect("default config is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::Coo;
+
+    fn matrix() -> Coo<f32> {
+        let mut coo = Coo::new(64, 64);
+        for i in 0..64usize {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < 64 {
+                coo.push(i, i + 1, -1.0).unwrap();
+            }
+            if i >= 17 {
+                coo.push(i, i - 17, 3.0).unwrap();
+            }
+        }
+        coo
+    }
+
+    #[test]
+    fn dense_sigma_is_exactly_one() {
+        let platform = Platform::default();
+        let report = platform.run(&matrix(), FormatKind::Dense).unwrap();
+        assert_eq!(report.sigma(), 1.0);
+    }
+
+    #[test]
+    fn all_formats_run_and_verify() {
+        let platform = Platform::default();
+        for kind in FormatKind::CHARACTERIZED {
+            let report = platform.run(&matrix(), kind).unwrap();
+            assert!(report.partitions > 0, "{kind}");
+            assert!(report.total_cycles > 0, "{kind}");
+            assert!(report.sigma() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn spmv_through_datapath_matches_reference() {
+        let m = matrix();
+        let x: Vec<f32> = (0..64).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let expect = m.spmv(&x).unwrap();
+        let platform = Platform::default();
+        for kind in FormatKind::CHARACTERIZED {
+            let (y, _) = platform.run_spmv(&m, &x, kind).unwrap();
+            assert_eq!(y, expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_operand() {
+        let platform = Platform::default();
+        assert!(matches!(
+            platform.run_spmv(&matrix(), &[1.0; 3], FormatKind::Csr),
+            Err(PlatformError::Sparse(_))
+        ));
+    }
+
+    #[test]
+    fn csc_is_the_slowest_compute() {
+        // §6.1: "The worst-case scenario of decompression occurs with the
+        // CSC format."
+        let platform = Platform::default();
+        let m = matrix();
+        let csc = platform.run(&m, FormatKind::Csc).unwrap();
+        for kind in FormatKind::CHARACTERIZED {
+            if kind == FormatKind::Csc {
+                continue;
+            }
+            let other = platform.run(&m, kind).unwrap();
+            assert!(
+                csc.total_compute_cycles >= other.total_compute_cycles,
+                "CSC should beat {kind} at being slow"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_formats_move_fewer_bytes_than_dense() {
+        // §6.2: "the latency to transmit data and metadata for all sparse
+        // formats is much lower than that for the dense format."
+        let platform = Platform::default();
+        let m = matrix();
+        let dense = platform.run(&m, FormatKind::Dense).unwrap();
+        for kind in [
+            FormatKind::Csr,
+            FormatKind::Coo,
+            FormatKind::Lil,
+            FormatKind::Ell,
+            FormatKind::Dia,
+        ] {
+            let r = platform.run(&m, kind).unwrap();
+            assert!(
+                r.total_bytes < dense.total_bytes,
+                "{kind} moved {} >= dense {}",
+                r.total_bytes,
+                dense.total_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_total_is_at_least_the_bottleneck_sum() {
+        let platform = Platform::default();
+        let r = platform.run(&matrix(), FormatKind::Csr).unwrap();
+        assert!(r.total_cycles >= r.total_mem_cycles.max(r.total_compute_cycles));
+        assert!(r.total_cycles <= r.total_mem_cycles + r.total_compute_cycles + r.total_writeback_cycles);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = HwConfig {
+            partition_size: 0,
+            ..HwConfig::default()
+        };
+        assert!(matches!(
+            Platform::new(cfg),
+            Err(PlatformError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let platform = Platform::default();
+        let a = platform.run(&matrix(), FormatKind::Lil).unwrap();
+        let b = platform.run(&matrix(), FormatKind::Lil).unwrap();
+        assert_eq!(a, b);
+    }
+
+
+    #[test]
+    fn parallel_lanes_speed_up_compute_bound_formats() {
+        // CSC is deeply compute-bound: aggregating instances must help
+        // nearly linearly until the shared channel saturates.
+        let platform = Platform::default();
+        let m = matrix();
+        let r1 = platform.run_parallel(&m, FormatKind::Csc, 1).unwrap();
+        let r4 = platform.run_parallel(&m, FormatKind::Csc, 4).unwrap();
+        assert!(r4.total_cycles < r1.total_cycles);
+        assert!(r4.speedup() > 1.5, "speedup {}", r4.speedup());
+        assert!(r4.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn parallel_lanes_cannot_beat_the_shared_channel() {
+        // The dense format is already memory-heavy; lanes saturate fast and
+        // the run ends memory-bound at the channel's serialized time.
+        let platform = Platform::default();
+        let m = matrix();
+        let r8 = platform.run_parallel(&m, FormatKind::Dense, 8).unwrap();
+        assert!(r8.is_memory_bound());
+        assert_eq!(r8.total_cycles, r8.shared_mem_cycles);
+    }
+
+    #[test]
+    fn zero_lanes_is_rejected() {
+        let platform = Platform::default();
+        assert!(matches!(
+            platform.run_parallel(&matrix(), FormatKind::Coo, 0),
+            Err(PlatformError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn one_lane_matches_the_unpipelined_bound() {
+        let platform = Platform::default();
+        let m = matrix();
+        let r = platform.run_parallel(&m, FormatKind::Csr, 1).unwrap();
+        // One lane = max(all mem, all compute), which can only be <= the
+        // pipelined single-lane total (that adds fill and per-partition
+        // bottlenecks).
+        assert!(r.total_cycles <= r.single_lane.total_cycles);
+        assert!(r.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_produces_empty_report() {
+        let platform = Platform::default();
+        let r = platform.run(&Coo::new(32, 32), FormatKind::Csr).unwrap();
+        assert_eq!(r.partitions, 0);
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.sigma(), 0.0);
+        assert_eq!(r.throughput_bytes_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the platform model: functional correctness of
+//! every decompressor, closed-form cycle identities, and metric invariants.
+
+use copernicus_hls::{decompress, EncodedPartition, HwConfig, Platform};
+use proptest::prelude::*;
+use sparsemat::{Coo, Dia, FormatKind, Lil, Matrix, Triplet};
+
+/// Strategy: a random tile exactly `p×p` with unique coordinates.
+fn tile_strategy(p: usize) -> impl Strategy<Value = Coo<f32>> {
+    let cells = p * p;
+    proptest::collection::btree_map(0..cells, prop_oneof![(-9i32..0), (1i32..=9)], 1..=cells / 2)
+        .prop_map(move |map| {
+            let triplets = map
+                .into_iter()
+                .map(|(cell, v)| Triplet::new(cell / p, cell % p, v as f32))
+                .collect();
+            Coo::from_triplets(p, p, triplets).expect("in range")
+        })
+}
+
+/// Strategy: a random matrix larger than one partition.
+fn matrix_strategy() -> impl Strategy<Value = Coo<f32>> {
+    let n = 48usize;
+    proptest::collection::btree_map(0..n * n, prop_oneof![(-9i32..0), (1i32..=9)], 0..=160)
+        .prop_map(move |map| {
+            let triplets = map
+                .into_iter()
+                .map(|(cell, v)| Triplet::new(cell / n, cell % n, v as f32))
+                .collect();
+            Coo::from_triplets(n, n, triplets).expect("in range")
+        })
+}
+
+proptest! {
+    #[test]
+    fn every_decompressor_is_functionally_exact(tile in tile_strategy(16)) {
+        let cfg = HwConfig::with_partition_size(16);
+        let expect = tile.to_dense();
+        for kind in FormatKind::CHARACTERIZED {
+            let part = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
+            let d = decompress(&part, &cfg);
+            prop_assert_eq!(d.assemble(16), expect.clone(), "{} corrupted the tile", kind);
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_closed_forms(tile in tile_strategy(16)) {
+        let cfg = HwConfig::with_partition_size(16);
+        let p = 16u64;
+        let nnz = tile.nnz() as u64;
+        let nzr = tile.nonzero_rows() as u64;
+        let l = cfg.bram_read_latency;
+
+        let cycles = |kind: FormatKind| {
+            let part = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
+            let d = decompress(&part, &cfg);
+            (d.decomp_cycles, d.dot_issues)
+        };
+
+        // CSR: nzr offset reads + one cycle per element; nzr dots.
+        prop_assert_eq!(cycles(FormatKind::Csr), (nzr * l + nnz, nzr));
+        // CSC: full rescan of all tuples for each of the p output rows.
+        prop_assert_eq!(cycles(FormatKind::Csc), (p * nnz, nzr));
+        // COO: one pipelined pass.
+        prop_assert_eq!(cycles(FormatKind::Coo), (l + nnz, nzr));
+        // LIL: per non-zero row one parallel read + logic, plus end marker.
+        prop_assert_eq!(cycles(FormatKind::Lil), (nzr * (l + 2) + l, nzr));
+        // ELL: one cycle per row, all rows, width-independent.
+        prop_assert_eq!(cycles(FormatKind::Ell), (p, p));
+        // DIA: per row a scan over all stored diagonals.
+        let ndiag = Dia::from(&tile).num_diagonals() as u64;
+        prop_assert_eq!(cycles(FormatKind::Dia), (l + p * ndiag, nzr));
+        // Dense: free decompression, every row issues.
+        prop_assert_eq!(cycles(FormatKind::Dense), (0, p));
+    }
+
+    #[test]
+    fn transfer_byte_formulas_hold(tile in tile_strategy(16)) {
+        let cfg = HwConfig::with_partition_size(16);
+        let nnz = tile.nnz() as u64;
+        let bytes = |kind: FormatKind| {
+            EncodedPartition::encode(&tile, kind, &cfg).unwrap().total_bytes()
+        };
+        prop_assert_eq!(bytes(FormatKind::Dense), 16 * 16 * 4);
+        prop_assert_eq!(bytes(FormatKind::Csr), (17 + 2 * nnz) * 4);
+        prop_assert_eq!(bytes(FormatKind::Csc), (17 + 2 * nnz) * 4);
+        prop_assert_eq!(bytes(FormatKind::Coo), 3 * nnz * 4);
+        let w = sparsemat::Ell::from(&tile).width() as u64;
+        prop_assert_eq!(bytes(FormatKind::Ell), 2 * w * 16 * 4);
+        let maxcol = Lil::from(&tile).max_line_len() as u64;
+        prop_assert_eq!(bytes(FormatKind::Lil), 2 * (maxcol + 1) * 16 * 4);
+        let ndiag = Dia::from(&tile).num_diagonals() as u64;
+        prop_assert_eq!(bytes(FormatKind::Dia), ndiag * 17 * 4);
+    }
+
+    #[test]
+    fn utilization_bounds_hold(tile in tile_strategy(16)) {
+        let cfg = HwConfig::with_partition_size(16);
+        for kind in FormatKind::CHARACTERIZED {
+            let e = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
+            let u = e.bandwidth_utilization();
+            prop_assert!((0.0..=1.0).contains(&u), "{kind}: {u}");
+        }
+        // COO exactly 1/3; CSR/CSC below 1/2 (they add offsets on top of
+        // one index per value).
+        let coo = EncodedPartition::encode(&tile, FormatKind::Coo, &cfg).unwrap();
+        prop_assert!((coo.bandwidth_utilization() - 1.0 / 3.0).abs() < 1e-12);
+        let csr = EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap();
+        prop_assert!(csr.bandwidth_utilization() < 0.5);
+    }
+
+    #[test]
+    fn platform_spmv_matches_reference_for_all_formats(
+        (m, x) in matrix_strategy().prop_flat_map(|m| {
+            let n = m.ncols();
+            let x = proptest::collection::vec((-5i32..=5).prop_map(|v| v as f32), n);
+            (Just(m), x)
+        })
+    ) {
+        let expect = m.spmv(&x).unwrap();
+        let platform = Platform::default();
+        for kind in FormatKind::CHARACTERIZED {
+            let (y, report) = platform.run_spmv(&m, &x, kind).unwrap();
+            prop_assert_eq!(&y, &expect, "{} diverged", kind);
+            prop_assert_eq!(report.partitions > 0, m.nnz() > 0);
+        }
+    }
+
+    #[test]
+    fn dense_sigma_is_one_and_others_positive(m in matrix_strategy()) {
+        prop_assume!(m.nnz() > 0);
+        let platform = Platform::default();
+        let dense = platform.run(&m, FormatKind::Dense).unwrap();
+        prop_assert!((dense.sigma() - 1.0).abs() < 1e-12);
+        for kind in FormatKind::CHARACTERIZED {
+            let r = platform.run(&m, kind).unwrap();
+            prop_assert!(r.sigma() > 0.0, "{kind}");
+            prop_assert!(r.balance_ratio > 0.0, "{kind}");
+            prop_assert!(r.total_cycles >= r.total_mem_cycles.max(r.total_compute_cycles), "{kind}");
+        }
+    }
+
+    #[test]
+    fn partition_size_sweep_preserves_functionality(m in matrix_strategy(), p in 4usize..=32) {
+        prop_assume!(m.nnz() > 0);
+        let platform = Platform::new(HwConfig::with_partition_size(p)).unwrap();
+        let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 5) as f32 - 2.0).collect();
+        let expect = m.spmv(&x).unwrap();
+        let (y, _) = platform.run_spmv(&m, &x, FormatKind::Bcsr).unwrap();
+        prop_assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn csc_never_beats_csr_on_compute(tile in tile_strategy(16)) {
+        // The orientation mismatch can only cost cycles.
+        let cfg = HwConfig::with_partition_size(16);
+        let csr = decompress(&EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap(), &cfg);
+        let csc = decompress(&EncodedPartition::encode(&tile, FormatKind::Csc, &cfg).unwrap(), &cfg);
+        prop_assert!(csc.compute_cycles(&cfg) >= csr.compute_cycles(&cfg));
+    }
+
+    #[test]
+    fn bcsr_dot_issues_cover_all_rows_of_nonzero_block_rows(tile in tile_strategy(16)) {
+        let cfg = HwConfig::with_partition_size(16);
+        let bcsr = sparsemat::Bcsr::from_coo(&tile, 4).unwrap();
+        let d = decompress(&EncodedPartition::encode(&tile, FormatKind::Bcsr, &cfg).unwrap(), &cfg);
+        prop_assert_eq!(d.dot_issues, (bcsr.nonzero_block_rows() * 4) as u64);
+        prop_assert!(d.dot_issues >= tile.nonzero_rows() as u64);
+    }
+}

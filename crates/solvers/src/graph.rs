@@ -1,0 +1,276 @@
+//! Graph analytics as SpMV — §3.3: "Graph algorithms, such as
+//! breadth-first search, single-source shortest path, and PageRank [...]
+//! can be implemented as a sparse matrix-vector operation."
+
+use crate::SolverError;
+use sparsemat::{Coo, Matrix, Scalar};
+
+/// PageRank configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor (0.85 in the original formulation).
+    pub damping: f64,
+    /// Stop when the L1 change between sweeps drops below this.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// PageRank over a directed adjacency matrix (`A[i][j] != 0` means an edge
+/// `i -> j`; weights are ignored, only the pattern matters).
+///
+/// Returns the rank vector (sums to 1) and the sweeps performed.
+///
+/// # Errors
+///
+/// [`SolverError::Shape`] for non-square adjacency, and
+/// [`SolverError::NoConvergence`] past the budget.
+pub fn pagerank<T: Scalar, M: Matrix<T>>(
+    adjacency: &M,
+    cfg: PageRankConfig,
+) -> Result<(Vec<f64>, usize), SolverError> {
+    if adjacency.nrows() != adjacency.ncols() {
+        return Err(SolverError::Shape(sparsemat::SparseError::ShapeMismatch {
+            expected: (adjacency.nrows(), adjacency.nrows()),
+            found: (adjacency.nrows(), adjacency.ncols()),
+        }));
+    }
+    let n = adjacency.nrows();
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    // Column-stochastic transition structure: M[j][i] = 1/outdeg(i).
+    let triplets = adjacency.triplets();
+    let mut outdeg = vec![0usize; n];
+    for t in &triplets {
+        outdeg[t.row] += 1;
+    }
+    // Build the transition in f64 so convergence is not limited by the
+    // adjacency's element precision.
+    let mut transition = Coo::<f64>::with_capacity(n, n, triplets.len());
+    for t in &triplets {
+        transition
+            .push(t.col, t.row, 1.0 / outdeg[t.row] as f64)
+            .expect("within shape");
+    }
+    let transition = sparsemat::Csr::from(&transition);
+
+    let d = cfg.damping;
+    let mut rank = vec![1.0 / n as f64; n];
+    for sweep in 0..cfg.max_iterations {
+        let mv = transition.spmv(&rank)?;
+        let dangling: f64 = rank
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| outdeg[i] == 0)
+            .map(|(_, r)| r)
+            .sum();
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        let next: Vec<f64> = mv.iter().map(|&v| base + d * v).collect();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if delta < cfg.tolerance {
+            return Ok((rank, sweep + 1));
+        }
+    }
+    Err(SolverError::NoConvergence {
+        iterations: cfg.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+/// BFS levels from a source vertex over an adjacency matrix, computed as
+/// repeated boolean-semiring SpMV (frontier expansion). Unreachable
+/// vertices get `usize::MAX`.
+///
+/// # Errors
+///
+/// [`SolverError::Shape`] for non-square adjacency or an out-of-range
+/// source.
+pub fn bfs_levels<T: Scalar, M: Matrix<T>>(
+    adjacency: &M,
+    source: usize,
+) -> Result<Vec<usize>, SolverError> {
+    let n = adjacency.nrows();
+    if adjacency.ncols() != n || source >= n {
+        return Err(SolverError::Shape(sparsemat::SparseError::IndexOutOfBounds {
+            index: (source, 0),
+            shape: (n, adjacency.ncols()),
+        }));
+    }
+    // Row-major neighbour lists once (the vertex-centric phase-1 of §3.3).
+    let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in adjacency.triplets() {
+        neighbours[t.row].push(t.col);
+    }
+    let mut levels = vec![usize::MAX; n];
+    levels[source] = 0;
+    let mut frontier = vec![source];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        // Frontier expansion = SpMV of the adjacency with the frontier's
+        // indicator vector under the (OR, AND) semiring.
+        for &u in &frontier {
+            for &v in &neighbours[u] {
+                if levels[v] == usize::MAX {
+                    levels[v] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(levels)
+}
+
+/// Connected components of an *undirected* graph (the pattern is
+/// symmetrized internally), via label propagation — each sweep is an SpMV
+/// under the (min, select) semiring. Returns the component label per
+/// vertex (the smallest vertex index in the component).
+///
+/// # Errors
+///
+/// [`SolverError::Shape`] for non-square adjacency.
+pub fn connected_components<T: Scalar, M: Matrix<T>>(
+    adjacency: &M,
+) -> Result<Vec<usize>, SolverError> {
+    let n = adjacency.nrows();
+    if adjacency.ncols() != n {
+        return Err(SolverError::Shape(sparsemat::SparseError::ShapeMismatch {
+            expected: (n, n),
+            found: (n, adjacency.ncols()),
+        }));
+    }
+    let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in adjacency.triplets() {
+        neighbours[t.row].push(t.col);
+        neighbours[t.col].push(t.row);
+    }
+    let mut labels: Vec<usize> = (0..n).collect();
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            let mut best = labels[u];
+            for &v in &neighbours[u] {
+                best = best.min(labels[v]);
+            }
+            if best < labels[u] {
+                labels[u] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(labels);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::{Coo, Csr};
+
+    /// A two-triangle graph bridged by one edge: 0-1-2 and 3-4-5.
+    fn two_clusters() -> Csr<f32> {
+        let mut coo = Coo::new(6, 6);
+        for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            coo.push(a, b, 1.0).unwrap();
+            coo.push(b, a, 1.0).unwrap();
+        }
+        Csr::from(&coo)
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_converges() {
+        let g = two_clusters();
+        let (rank, sweeps) = pagerank(&g, PageRankConfig::default()).unwrap();
+        let mass: f64 = rank.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        assert!(sweeps > 1);
+        assert!(rank.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_ranks_hubs_higher() {
+        // A star: everything points at vertex 0.
+        let mut coo = Coo::<f32>::new(5, 5);
+        for i in 1..5 {
+            coo.push(i, 0, 1.0).unwrap();
+        }
+        // Give 0 an outgoing edge so it is not dangling-only.
+        coo.push(0, 1, 1.0).unwrap();
+        let (rank, _) = pagerank(&Csr::from(&coo), PageRankConfig::default()).unwrap();
+        for i in 2..5 {
+            assert!(rank[0] > rank[i], "hub not ranked highest");
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        // 0 -> 1, 1 has no outgoing edges.
+        let mut coo = Coo::<f32>::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        let (rank, _) = pagerank(&Csr::from(&coo), PageRankConfig::default()).unwrap();
+        assert!((rank.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(rank[1] > rank[0]);
+    }
+
+    #[test]
+    fn bfs_levels_match_hand_computation() {
+        let g = two_clusters();
+        let levels = bfs_levels(&g, 0).unwrap();
+        assert_eq!(levels[0], 0);
+        assert_eq!(levels[1], 1);
+        assert_eq!(levels[2], 1);
+        assert_eq!(levels[3], 2);
+        assert_eq!(levels[4], 3);
+        assert_eq!(levels[5], 3);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_vertices() {
+        let mut coo = Coo::<f32>::new(4, 4);
+        coo.push(0, 1, 1.0).unwrap();
+        let levels = bfs_levels(&Csr::from(&coo), 0).unwrap();
+        assert_eq!(levels, vec![0, 1, usize::MAX, usize::MAX]);
+    }
+
+    #[test]
+    fn bfs_rejects_bad_source() {
+        assert!(bfs_levels(&two_clusters(), 99).is_err());
+    }
+
+    #[test]
+    fn components_find_separate_islands() {
+        let mut coo = Coo::<f32>::new(5, 5);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(3, 4, 1.0).unwrap();
+        let labels = connected_components(&Csr::from(&coo)).unwrap();
+        assert_eq!(labels, vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn components_of_connected_graph_are_uniform() {
+        let labels = connected_components(&two_clusters()).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_graph_works() {
+        let g = Csr::<f32>::new(0, 0);
+        assert_eq!(pagerank(&g, PageRankConfig::default()).unwrap().0.len(), 0);
+        assert_eq!(connected_components(&g).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The sparse application kernels Copernicus motivates (§3.3 of the
+//! paper): "this section shows that sparse matrix-vector multiplication
+//! (SpMV) is the key sparse kernel in all of the three aforementioned
+//! domains of sparse problems."
+//!
+//! * [`linear`] — iterative solvers for `A·x = b` (conjugate gradient,
+//!   BiCGSTAB, Jacobi, Gauss–Seidel) — the scientific-computation domain.
+//! * [`graph`] — PageRank, BFS levels and connected components expressed
+//!   as repeated SpMV over semiring-flavored operands — the
+//!   graph-analytics domain.
+//! * [`nn`] — sparse fully-connected inference (pruned weight matrices ×
+//!   activations) — the machine-learning domain.
+//!
+//! Every kernel is generic over the [`sparsemat::Matrix`] trait, so the
+//! same solver runs on CSR, DIA, COO or any other format — which is
+//! exactly the experiment the paper's platform performs in hardware.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod graph;
+pub mod linear;
+pub mod nn;
+
+pub use graph::{bfs_levels, connected_components, pagerank, PageRankConfig};
+pub use linear::{
+    bicgstab, conjugate_gradient, gauss_seidel, jacobi, power_iteration, preconditioned_cg,
+    IterStats, SolveOptions,
+};
+pub use nn::{relu, sparse_mlp_forward, SparseLayer};
+
+/// Errors produced by the application kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// Operand shapes disagree.
+    Shape(sparsemat::SparseError),
+    /// The method did not converge within the iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The method hit a numerical breakdown (zero denominator).
+    Breakdown(&'static str),
+    /// The matrix violates a method precondition (e.g. a zero diagonal
+    /// entry for Jacobi/Gauss–Seidel).
+    Precondition(&'static str),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Shape(e) => write!(f, "shape error: {e}"),
+            SolverError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolverError::Breakdown(what) => write!(f, "numerical breakdown: {what}"),
+            SolverError::Precondition(what) => write!(f, "precondition violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sparsemat::SparseError> for SolverError {
+    fn from(e: sparsemat::SparseError) -> Self {
+        SolverError::Shape(e)
+    }
+}

@@ -1,0 +1,197 @@
+//! Sparse neural-network inference — §3.3: "Machine learning applications
+//! consist of SpMV or sparse matrix-matrix multiplication, both of which
+//! rely on the same underlying dot-product engine."
+//!
+//! A pruned fully-connected layer is a sparse weight matrix; a forward
+//! pass is `relu(W·x + b)` per layer, i.e. exactly the SpMV the Copernicus
+//! platform accelerates.
+
+use crate::SolverError;
+use sparsemat::{AnyMatrix, Coo, FormatKind, Matrix};
+
+/// One sparse fully-connected layer: pruned weights, a dense bias, and a
+/// flag for the output nonlinearity.
+#[derive(Debug, Clone)]
+pub struct SparseLayer {
+    weights: AnyMatrix<f32>,
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+impl SparseLayer {
+    /// Builds a layer from pruned weights (`out_features × in_features`),
+    /// a bias of length `out_features`, and the activation choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Shape`] when the bias length disagrees with
+    /// the weight matrix height.
+    pub fn new(weights: &Coo<f32>, bias: Vec<f32>, relu: bool) -> Result<Self, SolverError> {
+        Self::with_format(weights, bias, relu, FormatKind::Csr)
+    }
+
+    /// Like [`SparseLayer::new`] but storing the weights in a chosen format
+    /// — the knob the Copernicus characterization turns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Shape`] on a bias length mismatch.
+    pub fn with_format(
+        weights: &Coo<f32>,
+        bias: Vec<f32>,
+        relu: bool,
+        format: FormatKind,
+    ) -> Result<Self, SolverError> {
+        if bias.len() != weights.nrows() {
+            return Err(SolverError::Shape(sparsemat::SparseError::ShapeMismatch {
+                expected: (weights.nrows(), 1),
+                found: (bias.len(), 1),
+            }));
+        }
+        Ok(SparseLayer {
+            weights: AnyMatrix::encode(weights, format),
+            bias,
+            relu,
+        })
+    }
+
+    /// Input width the layer expects.
+    pub fn in_features(&self) -> usize {
+        self.weights.ncols()
+    }
+
+    /// Output width the layer produces.
+    pub fn out_features(&self) -> usize {
+        self.weights.nrows()
+    }
+
+    /// Fraction of weights pruned away.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.weights.density()
+    }
+
+    /// The stored weight matrix.
+    pub fn weights(&self) -> &AnyMatrix<f32> {
+        &self.weights
+    }
+
+    /// One forward step: `act(W·x + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Shape`] when `x.len() != in_features()`.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, SolverError> {
+        let mut y = self.weights.spmv(x)?;
+        for (yi, bi) in y.iter_mut().zip(&self.bias) {
+            *yi += bi;
+        }
+        if self.relu {
+            relu(&mut y);
+        }
+        Ok(y)
+    }
+}
+
+/// In-place rectified linear unit.
+pub fn relu(v: &mut [f32]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Runs a full multi-layer forward pass.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Shape`] when consecutive layers disagree on
+/// width or the input does not match the first layer.
+pub fn sparse_mlp_forward(layers: &[SparseLayer], input: &[f32]) -> Result<Vec<f32>, SolverError> {
+    let mut x = input.to_vec();
+    for layer in layers {
+        x = layer.forward(&x)?;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copernicus_workloads::{random, seeded_rng};
+
+    fn layer(out: usize, inp: usize, density: f64, relu: bool, seed: u64) -> SparseLayer {
+        let w = random::uniform(out, inp, density, &mut seeded_rng(seed));
+        SparseLayer::new(&w, vec![0.5; out], relu).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut w = Coo::<f32>::new(2, 3);
+        w.push(0, 0, 2.0).unwrap();
+        w.push(0, 2, -1.0).unwrap();
+        w.push(1, 1, 3.0).unwrap();
+        let l = SparseLayer::new(&w, vec![1.0, -10.0], true).unwrap();
+        // y = relu(W x + b), x = [1, 2, 3]
+        // row0: 2*1 - 1*3 + 1 = 0; row1: 3*2 - 10 = -4 -> relu -> 0.
+        assert_eq!(l.forward(&[1.0, 2.0, 3.0]).unwrap(), vec![0.0, 0.0]);
+        // Without relu, the raw affine values come through.
+        let l = SparseLayer::new(&w, vec![1.0, -10.0], false).unwrap();
+        assert_eq!(l.forward(&[1.0, 2.0, 3.0]).unwrap(), vec![0.0, -4.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut v = vec![-1.0f32, 0.0, 2.5];
+        relu(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn layer_metadata() {
+        let l = layer(8, 16, 0.25, true, 1);
+        assert_eq!(l.in_features(), 16);
+        assert_eq!(l.out_features(), 8);
+        assert!((l.sparsity() - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn format_choice_never_changes_the_output() {
+        let w = random::uniform(12, 20, 0.3, &mut seeded_rng(2));
+        let bias: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+        let x: Vec<f32> = (0..20).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let reference = SparseLayer::with_format(&w, bias.clone(), true, FormatKind::Dense)
+            .unwrap()
+            .forward(&x)
+            .unwrap();
+        for kind in FormatKind::ALL {
+            let l = SparseLayer::with_format(&w, bias.clone(), true, kind).unwrap();
+            assert_eq!(l.forward(&x).unwrap(), reference, "{kind}");
+        }
+    }
+
+    #[test]
+    fn mlp_pipeline_composes_layers() {
+        let layers = vec![
+            layer(16, 24, 0.3, true, 3),
+            layer(8, 16, 0.4, true, 4),
+            layer(4, 8, 0.5, false, 5),
+        ];
+        let x = vec![1.0f32; 24];
+        let y = sparse_mlp_forward(&layers, &x).unwrap();
+        assert_eq!(y.len(), 4);
+        // Composition equals running the layers by hand.
+        let manual = layers[2]
+            .forward(&layers[1].forward(&layers[0].forward(&x).unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(y, manual);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let w = Coo::<f32>::new(4, 6);
+        assert!(SparseLayer::new(&w, vec![0.0; 3], true).is_err());
+        let l = layer(4, 6, 0.5, true, 6);
+        assert!(l.forward(&[0.0; 5]).is_err());
+    }
+}

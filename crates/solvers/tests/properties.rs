@@ -1,0 +1,110 @@
+//! Property-based tests of the application kernels.
+
+use copernicus_solvers::{
+    bfs_levels, conjugate_gradient, connected_components, pagerank, sparse_mlp_forward,
+    PageRankConfig, SolveOptions, SparseLayer,
+};
+use proptest::prelude::*;
+use sparsemat::{ops, Coo, Csr, Matrix, Triplet};
+
+/// Strategy: a random sparse pattern as a COO matrix.
+fn pattern(n: usize, max_entries: usize) -> impl Strategy<Value = Coo<f32>> {
+    proptest::collection::btree_map(0..n * n, 1i32..=5, 0..=max_entries).prop_map(move |map| {
+        let triplets = map
+            .into_iter()
+            .map(|(cell, v)| Triplet::new(cell / n, cell % n, v as f32))
+            .collect();
+        Coo::from_triplets(n, n, triplets).expect("in range")
+    })
+}
+
+/// Builds a symmetric positive-definite matrix `AᵀA + n·I` from a random
+/// pattern.
+fn spd_from(coo: &Coo<f32>) -> Csr<f32> {
+    let n = coo.nrows();
+    let a = Csr::from(coo);
+    let ata = ops::spmm(&a.transpose(), &a).expect("square");
+    let mut shifted = ata.to_coo();
+    for i in 0..n {
+        shifted.push(i, i, n as f32).expect("in range");
+    }
+    shifted.compress();
+    Csr::from(&shifted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cg_solves_random_spd_systems(coo in pattern(12, 30), seed in 0u64..50) {
+        let a = spd_from(&coo);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (((i as u64 + seed) % 7) as f64) - 3.0).collect();
+        let opts = SolveOptions { tolerance: 1e-6, max_iterations: 5000 };
+        let (x, stats) = conjugate_gradient(&a, &b, opts).unwrap();
+        // Residual check through an independent f64 densification.
+        let ad = a.to_dense();
+        let mut res = 0.0f64;
+        for i in 0..n {
+            let axi: f64 = (0..n).map(|j| ad[(i, j)] as f64 * x[j]).sum();
+            res += (b[i] - axi).powi(2);
+        }
+        prop_assert!(res.sqrt() < 1e-2, "residual {}", res.sqrt());
+        prop_assert!(stats.iterations <= 5000);
+    }
+
+    #[test]
+    fn pagerank_mass_and_positivity(coo in pattern(16, 40)) {
+        prop_assume!(coo.nnz() > 0);
+        let (rank, _) = pagerank(&Csr::from(&coo), PageRankConfig::default()).unwrap();
+        let mass: f64 = rank.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-8, "mass {mass}");
+        prop_assert!(rank.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn bfs_levels_satisfy_edge_relaxation(coo in pattern(14, 40)) {
+        let a = Csr::from(&coo);
+        let levels = bfs_levels(&a, 0).unwrap();
+        prop_assert_eq!(levels[0], 0);
+        // Along every edge u -> v: level(v) <= level(u) + 1 when u is
+        // reachable.
+        for t in a.triplets() {
+            if levels[t.row] != usize::MAX {
+                prop_assert!(
+                    levels[t.col] <= levels[t.row] + 1,
+                    "edge ({}, {}) violates relaxation",
+                    t.row,
+                    t.col
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn components_are_consistent_with_edges(coo in pattern(14, 30)) {
+        let a = Csr::from(&coo);
+        let labels = connected_components(&a).unwrap();
+        // Endpoints of every (symmetrized) edge share a label, and each
+        // label is the smallest vertex id in its component.
+        for t in a.triplets() {
+            prop_assert_eq!(labels[t.row], labels[t.col]);
+        }
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l <= v);
+            prop_assert_eq!(labels[l], l, "label {} is not a root", l);
+        }
+    }
+
+    #[test]
+    fn mlp_forward_is_deterministic_and_nonnegative_with_relu(
+        coo in pattern(10, 25),
+        x in proptest::collection::vec(-4.0f32..4.0, 10),
+    ) {
+        let layer = SparseLayer::new(&coo, vec![0.25; 10], true).unwrap();
+        let a = sparse_mlp_forward(&[layer.clone()], &x).unwrap();
+        let b = sparse_mlp_forward(&[layer], &x).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,297 @@
+//! Block compressed sparse column (BCSC) format — the column-wise sibling
+//! §2 of the paper introduces together with BCSR.
+
+use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// Block compressed sparse column matrix with square `b×b` blocks.
+///
+/// Identical to [`crate::Bcsr`] with rows and columns exchanged: `offsets`
+/// counts non-zero blocks per *block-column*, `indices` stores the first
+/// *row* of each block, and block values are flattened row-major.
+///
+/// Like CSC on the paper's row-oriented platform, BCSC exists mainly as
+/// the orientation counterpart; its SpMV is a block-column scatter.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bcsc<T> {
+    nrows: usize,
+    ncols: usize,
+    block: usize,
+    /// Non-zero-block pointers per block-column (`block_cols + 1` entries).
+    offsets: Vec<usize>,
+    /// First-row index of each stored block, block-column by block-column.
+    indices: Vec<usize>,
+    /// Flattened row-major `b×b` values of each stored block.
+    values: Vec<T>,
+    nnz: usize,
+}
+
+impl<T: Scalar> Bcsc<T> {
+    /// Builds a BCSC matrix from a COO matrix with the given block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] when `block == 0`.
+    pub fn from_coo(coo: &Coo<T>, block: usize) -> Result<Self, SparseError> {
+        if block == 0 {
+            return Err(SparseError::InvalidBlockSize {
+                size: 0,
+                requirement: "block size must be positive",
+            });
+        }
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let block_cols = ncols.div_ceil(block);
+
+        // Bucket entries by (block_col, block_row) — column-major block
+        // order.
+        let mut buckets: std::collections::BTreeMap<(usize, usize), Vec<T>> =
+            std::collections::BTreeMap::new();
+        for t in coo.iter() {
+            let key = (t.col / block, t.row / block);
+            let slot = buckets
+                .entry(key)
+                .or_insert_with(|| vec![T::ZERO; block * block]);
+            slot[(t.row % block) * block + t.col % block] += t.val;
+        }
+        buckets.retain(|_, v| v.iter().any(|x| !x.is_zero()));
+
+        let mut offsets = vec![0usize; block_cols + 1];
+        let mut indices = Vec::with_capacity(buckets.len());
+        let mut values = Vec::with_capacity(buckets.len() * block * block);
+        let mut nnz = 0usize;
+        for (&(bc, br), block_vals) in &buckets {
+            offsets[bc + 1] += 1;
+            indices.push(br * block);
+            nnz += block_vals.iter().filter(|v| !v.is_zero()).count();
+            values.extend_from_slice(block_vals);
+        }
+        for i in 0..block_cols {
+            offsets[i + 1] += offsets[i];
+        }
+        Ok(Bcsc {
+            nrows,
+            ncols,
+            block,
+            offsets,
+            indices,
+            values,
+            nnz,
+        })
+    }
+
+    /// The block edge length `b`.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Number of block columns (`ceil(ncols / b)`).
+    pub fn block_cols(&self) -> usize {
+        self.ncols.div_ceil(self.block)
+    }
+
+    /// Total number of stored (non-zero) blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of stored blocks in block-column `bc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bc >= block_cols()`.
+    pub fn block_col_nnz(&self, bc: usize) -> usize {
+        assert!(bc < self.block_cols(), "block column {bc} out of bounds");
+        self.offsets[bc + 1] - self.offsets[bc]
+    }
+
+    /// Iterates over the blocks of block-column `bc` as
+    /// `(first_row, block_values)` with `block_values.len() == b²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bc >= block_cols()`.
+    pub fn block_col_entries(&self, bc: usize) -> impl Iterator<Item = (usize, &[T])> + '_ {
+        assert!(bc < self.block_cols(), "block column {bc} out of bounds");
+        let b2 = self.block * self.block;
+        (self.offsets[bc]..self.offsets[bc + 1])
+            .map(move |k| (self.indices[k], &self.values[k * b2..(k + 1) * b2]))
+    }
+
+    /// Total scalars stored for values (`num_blocks · b²`), intra-block
+    /// zeros included.
+    pub fn stored_values(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl<T: Scalar> Matrix<T> for Bcsc<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        let bc = col / self.block;
+        for (first_row, vals) in self.block_col_entries(bc) {
+            if row >= first_row && row < first_row + self.block {
+                return vals[(row - first_row) * self.block + col % self.block];
+            }
+        }
+        T::ZERO
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for bc in 0..self.block_cols() {
+            for (first_row, vals) in self.block_col_entries(bc) {
+                for (k, &v) in vals.iter().enumerate() {
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let r = first_row + k / self.block;
+                    let c = bc * self.block + k % self.block;
+                    if r < self.nrows && c < self.ncols {
+                        out.push(Triplet::new(r, c, v));
+                    }
+                }
+            }
+        }
+        crate::triplet::sort_row_major(&mut out);
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        // Block-column scatter: y[block] += B · x[block cols].
+        let mut y = vec![T::ZERO; self.nrows];
+        for bc in 0..self.block_cols() {
+            let col0 = bc * self.block;
+            for (first_row, vals) in self.block_col_entries(bc) {
+                for lr in 0..self.block {
+                    let r = first_row + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    let mut acc = T::ZERO;
+                    for lc in 0..self.block {
+                        let c = col0 + lc;
+                        if c >= self.ncols {
+                            break;
+                        }
+                        acc += vals[lr * self.block + lc] * x[c];
+                    }
+                    y[r] += acc;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Bcsc
+    }
+}
+
+impl<T: Scalar> From<&Coo<T>> for Bcsc<T> {
+    /// Converts with the paper's 4×4 block size.
+    fn from(coo: &Coo<T>) -> Self {
+        Bcsc::from_coo(coo, crate::Bcsr::<T>::PAPER_BLOCK_SIZE).expect("positive block size")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bcsr;
+
+    fn sample() -> Coo<f32> {
+        let mut coo = Coo::new(8, 8);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        coo.push(0, 5, 3.0).unwrap();
+        coo.push(6, 6, 4.0).unwrap();
+        coo.push(7, 0, 5.0).unwrap();
+        coo
+    }
+
+    #[test]
+    fn block_structure_is_column_major() {
+        let m = Bcsc::from(&sample());
+        assert_eq!(m.block_size(), 4);
+        assert_eq!(m.block_cols(), 2);
+        // Blocks: col0 {(0,0) area, (7,0) area}, col1 {(0,5), (6,6)}.
+        assert_eq!(m.num_blocks(), 4);
+        assert_eq!(m.block_col_nnz(0), 2);
+        assert_eq!(m.block_col_nnz(1), 2);
+        assert_eq!(m.stored_values(), 4 * 16);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn round_trip_matches_dense() {
+        let coo = sample();
+        let m = Bcsc::from(&coo);
+        assert!(coo.to_dense().structurally_eq(&m));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let coo = sample();
+        let m = Bcsc::from(&coo);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32) - 3.0).collect();
+        assert_eq!(m.spmv(&x).unwrap(), coo.to_dense().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn bcsc_and_bcsr_store_the_same_entry_set() {
+        let coo = sample();
+        let bcsc = Bcsc::from(&coo);
+        let bcsr = Bcsr::from(&coo);
+        let mut a = bcsc.triplets();
+        let mut b = bcsr.triplets();
+        crate::triplet::sort_row_major(&mut a);
+        crate::triplet::sort_row_major(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(bcsc.num_blocks(), bcsr.num_blocks());
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let m = Bcsc::from(&sample());
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(1, 3), 0.0);
+        assert_eq!(m.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn non_multiple_shapes_work() {
+        let mut coo = Coo::<f32>::new(5, 7);
+        coo.push(4, 6, 9.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let m = Bcsc::from_coo(&coo, 4).unwrap();
+        assert!(coo.to_dense().structurally_eq(&m));
+        let x = vec![1.0f32; 7];
+        assert_eq!(m.spmv(&x).unwrap(), coo.to_dense().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        assert!(matches!(
+            Bcsc::from_coo(&sample(), 0),
+            Err(SparseError::InvalidBlockSize { .. })
+        ));
+    }
+}

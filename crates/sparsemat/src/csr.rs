@@ -1,0 +1,378 @@
+//! Compressed sparse row (CSR) format.
+
+use crate::triplet::sort_row_major;
+use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// Compressed sparse row matrix.
+///
+/// §2 of the paper: CSR "sequentially stores values in row order in a
+/// `values` array while similarly storing their column-index in an `indices`
+/// array. Another array, `offsets`, stores index pointers [...] the adjacent
+/// pair `[start:stop]` represents a slice from the two first arrays."
+///
+/// Copernicus's hardware finding for CSR (§5.2, Listing 1): decompression is
+/// compute-bound because every row costs one extra BRAM access to `offsets`,
+/// and the value/index arrays cannot be partitioned for parallel access
+/// because row lengths are data-dependent.
+///
+/// ```
+/// use sparsemat::{Coo, Csr, Matrix};
+/// # fn main() -> Result<(), sparsemat::SparseError> {
+/// let mut coo = Coo::<f32>::new(3, 3);
+/// coo.push(0, 0, 1.0)?;
+/// coo.push(0, 2, 2.0)?;
+/// coo.push(2, 1, 3.0)?;
+/// let csr = Csr::from(&coo);
+/// assert_eq!(csr.offsets(), &[0, 2, 2, 3]);
+/// assert_eq!(csr.row_entries(0).count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    offsets: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Creates an empty CSR matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            offsets: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from its three raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] when
+    /// `offsets.len() != nrows + 1`, offsets are non-monotonic, the final
+    /// offset disagrees with the array lengths, `indices.len() !=
+    /// values.len()`, a column index is out of range, or column indices are
+    /// not strictly increasing within a row.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        offsets: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if offsets.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "offsets length {} != nrows + 1 = {}",
+                offsets.len(),
+                nrows + 1
+            )));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(SparseError::InvalidStructure(
+                "offsets must start at 0".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::InvalidStructure(
+                "offsets must be non-decreasing".into(),
+            ));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indices length {} != values length {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if *offsets.last().expect("offsets non-empty") != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "last offset {} != number of entries {}",
+                offsets.last().unwrap(),
+                values.len()
+            )));
+        }
+        for r in 0..nrows {
+            let row = &indices[offsets[r]..offsets[r + 1]];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SparseError::InvalidStructure(format!(
+                    "column indices in row {r} are not strictly increasing"
+                )));
+            }
+            if let Some(&c) = row.last() {
+                if c >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column index {c} out of range in row {r} (ncols = {ncols})"
+                    )));
+                }
+            }
+        }
+        Ok(Csr {
+            nrows,
+            ncols,
+            offsets,
+            indices,
+            values,
+        })
+    }
+
+    /// The row-pointer array (`nrows + 1` entries, starting at 0).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The column-index array, row by row.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The stored values, row by row.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of entries stored in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= nrows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.nrows, "row {r} out of bounds");
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r` in ascending column
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= nrows()`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        assert!(r < self.nrows, "row {r} out of bounds");
+        let range = self.offsets[r]..self.offsets[r + 1];
+        self.indices[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// The length of the longest row.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+
+    /// The transpose, computed through a CSC-style counting pass.
+    pub fn transpose(&self) -> Csr<T> {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0usize; self.indices.len()];
+        let mut values = vec![T::ZERO; self.values.len()];
+        for r in 0..self.nrows {
+            for (c, v) in self.row_entries(r) {
+                let dst = cursor[c];
+                indices[dst] = r;
+                values[dst] = v;
+                cursor[c] += 1;
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            offsets,
+            indices,
+            values,
+        }
+    }
+}
+
+impl<T: Scalar> Matrix<T> for Csr<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        let range = self.offsets[row]..self.offsets[row + 1];
+        match self.indices[range.clone()].binary_search(&col) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for (c, v) in self.row_entries(r) {
+                out.push(Triplet::new(r, c, v));
+            }
+        }
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        let mut y = vec![T::ZERO; self.nrows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.row_entries(r).map(|(c, v)| v * x[c]).sum();
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Csr
+    }
+}
+
+impl<T: Scalar> From<&Coo<T>> for Csr<T> {
+    fn from(coo: &Coo<T>) -> Self {
+        let mut ts = coo.triplets();
+        sort_row_major(&mut ts);
+        // Merge duplicates so the strictly-increasing column invariant holds.
+        let mut merged: Vec<Triplet<T>> = Vec::with_capacity(ts.len());
+        for t in ts {
+            match merged.last_mut() {
+                Some(last) if last.row == t.row && last.col == t.col => last.val += t.val,
+                _ => merged.push(t),
+            }
+        }
+        merged.retain(|t| !t.val.is_zero());
+
+        let mut offsets = vec![0usize; coo.nrows() + 1];
+        for t in &merged {
+            offsets[t.row + 1] += 1;
+        }
+        for i in 0..coo.nrows() {
+            offsets[i + 1] += offsets[i];
+        }
+        let indices = merged.iter().map(|t| t.col).collect();
+        let values = merged.iter().map(|t| t.val).collect();
+        Csr {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            offsets,
+            indices,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f32> {
+        // 1 0 2
+        // 0 0 0
+        // 0 3 0
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(2, 1, 3.0).unwrap();
+        Csr::from(&coo)
+    }
+
+    #[test]
+    fn structure_matches_paper_example_shape() {
+        let m = sample();
+        assert_eq!(m.offsets(), &[0, 2, 2, 3]);
+        assert_eq!(m.indices(), &[0, 2, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn row_nnz_and_max() {
+        let m = sample();
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.max_row_nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = [2.0, 3.0, 4.0];
+        assert_eq!(m.spmv(&x).unwrap(), m.to_dense().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn coo_round_trip_preserves_entries() {
+        let m = sample();
+        let back = Csr::from(&m.to_coo());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_merged() {
+        let mut coo = Coo::<f32>::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, 4.0).unwrap();
+        let csr = Csr::from(&coo);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+        assert_eq!(m.transpose().get(2, 0), 2.0);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // Good.
+        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Bad offsets length.
+        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Non-monotonic offsets.
+        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Column out of range.
+        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
+        // Duplicate column within a row.
+        assert!(
+            Csr::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
+        );
+        // Length mismatch between indices and values.
+        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let m = Csr::<f32>::new(0, 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.spmv(&[]).unwrap(), Vec::<f32>::new());
+    }
+}

@@ -1,0 +1,210 @@
+//! Dictionary of keys (DOK) format.
+
+use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Triplet};
+use std::collections::HashMap;
+
+/// Dictionary-of-keys sparse matrix: a hash map from `(row, col)` to value.
+///
+/// §2 of the paper: "The DOK format is similar to the COO format except that
+/// it stores coordinate-data information as key-value pairs. DOK uses hash
+/// tables to store a value with the key of (row index, column index)."
+/// The paper's hardware treatment of DOK is identical to COO (§5.2: "the
+/// same procedure is also applicable to DOK"), so the characterization maps
+/// DOK onto the COO decompressor.
+///
+/// DOK shines at incremental construction and point updates; use
+/// [`Matrix::to_coo`] to move to a compute-friendly format.
+#[derive(Debug, Clone, Default)]
+pub struct Dok<T> {
+    nrows: usize,
+    ncols: usize,
+    map: HashMap<(usize, usize), T>,
+}
+
+impl<T: Scalar> Dok<T> {
+    /// Creates an empty DOK matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Dok {
+            nrows,
+            ncols,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Sets the value at `(row, col)`, returning the previous value if one
+    /// was stored. Setting an exact zero removes the entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate lies
+    /// outside the shape.
+    pub fn set(&mut self, row: usize, col: usize, val: T) -> Result<Option<T>, SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        if val.is_zero() {
+            Ok(self.map.remove(&(row, col)))
+        } else {
+            Ok(self.map.insert((row, col), val))
+        }
+    }
+
+    /// Adds `val` to the entry at `(row, col)` (inserting it if absent,
+    /// removing it if the sum cancels to zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate lies
+    /// outside the shape.
+    pub fn add(&mut self, row: usize, col: usize, val: T) -> Result<(), SparseError> {
+        let current = if row < self.nrows && col < self.ncols {
+            self.map.get(&(row, col)).copied().unwrap_or(T::ZERO)
+        } else {
+            T::ZERO
+        };
+        self.set(row, col, current + val).map(|_| ())
+    }
+
+    /// Removes and returns the entry at `(row, col)`.
+    pub fn remove(&mut self, row: usize, col: usize) -> Option<T> {
+        self.map.remove(&(row, col))
+    }
+
+    /// Whether an entry is stored at `(row, col)`.
+    pub fn contains_key(&self, row: usize, col: usize) -> bool {
+        self.map.contains_key(&(row, col))
+    }
+
+    /// Iterates over stored entries in arbitrary (hash) order.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet<T>> + '_ {
+        self.map
+            .iter()
+            .map(|(&(row, col), &val)| Triplet { row, col, val })
+    }
+}
+
+impl<T: Scalar> Matrix<T> for Dok<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.map.get(&(row, col)).copied().unwrap_or(T::ZERO)
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut ts: Vec<Triplet<T>> = self.iter().collect();
+        crate::triplet::sort_row_major(&mut ts);
+        ts
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        let mut y = vec![T::ZERO; self.nrows];
+        for (&(r, c), &v) in &self.map {
+            y[r] += v * x[c];
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Dok
+    }
+}
+
+impl<T: Scalar> From<&Coo<T>> for Dok<T> {
+    fn from(coo: &Coo<T>) -> Self {
+        let mut dok = Dok::new(coo.nrows(), coo.ncols());
+        for t in coo.iter() {
+            dok.add(t.row, t.col, t.val).expect("COO entry in bounds");
+        }
+        dok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = Dok::<f32>::new(3, 3);
+        assert_eq!(m.set(1, 1, 5.0).unwrap(), None);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.set(1, 1, 6.0).unwrap(), Some(5.0));
+        assert_eq!(m.remove(1, 1), Some(6.0));
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn set_zero_removes() {
+        let mut m = Dok::<f32>::new(2, 2);
+        m.set(0, 0, 3.0).unwrap();
+        m.set(0, 0, 0.0).unwrap();
+        assert!(!m.contains_key(0, 0));
+    }
+
+    #[test]
+    fn add_accumulates_and_cancels() {
+        let mut m = Dok::<f32>::new(2, 2);
+        m.add(0, 1, 2.0).unwrap();
+        m.add(0, 1, 3.0).unwrap();
+        assert_eq!(m.get(0, 1), 5.0);
+        m.add(0, 1, -5.0).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = Dok::<f32>::new(2, 2);
+        assert!(m.set(2, 0, 1.0).is_err());
+        assert!(m.add(0, 7, 1.0).is_err());
+    }
+
+    #[test]
+    fn triplets_are_sorted_row_major() {
+        let mut m = Dok::<f32>::new(3, 3);
+        m.set(2, 0, 1.0).unwrap();
+        m.set(0, 2, 2.0).unwrap();
+        m.set(0, 0, 3.0).unwrap();
+        let ts = m.triplets();
+        let coords: Vec<_> = ts.iter().map(|t| (t.row, t.col)).collect();
+        assert_eq!(coords, vec![(0, 0), (0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let mut m = Dok::<f32>::new(3, 4);
+        m.set(0, 3, 2.0).unwrap();
+        m.set(2, 0, -1.0).unwrap();
+        m.set(2, 2, 4.0).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(m.spmv(&x).unwrap(), m.to_dense().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let mut m = Dok::<f32>::new(3, 3);
+        m.set(1, 2, 9.0).unwrap();
+        m.set(2, 2, 1.0).unwrap();
+        let back = Dok::from(&m.to_coo());
+        assert!(m.to_dense().structurally_eq(&back));
+    }
+}

@@ -1,0 +1,227 @@
+//! Hybrid ELL+COO format — §2 of the paper: "ELL+COO mixes ELL and COO
+//! formats to reduce the width of long rows."
+
+use crate::{check_spmv_operand, Coo, Csr, Ell, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// Hybrid ELL+COO matrix: the first `width` entries of every row live in a
+/// regular [`Ell`] block, the overflow of pathologically long rows spills
+/// into a [`Coo`] tail.
+///
+/// This keeps the SIMD-friendly fixed-width fast path of ELL while bounding
+/// its padding: one heavy row no longer widens the whole matrix. cuSPARSE's
+/// legacy HYB format is the same idea.
+///
+/// The [`Matrix`] implementation reports the hybrid under
+/// [`FormatKind::Ell`]'s family but exposes the split through
+/// [`EllCoo::ell`] / [`EllCoo::tail`] for hardware models that want to cost
+/// the two parts separately.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EllCoo<T> {
+    ell: Ell<T>,
+    tail: Coo<T>,
+}
+
+impl<T: Scalar> EllCoo<T> {
+    /// Splits a matrix at the given ELL width: each row's first `width`
+    /// entries go to the ELL block, the rest to the COO tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] when `width == 0` and the
+    /// matrix has entries (everything would land in the tail, which is just
+    /// COO — ask for what you mean instead).
+    pub fn from_coo_with_width(coo: &Coo<T>, width: usize) -> Result<Self, SparseError> {
+        if width == 0 && coo.nnz() > 0 {
+            return Err(SparseError::InvalidBlockSize {
+                size: 0,
+                requirement: "ELL width must be positive for a hybrid split",
+            });
+        }
+        let csr = Csr::from(coo);
+        let mut head = Coo::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+        let mut tail = Coo::new(coo.nrows(), coo.ncols());
+        for r in 0..csr.nrows() {
+            for (s, (c, v)) in csr.row_entries(r).enumerate() {
+                if s < width {
+                    head.push(r, c, v)?;
+                } else {
+                    tail.push(r, c, v)?;
+                }
+            }
+        }
+        Ok(EllCoo {
+            ell: Ell::from_coo_with_width(&head, width)?,
+            tail,
+        })
+    }
+
+    /// Splits at a width that covers a `coverage` fraction of the rows with
+    /// no overflow (e.g. 0.95 = 95 % of rows fit entirely in the ELL part)
+    /// — the usual HYB heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `[0, 1]`.
+    pub fn from_coo_with_coverage(coo: &Coo<T>, coverage: f64) -> Result<Self, SparseError> {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage {coverage} outside [0, 1]"
+        );
+        let mut lens = coo.row_counts();
+        lens.sort_unstable();
+        let idx = ((lens.len() as f64 - 1.0) * coverage).round() as usize;
+        let width = lens.get(idx).copied().unwrap_or(0).max(1);
+        Self::from_coo_with_width(coo, width)
+    }
+
+    /// The regular fixed-width part.
+    pub fn ell(&self) -> &Ell<T> {
+        &self.ell
+    }
+
+    /// The overflow tail.
+    pub fn tail(&self) -> &Coo<T> {
+        &self.tail
+    }
+
+    /// Entries stored in the ELL part.
+    pub fn ell_nnz(&self) -> usize {
+        self.ell.nnz()
+    }
+
+    /// Entries spilled to the COO tail.
+    pub fn tail_nnz(&self) -> usize {
+        self.tail.nnz()
+    }
+
+    /// Padding slots in the ELL part — always at most the pure-ELL padding
+    /// of the same matrix (the property the hybrid exists to provide).
+    pub fn padding(&self) -> usize {
+        self.ell.padding()
+    }
+}
+
+impl<T: Scalar> Matrix<T> for EllCoo<T> {
+    fn nrows(&self) -> usize {
+        self.ell.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.ell.ncols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.ell.nnz() + self.tail.nnz()
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        let head = self.ell.get(row, col);
+        if !head.is_zero() {
+            head
+        } else {
+            self.tail.get(row, col)
+        }
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = self.ell.triplets();
+        out.extend(self.tail.triplets());
+        crate::triplet::sort_row_major(&mut out);
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        // Fast fixed-width sweep, then the sparse fix-up pass.
+        let mut y = self.ell.spmv(x)?;
+        for t in self.tail.iter() {
+            y[t.row] += t.val * x[t.col];
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Ell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ragged() -> Coo<f32> {
+        // Row 0: 7 entries, row 2: 2 entries, row 3: 1 entry.
+        let mut coo = Coo::new(4, 8);
+        for c in 0..7 {
+            coo.push(0, c, (c + 1) as f32).unwrap();
+        }
+        coo.push(2, 1, 8.0).unwrap();
+        coo.push(2, 5, 9.0).unwrap();
+        coo.push(3, 7, 10.0).unwrap();
+        coo
+    }
+
+    #[test]
+    fn split_puts_overflow_in_tail() {
+        let h = EllCoo::from_coo_with_width(&ragged(), 2).unwrap();
+        assert_eq!(h.ell().width(), 2);
+        assert_eq!(h.ell_nnz(), 2 + 2 + 1); // rows contribute min(len, 2)
+        assert_eq!(h.tail_nnz(), 5); // row 0's entries 3..7
+        assert_eq!(h.nnz(), 10);
+    }
+
+    #[test]
+    fn round_trip_and_get() {
+        let coo = ragged();
+        let h = EllCoo::from_coo_with_width(&coo, 3).unwrap();
+        assert!(coo.to_dense().structurally_eq(&h));
+        assert_eq!(h.get(0, 6), 7.0); // tail entry
+        assert_eq!(h.get(0, 0), 1.0); // ell entry
+        assert_eq!(h.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense_for_all_widths() {
+        let coo = ragged();
+        let x: Vec<f32> = (0..8).map(|i| (i + 1) as f32).collect();
+        let expect = coo.to_dense().spmv(&x).unwrap();
+        for width in 1..=8 {
+            let h = EllCoo::from_coo_with_width(&coo, width).unwrap();
+            assert_eq!(h.spmv(&x).unwrap(), expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn hybrid_pads_less_than_pure_ell() {
+        let coo = ragged();
+        let pure = Ell::from(&coo);
+        let h = EllCoo::from_coo_with_width(&coo, 2).unwrap();
+        assert!(h.padding() < pure.padding());
+    }
+
+    #[test]
+    fn coverage_heuristic_picks_a_row_quantile() {
+        let coo = ragged();
+        // Full coverage means no tail.
+        let full = EllCoo::from_coo_with_coverage(&coo, 1.0).unwrap();
+        assert_eq!(full.tail_nnz(), 0);
+        // Median coverage keeps the heavy row's overflow in the tail.
+        let half = EllCoo::from_coo_with_coverage(&coo, 0.5).unwrap();
+        assert!(half.tail_nnz() > 0);
+        assert!(half.ell().width() < Ell::from(&coo).width());
+    }
+
+    #[test]
+    fn zero_width_rejected_for_nonempty() {
+        assert!(EllCoo::from_coo_with_width(&ragged(), 0).is_err());
+        // But allowed for a genuinely empty matrix.
+        assert!(EllCoo::from_coo_with_width(&Coo::<f32>::new(3, 3), 0).is_ok());
+    }
+
+    #[test]
+    fn wide_split_leaves_tail_empty() {
+        let h = EllCoo::from_coo_with_width(&ragged(), 7).unwrap();
+        assert_eq!(h.tail_nnz(), 0);
+        assert_eq!(h.ell_nnz(), 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by all fallible operations in the crate.
+
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction, conversion and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An index was outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending (row, col).
+        index: (usize, usize),
+        /// Matrix shape (nrows, ncols).
+        shape: (usize, usize),
+    },
+    /// Two operands (or an operand and a constructor argument) disagreed on
+    /// shape.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape it was given.
+        found: (usize, usize),
+    },
+    /// Raw arrays handed to a `from_raw_parts`-style constructor violated the
+    /// format's structural invariants (non-monotonic offsets, index array
+    /// length mismatch, …).
+    InvalidStructure(String),
+    /// A block or slice size parameter was zero or did not divide the shape
+    /// where the format requires it to.
+    InvalidBlockSize {
+        /// The offending parameter.
+        size: usize,
+        /// Human-readable constraint description.
+        requirement: &'static str,
+    },
+    /// A format label could not be parsed (see
+    /// [`FormatKind::from_str`](crate::FormatKind)).
+    UnknownFormat(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SparseError::InvalidStructure(msg) => {
+                write!(f, "invalid format structure: {msg}")
+            }
+            SparseError::InvalidBlockSize { size, requirement } => {
+                write!(f, "invalid block/slice size {size}: {requirement}")
+            }
+            SparseError::UnknownFormat(s) => write!(f, "unknown sparse format {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            index: (4, 7),
+            shape: (3, 3),
+        };
+        assert_eq!(e.to_string(), "index (4, 7) out of bounds for 3x3 matrix");
+
+        let e = SparseError::ShapeMismatch {
+            expected: (8, 1),
+            found: (5, 1),
+        };
+        assert!(e.to_string().contains("expected 8x1"));
+
+        let e = SparseError::UnknownFormat("XYZ".into());
+        assert!(e.to_string().contains("XYZ"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

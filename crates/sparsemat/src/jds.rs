@@ -1,0 +1,223 @@
+//! Jagged diagonal storage (JDS) — the sorted-ELL variant the paper lists
+//! among the popular ELL derivatives.
+
+use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// Jagged diagonal storage.
+///
+/// §2 of the paper: "The JDS format sorts the rows in ELL from longest to
+/// shortest (for vector machines)." After sorting, the entries are stored as
+/// *jagged diagonals*: the first entry of every row, then the second entry
+/// of every row that has one, and so on. Each jagged diagonal is dense, so a
+/// vector unit can process one diagonal per sweep with no padding at all.
+///
+/// Stored arrays:
+/// * `perm` — the row permutation (by descending population),
+/// * `jd_ptr` — start of each jagged diagonal in `values`/`indices`,
+/// * `indices`/`values` — the jagged diagonals back to back.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Jds<T> {
+    nrows: usize,
+    ncols: usize,
+    perm: Vec<usize>,
+    jd_ptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Jds<T> {
+    /// Builds a JDS matrix from COO.
+    pub fn from_coo(coo: &Coo<T>) -> Self {
+        let csr = crate::Csr::from(coo);
+        let nrows = coo.nrows();
+
+        // Stable sort rows by descending population so equal-length rows
+        // keep their natural order (makes the layout deterministic).
+        let mut perm: Vec<usize> = (0..nrows).collect();
+        perm.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r)));
+
+        let max_width = csr.max_row_nnz();
+        let mut jd_ptr = Vec::with_capacity(max_width + 1);
+        let mut indices = Vec::with_capacity(csr.nnz());
+        let mut values = Vec::with_capacity(csr.nnz());
+        jd_ptr.push(0);
+        for d in 0..max_width {
+            for &r in &perm {
+                if csr.row_nnz(r) > d {
+                    let (c, v) = csr.row_entries(r).nth(d).expect("slot exists");
+                    indices.push(c);
+                    values.push(v);
+                } else {
+                    // Rows are sorted by descending length, so no later row
+                    // in the permutation can hold this diagonal either.
+                    break;
+                }
+            }
+            jd_ptr.push(indices.len());
+        }
+        Jds {
+            nrows,
+            ncols: coo.ncols(),
+            perm,
+            jd_ptr,
+            indices,
+            values,
+        }
+    }
+
+    /// The row permutation (original row index per sorted position).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Number of jagged diagonals (= longest row population).
+    pub fn num_jagged_diagonals(&self) -> usize {
+        self.jd_ptr.len() - 1
+    }
+
+    /// Length of jagged diagonal `d` (how many rows reach slot `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_jagged_diagonals()`.
+    pub fn jd_len(&self, d: usize) -> usize {
+        assert!(d < self.num_jagged_diagonals(), "diagonal {d} out of bounds");
+        self.jd_ptr[d + 1] - self.jd_ptr[d]
+    }
+}
+
+impl<T: Scalar> Matrix<T> for Jds<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        let pos = self
+            .perm
+            .iter()
+            .position(|&r| r == row)
+            .expect("permutation covers all rows");
+        for d in 0..self.num_jagged_diagonals() {
+            if pos >= self.jd_len(d) {
+                break;
+            }
+            let k = self.jd_ptr[d] + pos;
+            if self.indices[k] == col {
+                return self.values[k];
+            }
+        }
+        T::ZERO
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for d in 0..self.num_jagged_diagonals() {
+            for pos in 0..self.jd_len(d) {
+                let k = self.jd_ptr[d] + pos;
+                out.push(Triplet::new(self.perm[pos], self.indices[k], self.values[k]));
+            }
+        }
+        crate::triplet::sort_row_major(&mut out);
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        // One dense sweep per jagged diagonal — the vector-machine schedule.
+        let mut y = vec![T::ZERO; self.nrows];
+        for d in 0..self.num_jagged_diagonals() {
+            for pos in 0..self.jd_len(d) {
+                let k = self.jd_ptr[d] + pos;
+                y[self.perm[pos]] += self.values[k] * x[self.indices[k]];
+            }
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Jds
+    }
+}
+
+impl<T: Scalar> From<&Coo<T>> for Jds<T> {
+    fn from(coo: &Coo<T>) -> Self {
+        Jds::from_coo(coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ragged() -> Coo<f32> {
+        // Row populations: r0=1, r1=3, r2=0, r3=2.
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 3, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.push(1, 3, 4.0).unwrap();
+        coo.push(3, 0, 5.0).unwrap();
+        coo.push(3, 2, 6.0).unwrap();
+        coo
+    }
+
+    #[test]
+    fn permutation_sorts_by_descending_population() {
+        let m = Jds::from_coo(&ragged());
+        assert_eq!(m.permutation(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn jagged_diagonal_lengths_decrease() {
+        let m = Jds::from_coo(&ragged());
+        assert_eq!(m.num_jagged_diagonals(), 3);
+        assert_eq!(m.jd_len(0), 3); // rows 1, 3, 0 have a first entry
+        assert_eq!(m.jd_len(1), 2); // rows 1, 3 have a second
+        assert_eq!(m.jd_len(2), 1); // only row 1 has a third
+    }
+
+    #[test]
+    fn round_trip_and_get() {
+        let coo = ragged();
+        let m = Jds::from_coo(&coo);
+        assert!(coo.to_dense().structurally_eq(&m));
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let coo = ragged();
+        let m = Jds::from_coo(&coo);
+        let x = [1.0, 10.0, 100.0, 1000.0];
+        assert_eq!(m.spmv(&x).unwrap(), coo.to_dense().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn nnz_equals_source() {
+        let coo = ragged();
+        assert_eq!(Jds::from_coo(&coo).nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = Coo::<f32>::new(3, 3);
+        let m = Jds::from_coo(&coo);
+        assert_eq!(m.num_jagged_diagonals(), 0);
+        assert_eq!(m.spmv(&[0.0; 3]).unwrap(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Sliced ELLPACK (SELL) format.
+
+use crate::ell::PAD;
+use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// One row-slice of a [`Sell`] matrix: a private ELL block whose width is the
+/// longest row inside the slice.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SellSlice<T> {
+    /// First matrix row covered by this slice.
+    pub first_row: usize,
+    /// Number of matrix rows in this slice (the last slice may be short).
+    pub rows: usize,
+    /// Slot width of this slice.
+    pub width: usize,
+    /// `indices[local_r * width + s]` — column index or [`PAD`].
+    pub indices: Vec<usize>,
+    /// `values[local_r * width + s]` — value (zero when padded).
+    pub values: Vec<T>,
+}
+
+/// Sliced ELLPACK sparse matrix.
+///
+/// §2 of the paper: "A sliced ELL (SELL) sparse format first slices the
+/// dense matrix row-wise in chunks, and then applies ELL on each chunk.
+/// Hence, it reduces the overhead of zero paddings for larger matrices."
+///
+/// Each slice carries its own width, so one pathologically long row only
+/// pads its own chunk instead of the whole matrix.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sell<T> {
+    nrows: usize,
+    ncols: usize,
+    chunk: usize,
+    slices: Vec<SellSlice<T>>,
+    nnz: usize,
+}
+
+impl<T: Scalar> Sell<T> {
+    /// The default slice height used when converting via `From<&Coo>`.
+    pub const DEFAULT_CHUNK: usize = 8;
+
+    /// Builds a SELL matrix with the given slice height (rows per chunk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] when `chunk == 0`.
+    pub fn from_coo(coo: &Coo<T>, chunk: usize) -> Result<Self, SparseError> {
+        if chunk == 0 {
+            return Err(SparseError::InvalidBlockSize {
+                size: 0,
+                requirement: "slice height must be positive",
+            });
+        }
+        let csr = crate::Csr::from(coo);
+        let nrows = coo.nrows();
+        let mut slices = Vec::with_capacity(nrows.div_ceil(chunk));
+        let mut first_row = 0;
+        while first_row < nrows {
+            let rows = chunk.min(nrows - first_row);
+            let width = (first_row..first_row + rows)
+                .map(|r| csr.row_nnz(r))
+                .max()
+                .unwrap_or(0);
+            let mut indices = vec![PAD; rows * width];
+            let mut values = vec![T::ZERO; rows * width];
+            for local_r in 0..rows {
+                for (s, (c, v)) in csr.row_entries(first_row + local_r).enumerate() {
+                    indices[local_r * width + s] = c;
+                    values[local_r * width + s] = v;
+                }
+            }
+            slices.push(SellSlice {
+                first_row,
+                rows,
+                width,
+                indices,
+                values,
+            });
+            first_row += rows;
+        }
+        Ok(Sell {
+            nrows,
+            ncols: coo.ncols(),
+            chunk,
+            slices,
+            nnz: csr.nnz(),
+        })
+    }
+
+    /// The configured slice height.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The slices in row order.
+    pub fn slices(&self) -> &[SellSlice<T>] {
+        &self.slices
+    }
+
+    /// Total slots stored across all slices, padding included.
+    pub fn stored_slots(&self) -> usize {
+        self.slices.iter().map(|s| s.indices.len()).sum()
+    }
+
+    /// Total padding slots — always at most the equivalent [`crate::Ell`]
+    /// padding (the property SELL exists to provide).
+    pub fn padding(&self) -> usize {
+        self.stored_slots() - self.nnz
+    }
+}
+
+impl<T: Scalar> Matrix<T> for Sell<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        let slice = &self.slices[row / self.chunk];
+        let local_r = row - slice.first_row;
+        for s in 0..slice.width {
+            let c = slice.indices[local_r * slice.width + s];
+            if c == col {
+                return slice.values[local_r * slice.width + s];
+            }
+            if c == PAD {
+                break;
+            }
+        }
+        T::ZERO
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for slice in &self.slices {
+            for local_r in 0..slice.rows {
+                for s in 0..slice.width {
+                    let c = slice.indices[local_r * slice.width + s];
+                    if c == PAD {
+                        break;
+                    }
+                    out.push(Triplet::new(
+                        slice.first_row + local_r,
+                        c,
+                        slice.values[local_r * slice.width + s],
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        let mut y = vec![T::ZERO; self.nrows];
+        for slice in &self.slices {
+            for local_r in 0..slice.rows {
+                let range = local_r * slice.width..(local_r + 1) * slice.width;
+                y[slice.first_row + local_r] = slice.indices[range.clone()]
+                    .iter()
+                    .zip(&slice.values[range])
+                    .map(|(&c, &v)| if c == PAD { T::ZERO } else { v * x[c] })
+                    .sum();
+            }
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Sell
+    }
+}
+
+impl<T: Scalar> From<&Coo<T>> for Sell<T> {
+    /// Converts with [`Sell::DEFAULT_CHUNK`] rows per slice.
+    fn from(coo: &Coo<T>) -> Self {
+        Sell::from_coo(coo, Sell::<T>::DEFAULT_CHUNK).expect("positive chunk")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ell;
+
+    fn ragged() -> Coo<f32> {
+        // Row 0 has 4 entries, rows 1..7 have one each: ELL pads heavily,
+        // SELL with chunk 4 pads only the first slice.
+        let mut coo = Coo::new(8, 8);
+        for c in 0..4 {
+            coo.push(0, c, (c + 1) as f32).unwrap();
+        }
+        for r in 1..8 {
+            coo.push(r, r, 1.0).unwrap();
+        }
+        coo
+    }
+
+    #[test]
+    fn slices_have_local_widths() {
+        let m = Sell::from_coo(&ragged(), 4).unwrap();
+        assert_eq!(m.slices().len(), 2);
+        assert_eq!(m.slices()[0].width, 4);
+        assert_eq!(m.slices()[1].width, 1);
+    }
+
+    #[test]
+    fn sell_pads_less_than_ell() {
+        let coo = ragged();
+        let sell = Sell::from_coo(&coo, 4).unwrap();
+        let ell = Ell::from(&coo);
+        assert!(sell.padding() < ell.padding());
+        assert_eq!(sell.nnz(), ell.nnz());
+    }
+
+    #[test]
+    fn round_trip_and_get() {
+        let coo = ragged();
+        let m = Sell::from_coo(&coo, 3).unwrap();
+        assert!(coo.to_dense().structurally_eq(&m));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(5, 5), 1.0);
+        assert_eq!(m.get(5, 4), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let coo = ragged();
+        for chunk in [1, 2, 4, 8, 16] {
+            let m = Sell::from_coo(&coo, chunk).unwrap();
+            let x: Vec<f32> = (0..8).map(|i| (i + 1) as f32).collect();
+            assert_eq!(
+                m.spmv(&x).unwrap(),
+                coo.to_dense().spmv(&x).unwrap(),
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_one_equals_per_row_widths() {
+        let m = Sell::from_coo(&ragged(), 1).unwrap();
+        assert_eq!(m.padding(), 0);
+    }
+
+    #[test]
+    fn zero_chunk_is_rejected() {
+        assert!(matches!(
+            Sell::from_coo(&ragged(), 0),
+            Err(SparseError::InvalidBlockSize { .. })
+        ));
+    }
+
+    #[test]
+    fn last_slice_may_be_short() {
+        let m = Sell::from_coo(&ragged(), 5).unwrap();
+        assert_eq!(m.slices().len(), 2);
+        assert_eq!(m.slices()[1].rows, 3);
+    }
+}

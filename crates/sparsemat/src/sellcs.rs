@@ -1,0 +1,285 @@
+//! SELL-C-σ — §2 of the paper: "SELL-C-σ is a variant of JDS that only
+//! sorts rows within a window of σ" (Kreutzer et al., SIAM J. Sci. Comp.
+//! 2014).
+
+use crate::ell::PAD;
+use crate::sell::SellSlice;
+use crate::{check_spmv_operand, Coo, Csr, FormatKind, Matrix, Scalar, SparseError, Triplet};
+
+/// SELL-C-σ sparse matrix: rows are sorted by descending population inside
+/// windows of `sigma` rows, then sliced into chunks of `c` rows, each chunk
+/// padded to its own local width.
+///
+/// The windowed sort gives chunks with near-uniform row lengths (so the
+/// padding of plain [`crate::Sell`] shrinks further) while keeping rows
+/// close to their original position — full JDS sorting destroys locality,
+/// σ-windowed sorting bounds the damage to `sigma` rows.
+///
+/// The stored permutation maps slice-local rows back to original row
+/// indices, so [`Matrix::spmv`] produces the output in original order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SellCSigma<T> {
+    nrows: usize,
+    ncols: usize,
+    chunk: usize,
+    sigma: usize,
+    /// `perm[sorted_position] = original_row`.
+    perm: Vec<usize>,
+    slices: Vec<SellSlice<T>>,
+    nnz: usize,
+}
+
+impl<T: Scalar> SellCSigma<T> {
+    /// Builds a SELL-C-σ matrix with chunk height `c` and sort window
+    /// `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] when `c == 0` or
+    /// `sigma == 0`, or when `sigma` is not a multiple of `c` (the format's
+    /// defining constraint: sort windows must align with whole chunks).
+    pub fn from_coo(coo: &Coo<T>, c: usize, sigma: usize) -> Result<Self, SparseError> {
+        if c == 0 {
+            return Err(SparseError::InvalidBlockSize {
+                size: 0,
+                requirement: "chunk height C must be positive",
+            });
+        }
+        if sigma == 0 || !sigma.is_multiple_of(c) {
+            return Err(SparseError::InvalidBlockSize {
+                size: sigma,
+                requirement: "sort window sigma must be a positive multiple of C",
+            });
+        }
+        let csr = Csr::from(coo);
+        let nrows = coo.nrows();
+
+        // Windowed sort: inside each sigma-window, order rows by descending
+        // population (stable, so equal rows keep their relative order).
+        let mut perm: Vec<usize> = (0..nrows).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r)));
+        }
+
+        // Slice the permuted row order into chunks of c, ELL-packing each.
+        let mut slices = Vec::with_capacity(nrows.div_ceil(c));
+        let mut first_row = 0;
+        while first_row < nrows {
+            let rows = c.min(nrows - first_row);
+            let width = perm[first_row..first_row + rows]
+                .iter()
+                .map(|&r| csr.row_nnz(r))
+                .max()
+                .unwrap_or(0);
+            let mut indices = vec![PAD; rows * width];
+            let mut values = vec![T::ZERO; rows * width];
+            for local in 0..rows {
+                let orig = perm[first_row + local];
+                for (s, (col, v)) in csr.row_entries(orig).enumerate() {
+                    indices[local * width + s] = col;
+                    values[local * width + s] = v;
+                }
+            }
+            slices.push(SellSlice {
+                first_row,
+                rows,
+                width,
+                indices,
+                values,
+            });
+            first_row += rows;
+        }
+        Ok(SellCSigma {
+            nrows,
+            ncols: coo.ncols(),
+            chunk: c,
+            sigma,
+            perm,
+            slices,
+            nnz: csr.nnz(),
+        })
+    }
+
+    /// The chunk height `C`.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The sort window `σ`.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The row permutation (`perm[sorted_position] = original_row`).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The packed slices, in sorted-row order.
+    pub fn slices(&self) -> &[SellSlice<T>] {
+        &self.slices
+    }
+
+    /// Total padding slots — between plain SELL's (σ = C) and JDS-grade
+    /// (σ = nrows) packing.
+    pub fn padding(&self) -> usize {
+        let slots: usize = self.slices.iter().map(|s| s.indices.len()).sum();
+        slots - self.nnz
+    }
+}
+
+impl<T: Scalar> Matrix<T> for SellCSigma<T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn get(&self, row: usize, col: usize) -> T {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        let pos = self
+            .perm
+            .iter()
+            .position(|&r| r == row)
+            .expect("permutation covers all rows");
+        let slice = &self.slices[pos / self.chunk];
+        let local = pos - slice.first_row;
+        for s in 0..slice.width {
+            let c = slice.indices[local * slice.width + s];
+            if c == col {
+                return slice.values[local * slice.width + s];
+            }
+            if c == PAD {
+                break;
+            }
+        }
+        T::ZERO
+    }
+
+    fn triplets(&self) -> Vec<Triplet<T>> {
+        let mut out = Vec::with_capacity(self.nnz);
+        for slice in &self.slices {
+            for local in 0..slice.rows {
+                let orig = self.perm[slice.first_row + local];
+                for s in 0..slice.width {
+                    let c = slice.indices[local * slice.width + s];
+                    if c == PAD {
+                        break;
+                    }
+                    out.push(Triplet::new(orig, c, slice.values[local * slice.width + s]));
+                }
+            }
+        }
+        crate::triplet::sort_row_major(&mut out);
+        out
+    }
+
+    fn spmv(&self, x: &[T]) -> Result<Vec<T>, SparseError> {
+        check_spmv_operand(self, x)?;
+        let mut y = vec![T::ZERO; self.nrows];
+        for slice in &self.slices {
+            for local in 0..slice.rows {
+                let range = local * slice.width..(local + 1) * slice.width;
+                let acc: T = slice.indices[range.clone()]
+                    .iter()
+                    .zip(&slice.values[range])
+                    .map(|(&c, &v)| if c == PAD { T::ZERO } else { v * x[c] })
+                    .sum();
+                y[self.perm[slice.first_row + local]] = acc;
+            }
+        }
+        Ok(y)
+    }
+
+    fn kind(&self) -> FormatKind {
+        FormatKind::Sell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sell;
+
+    fn ragged() -> Coo<f32> {
+        // Alternating heavy/light rows: windowed sorting pairs similar rows.
+        let mut coo = Coo::new(8, 8);
+        for r in 0..8usize {
+            let len = if r % 2 == 0 { 4 } else { 1 };
+            for c in 0..len {
+                coo.push(r, c, (r * 8 + c + 1) as f32).unwrap();
+            }
+        }
+        coo
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let coo = ragged();
+        assert!(SellCSigma::from_coo(&coo, 0, 4).is_err());
+        assert!(SellCSigma::from_coo(&coo, 2, 0).is_err());
+        assert!(SellCSigma::from_coo(&coo, 2, 3).is_err()); // not a multiple
+        assert!(SellCSigma::from_coo(&coo, 2, 4).is_ok());
+    }
+
+    #[test]
+    fn round_trip_and_spmv() {
+        let coo = ragged();
+        let x: Vec<f32> = (0..8).map(|i| (i + 1) as f32).collect();
+        let expect = coo.to_dense().spmv(&x).unwrap();
+        for (c, sigma) in [(2, 2), (2, 4), (2, 8), (4, 8), (8, 8)] {
+            let m = SellCSigma::from_coo(&coo, c, sigma).unwrap();
+            assert!(coo.to_dense().structurally_eq(&m), "C={c} σ={sigma}");
+            assert_eq!(m.spmv(&x).unwrap(), expect, "C={c} σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn wider_sort_windows_reduce_padding() {
+        // σ = C is plain SELL; σ = nrows is JDS-grade packing. On the
+        // alternating workload, sorting within windows of 4 pairs heavy rows
+        // together and must strictly beat no sorting.
+        let coo = ragged();
+        let unsorted = SellCSigma::from_coo(&coo, 2, 2).unwrap();
+        let windowed = SellCSigma::from_coo(&coo, 2, 4).unwrap();
+        let global = SellCSigma::from_coo(&coo, 2, 8).unwrap();
+        assert!(windowed.padding() < unsorted.padding());
+        assert!(global.padding() <= windowed.padding());
+    }
+
+    #[test]
+    fn sigma_equal_c_matches_plain_sell_padding() {
+        let coo = ragged();
+        let scs = SellCSigma::from_coo(&coo, 2, 2).unwrap();
+        let sell = Sell::from_coo(&coo, 2).unwrap();
+        assert_eq!(scs.padding(), sell.padding());
+    }
+
+    #[test]
+    fn permutation_stays_within_windows() {
+        let m = SellCSigma::from_coo(&ragged(), 2, 4).unwrap();
+        for (pos, &orig) in m.permutation().iter().enumerate() {
+            assert_eq!(pos / 4, orig / 4, "row {orig} left its σ-window");
+        }
+    }
+
+    #[test]
+    fn get_respects_permutation() {
+        let coo = ragged();
+        let m = SellCSigma::from_coo(&coo, 2, 8).unwrap();
+        for t in coo.iter() {
+            assert_eq!(m.get(t.row, t.col), t.val);
+        }
+    }
+}

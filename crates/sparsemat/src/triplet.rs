@@ -1,0 +1,93 @@
+//! The `(row, col, value)` tuple all formats can decompose into.
+
+use crate::Scalar;
+
+/// One stored matrix entry as a coordinate tuple.
+///
+/// This is the lingua franca of the conversion graph: every format can emit
+/// its entries as triplets ([`Matrix::triplets`](crate::Matrix::triplets))
+/// and [`Coo`](crate::Coo) can absorb them.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Triplet<T> {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Stored value.
+    pub val: T,
+}
+
+impl<T: Scalar> Triplet<T> {
+    /// Creates a triplet.
+    ///
+    /// ```
+    /// use sparsemat::Triplet;
+    /// let t = Triplet::new(2, 5, 1.5f32);
+    /// assert_eq!((t.row, t.col, t.val), (2, 5, 1.5));
+    /// ```
+    pub fn new(row: usize, col: usize, val: T) -> Self {
+        Triplet { row, col, val }
+    }
+
+    /// The triplet with row and column swapped (transpose image).
+    pub fn transposed(self) -> Self {
+        Triplet {
+            row: self.col,
+            col: self.row,
+            val: self.val,
+        }
+    }
+}
+
+impl<T> From<(usize, usize, T)> for Triplet<T> {
+    fn from((row, col, val): (usize, usize, T)) -> Self {
+        Triplet { row, col, val }
+    }
+}
+
+/// Sorts triplets into row-major order (row, then column) — the canonical
+/// order used when comparing entry sets across formats.
+pub fn sort_row_major<T>(triplets: &mut [Triplet<T>]) {
+    triplets.sort_by_key(|t| (t.row, t.col));
+}
+
+/// Sorts triplets into column-major order (column, then row).
+pub fn sort_col_major<T>(triplets: &mut [Triplet<T>]) {
+    triplets.sort_by_key(|t| (t.col, t.row));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = Triplet::new(1, 9, 4.0f32).transposed();
+        assert_eq!((t.row, t.col), (9, 1));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let t: Triplet<f32> = (3, 4, 5.0).into();
+        assert_eq!(t, Triplet::new(3, 4, 5.0));
+    }
+
+    #[test]
+    fn sorting_orders() {
+        let mut ts = vec![
+            Triplet::new(1, 0, 1.0f32),
+            Triplet::new(0, 1, 2.0),
+            Triplet::new(0, 0, 3.0),
+        ];
+        sort_row_major(&mut ts);
+        assert_eq!(
+            ts.iter().map(|t| (t.row, t.col)).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+        sort_col_major(&mut ts);
+        assert_eq!(
+            ts.iter().map(|t| (t.row, t.col)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 0), (0, 1)]
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests over the whole format zoo.
+//!
+//! Values are small integers cast to `f32`, so every arithmetic identity
+//! tested here is exact regardless of summation order (f32 is exact on
+//! integers below 2^24 and all our sums stay far below that).
+
+use proptest::prelude::*;
+use sparsemat::{
+    ops, Axis, Bcsr, Coo, Csc, Csr, Dia, Dok, Ell, FormatKind, Jds, Lil, Matrix, PartitionGrid,
+    Sell, Triplet,
+};
+
+/// Strategy: a random COO matrix with unique coordinates and small integer
+/// values, shape 1..=20 in each dimension.
+fn coo_strategy() -> impl Strategy<Value = Coo<f32>> {
+    (1usize..=20, 1usize..=20).prop_flat_map(|(nrows, ncols)| {
+        let cells = nrows * ncols;
+        proptest::collection::btree_map(
+            0..cells,
+            // Exclude zero so nnz is exactly the map size.
+            prop_oneof![(-50i32..0), (1i32..=50)],
+            0..=cells.min(60),
+        )
+        .prop_map(move |map| {
+            let triplets = map
+                .into_iter()
+                .map(|(cell, v)| Triplet::new(cell / ncols, cell % ncols, v as f32))
+                .collect();
+            Coo::from_triplets(nrows, ncols, triplets).expect("coords in range")
+        })
+    })
+}
+
+/// Strategy: an integer-valued operand vector matched to `ncols`.
+fn operand(ncols: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-10i32..=10).prop_map(|v| v as f32), ncols)
+}
+
+proptest! {
+    #[test]
+    fn every_format_round_trips_through_dense(coo in coo_strategy()) {
+        let dense = coo.to_dense();
+        for kind in FormatKind::ALL {
+            let m = sparsemat::AnyMatrix::encode(&coo, kind);
+            prop_assert!(dense.structurally_eq(&m), "{kind} altered the matrix");
+            prop_assert_eq!(m.nnz(), coo.nnz(), "{} changed nnz", kind);
+        }
+    }
+
+    #[test]
+    fn every_format_spmv_equals_dense_spmv(
+        (coo, x) in coo_strategy().prop_flat_map(|c| {
+            let n = c.ncols();
+            (Just(c), operand(n))
+        })
+    ) {
+        let expect = coo.to_dense().spmv(&x).unwrap();
+        for kind in FormatKind::ALL {
+            let m = sparsemat::AnyMatrix::encode(&coo, kind);
+            prop_assert_eq!(m.spmv(&x).unwrap(), expect.clone(), "{} spmv diverged", kind);
+        }
+    }
+
+    #[test]
+    fn conversion_composes_csr_csc_bcsr(coo in coo_strategy()) {
+        // A chain of conversions through structurally different formats must
+        // preserve the entry set exactly.
+        let csr = Csr::from(&coo);
+        let csc = Csc::from(&csr.to_coo());
+        let bcsr = Bcsr::from(&csc.to_coo());
+        let dia = Dia::from(&bcsr.to_coo());
+        prop_assert!(coo.to_dense().structurally_eq(&dia));
+    }
+
+    #[test]
+    fn transpose_is_involutive(coo in coo_strategy()) {
+        let csr = Csr::from(&coo);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+        let t2 = coo.transpose().transpose();
+        prop_assert!(coo.to_dense().structurally_eq(&t2));
+    }
+
+    #[test]
+    fn csr_transpose_equals_csc_content(coo in coo_strategy()) {
+        // A^T in CSR must hold the same entries as A read column-wise.
+        let t = Csr::from(&coo).transpose();
+        let csc = Csc::from(&coo);
+        for tr in t.triplets() {
+            prop_assert_eq!(csc.get(tr.col, tr.row), tr.val);
+        }
+    }
+
+    #[test]
+    fn compress_is_idempotent_and_canonical(coo in coo_strategy()) {
+        let mut a = coo.clone();
+        a.compress();
+        prop_assert!(a.is_compressed());
+        let mut b = a.clone();
+        b.compress();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_reassembly_is_lossless(coo in coo_strategy(), size in 1usize..=9) {
+        let grid = PartitionGrid::new(&coo, size).unwrap();
+        prop_assert!(coo.to_dense().structurally_eq(&grid.reassemble()));
+        prop_assert_eq!(grid.nnz(), coo.nnz());
+        // Every retained tile is genuinely non-zero.
+        prop_assert!(grid.partitions().iter().all(|p| p.nnz() > 0));
+    }
+
+    #[test]
+    fn partition_stats_are_percentages(coo in coo_strategy(), size in 1usize..=9) {
+        let stats = PartitionGrid::new(&coo, size).unwrap().stats();
+        for v in [
+            stats.partition_density_pct,
+            stats.row_density_pct,
+            stats.nonzero_row_share_pct,
+        ] {
+            prop_assert!((0.0..=100.0).contains(&v), "{v} outside [0, 100]");
+        }
+        prop_assert!((0.0..=1.0).contains(&stats.nonzero_tile_share));
+    }
+
+    #[test]
+    fn ell_width_is_max_row_population(coo in coo_strategy()) {
+        let ell = Ell::from(&coo);
+        let csr = Csr::from(&coo);
+        prop_assert_eq!(ell.width(), csr.max_row_nnz());
+        prop_assert_eq!(ell.padding() + ell.nnz(), ell.stored_slots());
+    }
+
+    #[test]
+    fn sell_never_pads_more_than_ell(coo in coo_strategy(), chunk in 1usize..=8) {
+        let sell = Sell::from_coo(&coo, chunk).unwrap();
+        let ell = Ell::from(&coo);
+        prop_assert!(sell.padding() <= ell.padding());
+    }
+
+    #[test]
+    fn jds_diagonal_lengths_are_non_increasing(coo in coo_strategy()) {
+        let jds = Jds::from_coo(&coo);
+        let lens: Vec<usize> = (0..jds.num_jagged_diagonals()).map(|d| jds.jd_len(d)).collect();
+        prop_assert!(lens.windows(2).all(|w| w[0] >= w[1]), "lens {lens:?}");
+        prop_assert_eq!(lens.iter().sum::<usize>(), coo.nnz());
+    }
+
+    #[test]
+    fn dia_stores_exactly_the_occupied_diagonals(coo in coo_strategy()) {
+        let dia = Dia::from(&coo);
+        prop_assert_eq!(dia.offsets().to_vec(), coo.diagonal_offsets());
+        // All stored values (padding included) ≥ nnz.
+        prop_assert!(dia.stored_values() >= dia.nnz());
+    }
+
+    #[test]
+    fn lil_orientations_agree(coo in coo_strategy()) {
+        let cols = Lil::from_coo_columns(&coo);
+        let rows = Lil::from_coo_rows(&coo);
+        prop_assert_eq!(cols.triplets(), rows.triplets());
+        prop_assert_eq!(cols.axis(), Axis::Columns);
+        // Column orientation: distinct cross indices = non-zero rows.
+        prop_assert_eq!(cols.distinct_cross_indices(), coo.nonzero_rows());
+    }
+
+    #[test]
+    fn bcsr_block_invariants(coo in coo_strategy(), block in 1usize..=6) {
+        let b = Bcsr::from_coo(&coo, block).unwrap();
+        prop_assert_eq!(b.stored_values(), b.num_blocks() * block * block);
+        prop_assert!(b.nonzero_block_rows() <= b.block_rows());
+        prop_assert!(b.nnz() <= b.stored_values());
+        prop_assert!(coo.to_dense().structurally_eq(&b));
+    }
+
+    #[test]
+    fn dok_point_updates_match_dense(coo in coo_strategy()) {
+        let mut dok = Dok::from(&coo);
+        let mut dense = coo.to_dense();
+        // Overwrite the first cell and delete by writing zero.
+        dok.set(0, 0, 9.0).unwrap();
+        dense[(0, 0)] = 9.0;
+        prop_assert!(dense.structurally_eq(&dok));
+        dok.set(0, 0, 0.0).unwrap();
+        dense[(0, 0)] = 0.0;
+        prop_assert!(dense.structurally_eq(&dok));
+    }
+
+    #[test]
+    fn add_sub_scale_identities(coo in coo_strategy()) {
+        // A + A == 2A, A - A == 0.
+        let twice = ops::add(&coo, &coo).unwrap();
+        let scaled = ops::scale(&coo, 2.0);
+        prop_assert!(twice.to_dense().structurally_eq(&scaled));
+        prop_assert_eq!(ops::sub(&coo, &coo).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn spmm_against_dense_reference(
+        (a, b) in coo_strategy().prop_flat_map(|a| {
+            let inner = a.ncols();
+            let b = (1usize..=12).prop_flat_map(move |ncols| {
+                let cells = inner * ncols;
+                proptest::collection::btree_map(
+                    0..cells,
+                    prop_oneof![(-9i32..0), (1i32..=9)],
+                    0..=cells.min(40),
+                )
+                .prop_map(move |map| {
+                    let triplets = map
+                        .into_iter()
+                        .map(|(cell, v)| Triplet::new(cell / ncols, cell % ncols, v as f32))
+                        .collect();
+                    Coo::from_triplets(inner, ncols, triplets).expect("coords in range")
+                })
+            });
+            (Just(a), b)
+        })
+    ) {
+        let p = ops::spmm(&Csr::from(&a), &Csr::from(&b)).unwrap();
+        let ad = a.to_dense();
+        let bd = b.to_dense();
+        for r in 0..a.nrows() {
+            for c in 0..b.ncols() {
+                let want: f32 = (0..a.ncols()).map(|k| ad[(r, k)] * bd[(k, c)]).sum();
+                prop_assert_eq!(p.get(r, c), want);
+            }
+        }
+    }
+}

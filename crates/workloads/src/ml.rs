@@ -1,0 +1,201 @@
+//! Machine-learning sparsity generators — §3.1 of the paper: "Since after
+//! training, close-to-zero values are assigned to several model
+//! parameters, a common practice is to prune those values [...] The
+//! recommendation system models are the other instance of sparse problems
+//! [...] accesses to [embedding tables] are random and sparse."
+
+use crate::{nonzero_value, random};
+use rand::Rng;
+use sparsemat::Coo;
+use std::collections::HashSet;
+
+/// A pruned weight matrix with *unstructured* sparsity: uniform random
+/// surviving weights at the given density — the "random and varies case by
+/// case" sparsity §3.1 ascribes to magnitude pruning.
+pub fn pruned_unstructured<R: Rng>(
+    out_features: usize,
+    in_features: usize,
+    density: f64,
+    rng: &mut R,
+) -> Coo<f32> {
+    random::uniform(out_features, in_features, density, rng)
+}
+
+/// A pruned weight matrix with *structured block* sparsity: surviving
+/// weights come in dense `block×block` tiles, the pattern §8 recommends
+/// ("Extracting the non-zero partitions [...] can be done with the aid of
+/// structure pruning schemes") because it keeps whole partitions non-zero.
+///
+/// `block_density` is the fraction of blocks kept; kept blocks are fully
+/// dense.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `block_density` is outside `[0, 1]`.
+pub fn pruned_block<R: Rng>(
+    out_features: usize,
+    in_features: usize,
+    block: usize,
+    block_density: f64,
+    rng: &mut R,
+) -> Coo<f32> {
+    assert!(block > 0, "block size must be positive");
+    assert!(
+        (0.0..=1.0).contains(&block_density),
+        "block density {block_density} outside [0, 1]"
+    );
+    let block_rows = out_features.div_ceil(block);
+    let block_cols = in_features.div_ceil(block);
+    let total_blocks = block_rows * block_cols;
+    let keep = (block_density * total_blocks as f64).round() as usize;
+
+    let mut kept: HashSet<usize> = HashSet::with_capacity(keep * 2);
+    while kept.len() < keep {
+        kept.insert(rng.gen_range(0..total_blocks));
+    }
+    // Emit blocks in sorted order so the generated matrix is deterministic
+    // (hash iteration order is not).
+    let mut kept_sorted: Vec<usize> = kept.into_iter().collect();
+    kept_sorted.sort_unstable();
+    let mut coo = Coo::with_capacity(out_features, in_features, kept_sorted.len() * block * block);
+    for bid in kept_sorted {
+        let (br, bc) = (bid / block_cols, bid % block_cols);
+        for lr in 0..block {
+            for lc in 0..block {
+                let (r, c) = (br * block + lr, bc * block + lc);
+                if r < out_features && c < in_features {
+                    coo.push(r, c, nonzero_value(rng)).expect("in range");
+                }
+            }
+        }
+    }
+    coo
+}
+
+/// An embedding-lookup access matrix for a recommendation model: each of
+/// `batch` lookups gathers `indices_per_lookup` rows of a table with
+/// `table_rows` entries. Row `i` of the result holds ones at the table
+/// indices lookup `i` touches — multiplying it by the embedding table is
+/// the "reduction operation (e.g., summation) that can also be implemented
+/// using a dot-product engine" §3.3 describes.
+///
+/// `hot_fraction` of accesses concentrate on the 10 % hottest rows
+/// (recommendation traffic is famously skewed).
+///
+/// # Panics
+///
+/// Panics if `table_rows == 0`, `indices_per_lookup == 0`, or
+/// `hot_fraction` is outside `[0, 1]`.
+pub fn embedding_access<R: Rng>(
+    batch: usize,
+    table_rows: usize,
+    indices_per_lookup: usize,
+    hot_fraction: f64,
+    rng: &mut R,
+) -> Coo<f32> {
+    assert!(table_rows > 0, "table must have rows");
+    assert!(indices_per_lookup > 0, "lookups must gather something");
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot fraction {hot_fraction} outside [0, 1]"
+    );
+    let hot_rows = (table_rows / 10).max(1);
+    let mut coo = Coo::with_capacity(batch, table_rows, batch * indices_per_lookup);
+    for b in 0..batch {
+        let mut used = HashSet::with_capacity(indices_per_lookup * 2);
+        let mut attempts = 0;
+        while used.len() < indices_per_lookup.min(table_rows) && attempts < table_rows * 4 {
+            attempts += 1;
+            let idx = if rng.gen_bool(hot_fraction) {
+                rng.gen_range(0..hot_rows)
+            } else {
+                rng.gen_range(0..table_rows)
+            };
+            if used.insert(idx) {
+                coo.push(b, idx, 1.0).expect("in range");
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use sparsemat::{Matrix, PartitionGrid};
+
+    #[test]
+    fn block_pruning_keeps_dense_tiles() {
+        let m = pruned_block(64, 64, 8, 0.25, &mut seeded_rng(1));
+        // 64 blocks total, 16 kept, each 64 entries.
+        assert_eq!(m.nnz(), 16 * 64);
+        // Every 8x8 tile is either fully dense or fully empty.
+        let grid = PartitionGrid::new(&m, 8).unwrap();
+        for part in grid.partitions() {
+            assert_eq!(part.nnz(), 64, "partial tile at {:?}", (part.grid_row, part.grid_col));
+        }
+    }
+
+    #[test]
+    fn block_pruning_beats_unstructured_on_partition_stats() {
+        // The §8 argument: at equal density, block pruning leaves far fewer
+        // non-zero partitions to transfer.
+        let blocked = pruned_block(128, 128, 8, 0.1, &mut seeded_rng(2));
+        let unstructured =
+            pruned_unstructured(128, 128, blocked.density(), &mut seeded_rng(3));
+        let gb = PartitionGrid::new(&blocked, 8).unwrap();
+        let gu = PartitionGrid::new(&unstructured, 8).unwrap();
+        assert!(
+            gb.nonzero_tiles() < gu.nonzero_tiles() / 2,
+            "blocked {} vs unstructured {}",
+            gb.nonzero_tiles(),
+            gu.nonzero_tiles()
+        );
+    }
+
+    #[test]
+    fn block_pruning_handles_edge_blocks() {
+        let m = pruned_block(10, 13, 4, 1.0, &mut seeded_rng(4));
+        assert_eq!((m.nrows(), m.ncols()), (10, 13));
+        assert_eq!(m.nnz(), 10 * 13); // all blocks kept, clipped at edges
+    }
+
+    #[test]
+    fn embedding_rows_have_exact_lookup_counts() {
+        let m = embedding_access(32, 1000, 8, 0.5, &mut seeded_rng(5));
+        assert_eq!((m.nrows(), m.ncols()), (32, 1000));
+        for (row, count) in m.row_counts().into_iter().enumerate() {
+            assert_eq!(count, 8, "row {row}");
+        }
+    }
+
+    #[test]
+    fn embedding_skew_concentrates_on_hot_rows() {
+        let hot = embedding_access(200, 500, 4, 0.9, &mut seeded_rng(6));
+        let cold = embedding_access(200, 500, 4, 0.0, &mut seeded_rng(6));
+        let hot_mass = |m: &Coo<f32>| {
+            m.iter().filter(|t| t.col < 50).count() as f64 / m.nnz() as f64
+        };
+        assert!(hot_mass(&hot) > 0.8, "hot mass {}", hot_mass(&hot));
+        assert!(hot_mass(&cold) < 0.3, "cold mass {}", hot_mass(&cold));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            pruned_block(32, 32, 4, 0.5, &mut seeded_rng(7)),
+            pruned_block(32, 32, 4, 0.5, &mut seeded_rng(7))
+        );
+        assert_eq!(
+            embedding_access(8, 64, 4, 0.5, &mut seeded_rng(8)),
+            embedding_access(8, 64, 4, 0.5, &mut seeded_rng(8))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        pruned_block(8, 8, 0, 0.5, &mut seeded_rng(0));
+    }
+}

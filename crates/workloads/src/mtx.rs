@@ -1,0 +1,351 @@
+//! MatrixMarket (`.mtx`) I/O.
+//!
+//! The paper obtains its real-world workloads from the SuiteSparse matrix
+//! collection, which distributes MatrixMarket files. This reader/writer lets
+//! users of the reproduction drop in the real matrices; the bundled
+//! experiments fall back to the synthesized stand-ins in [`crate::suite`].
+//!
+//! Supported: `matrix coordinate (real | integer | pattern)
+//! (general | symmetric | skew-symmetric)`.
+
+use sparsemat::{Coo, Matrix};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced by MatrixMarket parsing and serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// The file declares a format this reader does not support (e.g. dense
+    /// `array` storage or `complex` fields).
+    Unsupported(String),
+    /// An entry or size line failed to parse.
+    BadLine {
+        /// 1-based line number within the file.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "i/o error: {e}"),
+            MtxError::BadHeader(s) => write!(f, "malformed MatrixMarket header: {s}"),
+            MtxError::Unsupported(s) => write!(f, "unsupported MatrixMarket variant: {s}"),
+            MtxError::BadLine { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MtxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a MatrixMarket coordinate file into COO.
+///
+/// Symmetric and skew-symmetric files are expanded to their full (general)
+/// entry set, matching how SuiteSparse matrices are consumed.
+///
+/// # Errors
+///
+/// Returns [`MtxError`] on I/O failure, malformed headers/lines, or
+/// unsupported variants.
+pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f32>, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MtxError::BadHeader("empty file".into()))?;
+    let header = header?;
+    let parts: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+    if parts.len() < 5 || parts[0] != "%%matrixmarket" || parts[1] != "matrix" {
+        return Err(MtxError::BadHeader(header));
+    }
+    if parts[2] != "coordinate" {
+        return Err(MtxError::Unsupported(format!("storage {:?}", parts[2])));
+    }
+    let field = match parts[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(MtxError::Unsupported(format!("field {other:?}"))),
+    };
+    let symmetry = match parts[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(MtxError::Unsupported(format!("symmetry {other:?}"))),
+    };
+
+    // Size line: first non-comment, non-blank line.
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut coo: Option<Coo<f32>> = None;
+    for (i, line) in lines {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(MtxError::BadLine {
+                        line: line_no,
+                        message: format!("expected 'rows cols nnz', got {trimmed:?}"),
+                    });
+                }
+                let parse = |s: &str| {
+                    s.parse::<usize>().map_err(|e| MtxError::BadLine {
+                        line: line_no,
+                        message: format!("bad size value {s:?}: {e}"),
+                    })
+                };
+                let (r, c, n) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+                size = Some((r, c, n));
+                coo = Some(Coo::with_capacity(r, c, n));
+            }
+            Some(_) => {
+                let coo = coo.as_mut().expect("allocated with size");
+                let want = match field {
+                    Field::Pattern => 2,
+                    _ => 3,
+                };
+                if fields.len() < want {
+                    return Err(MtxError::BadLine {
+                        line: line_no,
+                        message: format!("expected {want} fields, got {trimmed:?}"),
+                    });
+                }
+                let parse_idx = |s: &str| {
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|&v| v >= 1)
+                        .ok_or_else(|| MtxError::BadLine {
+                            line: line_no,
+                            message: format!("bad 1-based index {s:?}"),
+                        })
+                };
+                let r = parse_idx(fields[0])? - 1;
+                let c = parse_idx(fields[1])? - 1;
+                let v: f32 = match field {
+                    Field::Pattern => 1.0,
+                    _ => fields[2].parse().map_err(|e| MtxError::BadLine {
+                        line: line_no,
+                        message: format!("bad value {:?}: {e}", fields[2]),
+                    })?,
+                };
+                coo.push(r, c, v).map_err(|e| MtxError::BadLine {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+                if r != c {
+                    match symmetry {
+                        Symmetry::General => {}
+                        Symmetry::Symmetric => {
+                            coo.push(c, r, v).map_err(|e| MtxError::BadLine {
+                                line: line_no,
+                                message: e.to_string(),
+                            })?;
+                        }
+                        Symmetry::SkewSymmetric => {
+                            coo.push(c, r, -v).map_err(|e| MtxError::BadLine {
+                                line: line_no,
+                                message: e.to_string(),
+                            })?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.ok_or_else(|| MtxError::BadHeader("file has no size line".into()))
+}
+
+/// Writes a matrix as `matrix coordinate real general`, 1-based, row-major.
+///
+/// # Errors
+///
+/// Returns [`MtxError::Io`] on write failure.
+pub fn write_mtx<W: Write, M: Matrix<f32>>(writer: &mut W, matrix: &M) -> Result<(), MtxError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(
+        writer,
+        "% written by the Copernicus reproduction workload crate"
+    )?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz()
+    )?;
+    let mut ts = matrix.triplets();
+    sparsemat::triplet::sort_row_major(&mut ts);
+    for t in ts {
+        writeln!(writer, "{} {} {}", t.row + 1, t.col + 1, t.val)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<Coo<f32>, MtxError> {
+        read_mtx(Cursor::new(s))
+    }
+
+    #[test]
+    fn round_trip_through_writer_and_reader() {
+        let mut coo = Coo::<f32>::new(3, 4);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(2, 3, -2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let mut buf = Vec::new();
+        write_mtx(&mut buf, &coo).unwrap();
+        let back = read_mtx(Cursor::new(buf)).unwrap();
+        assert!(coo.to_dense().structurally_eq(&back));
+    }
+
+    #[test]
+    fn reads_general_real() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             2 2 2\n\
+             1 1 4.0\n\
+             2 2 -1.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 1), -1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             3 3 2\n\
+             2 1 5.0\n\
+             3 3 1.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             2 2 1\n\
+             2 1 3.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn pattern_entries_become_ones() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             2 2 2\n\
+             1 2\n\
+             2 1\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn integer_field_parses() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate integer general\n\
+             1 1 1\n\
+             1 1 7\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn rejects_array_storage() {
+        let e = parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").unwrap_err();
+        assert!(matches!(e, MtxError::Unsupported(_)));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(parse("hello\n"), Err(MtxError::BadHeader(_))));
+        assert!(matches!(parse(""), Err(MtxError::BadHeader(_))));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_bad_entries() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 1\n\
+             0 1 3.0\n",
+        )
+        .unwrap_err();
+        match e {
+            MtxError::BadLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_entry_is_reported() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 1\n\
+             3 1 1.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, MtxError::BadLine { .. }));
+    }
+}

@@ -1,0 +1,205 @@
+//! R-MAT (recursive matrix) graph generator — the stand-in for the paper's
+//! power-law graphs (soc-LiveJournal1, web-Google, flickr, wiki-Talk,
+//! kron_g500-logn21, …).
+//!
+//! R-MAT recursively descends into matrix quadrants with skewed
+//! probabilities, producing the heavy-tailed degree distribution and
+//! community block structure real web/social graphs show. kron_g500 *is* a
+//! Kronecker/R-MAT graph, so the stand-in is exact in kind for it.
+
+use crate::nonzero_value;
+use rand::Rng;
+use sparsemat::{Coo, Matrix as _};
+use std::collections::HashSet;
+
+/// Quadrant probabilities of the R-MAT recursion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters (a, b, c, d) =
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// The implied bottom-right probability `d = 1 − a − b − c`.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Validates that all four probabilities are non-negative and sum to 1.
+    pub fn is_valid(&self) -> bool {
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= -1e-12
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams::GRAPH500
+    }
+}
+
+/// Generates the adjacency matrix of an R-MAT graph with `2^scale` vertices
+/// and (up to) `edges` distinct directed edges.
+///
+/// Duplicate edge draws are re-rolled a bounded number of times, so the
+/// produced edge count can fall slightly short of `edges` on very dense
+/// requests — matching how Graph500 generators behave.
+///
+/// # Panics
+///
+/// Panics if `params` is not a valid probability split or `scale` exceeds
+/// 30 (the matrix index would overflow practical memory long before).
+pub fn rmat<R: Rng>(scale: u32, edges: usize, params: RmatParams, rng: &mut R) -> Coo<f32> {
+    assert!(params.is_valid(), "invalid R-MAT probabilities: {params:?}");
+    assert!(scale <= 30, "scale {scale} too large");
+    let n = 1usize << scale;
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(edges * 2);
+    let mut coo = Coo::with_capacity(n, n, edges);
+    let max_attempts = edges.saturating_mul(8).max(64);
+    let mut attempts = 0usize;
+    while seen.len() < edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut r0, mut r1) = (0usize, n);
+        let (mut c0, mut c1) = (0usize, n);
+        while r1 - r0 > 1 {
+            let p: f64 = rng.gen();
+            let (down, right) = if p < params.a {
+                (false, false)
+            } else if p < params.a + params.b {
+                (false, true)
+            } else if p < params.a + params.b + params.c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if down {
+                r0 = rm;
+            } else {
+                r1 = rm;
+            }
+            if right {
+                c0 = cm;
+            } else {
+                c1 = cm;
+            }
+        }
+        if seen.insert((r0, c0)) {
+            coo.push(r0, c0, nonzero_value(rng)).expect("in range");
+        }
+    }
+    coo
+}
+
+/// Convenience: an undirected R-MAT graph (each generated edge mirrored,
+/// self-loops kept single) — stand-in for the undirected SuiteSparse graphs.
+pub fn rmat_symmetric<R: Rng>(
+    scale: u32,
+    edges: usize,
+    params: RmatParams,
+    rng: &mut R,
+) -> Coo<f32> {
+    let half = rmat(scale, edges.div_ceil(2), params, rng);
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(edges * 2);
+    let mut coo = Coo::with_capacity(half.nrows(), half.ncols(), edges);
+    for t in half.iter() {
+        if seen.insert((t.row, t.col)) {
+            coo.push(t.row, t.col, t.val).expect("in range");
+        }
+        if t.row != t.col && seen.insert((t.col, t.row)) {
+            coo.push(t.col, t.row, t.val).expect("in range");
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use sparsemat::{Matrix, Scalar as _};
+
+    #[test]
+    fn generates_requested_edges() {
+        let g = rmat(8, 500, RmatParams::GRAPH500, &mut seeded_rng(0));
+        assert_eq!(g.nnz(), 500);
+        assert_eq!(g.nrows(), 256);
+    }
+
+    #[test]
+    fn edges_are_distinct() {
+        let g = rmat(7, 400, RmatParams::GRAPH500, &mut seeded_rng(1));
+        let mut coords: Vec<(usize, usize)> = g.iter().map(|t| (t.row, t.col)).collect();
+        let before = coords.len();
+        coords.sort_unstable();
+        coords.dedup();
+        assert_eq!(coords.len(), before);
+    }
+
+    #[test]
+    fn skewed_parameters_produce_heavy_rows() {
+        // With Graph500 skew, the max row degree should far exceed the mean.
+        let g = rmat(9, 2000, RmatParams::GRAPH500, &mut seeded_rng(2));
+        let counts = g.row_counts();
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = g.nnz() as f64 / g.nrows() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "max degree {max} not heavy-tailed vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_produce_flat_rows() {
+        let uniform = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let g = rmat(9, 2000, uniform, &mut seeded_rng(3));
+        let counts = g.row_counts();
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = g.nnz() as f64 / g.nrows() as f64;
+        assert!(max < 6.0 * mean, "uniform RMAT unexpectedly skewed");
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let g = rmat_symmetric(7, 300, RmatParams::GRAPH500, &mut seeded_rng(4));
+        let d = g.to_dense();
+        for t in g.iter() {
+            assert!(!d[(t.col, t.row)].is_zero(), "missing mirror of ({},{})", t.row, t.col);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(6, 100, RmatParams::GRAPH500, &mut seeded_rng(5));
+        let b = rmat(6, 100, RmatParams::GRAPH500, &mut seeded_rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(RmatParams::GRAPH500.is_valid());
+        assert!((RmatParams::GRAPH500.d() - 0.05).abs() < 1e-12);
+        let bad = RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.1,
+        };
+        assert!(!bad.is_valid());
+    }
+}

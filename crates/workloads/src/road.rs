@@ -1,0 +1,104 @@
+//! Road-network / mesh graph generator — stand-in for roadNet-TX,
+//! road_central, europe_osm and hugebubbles in Table 1.
+//!
+//! Road networks are near-planar graphs with tiny, tightly bounded degree
+//! (average ≈ 2.5, max ≈ 5) and extreme spatial locality. The generator lays
+//! vertices on a 2-D grid, connects each to its right/down neighbours with
+//! high probability (the road mesh), and sprinkles a few diagonal shortcuts
+//! (ramps/bridges).
+
+use crate::nonzero_value;
+use rand::Rng;
+use sparsemat::Coo;
+
+/// Generates the symmetric adjacency matrix of a road-like mesh over an
+/// `nx × ny` vertex grid (`n = nx·ny` rows).
+///
+/// `keep` is the probability each mesh edge exists (1.0 = full grid);
+/// `shortcut` is the probability a vertex gains one diagonal shortcut.
+///
+/// # Panics
+///
+/// Panics if `keep` or `shortcut` is outside `[0, 1]`.
+pub fn road_mesh<R: Rng>(nx: usize, ny: usize, keep: f64, shortcut: f64, rng: &mut R) -> Coo<f32> {
+    assert!((0.0..=1.0).contains(&keep), "keep {keep} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&shortcut),
+        "shortcut {shortcut} outside [0, 1]"
+    );
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| x * ny + y;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let put = |coo: &mut Coo<f32>, a: usize, b: usize, rng: &mut R| {
+        let v = nonzero_value(rng);
+        coo.push(a, b, v).expect("in range");
+        coo.push(b, a, v).expect("in range");
+    };
+    for x in 0..nx {
+        for y in 0..ny {
+            let i = idx(x, y);
+            if x + 1 < nx && rng.gen_bool(keep) {
+                put(&mut coo, i, idx(x + 1, y), rng);
+            }
+            if y + 1 < ny && rng.gen_bool(keep) {
+                put(&mut coo, i, idx(x, y + 1), rng);
+            }
+            if x + 1 < nx && y + 1 < ny && rng.gen_bool(shortcut) {
+                put(&mut coo, i, idx(x + 1, y + 1), rng);
+            }
+        }
+    }
+    let mut compressed = coo;
+    compressed.compress();
+    compressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use sparsemat::Matrix;
+
+    #[test]
+    fn full_mesh_degree_is_bounded() {
+        let m = road_mesh(20, 20, 1.0, 0.0, &mut seeded_rng(0));
+        let max_deg = m.row_counts().into_iter().max().unwrap();
+        assert!(max_deg <= 4, "grid degree {max_deg} > 4");
+    }
+
+    #[test]
+    fn symmetric_adjacency() {
+        let m = road_mesh(10, 10, 0.9, 0.1, &mut seeded_rng(1));
+        let d = m.to_dense();
+        for t in m.iter() {
+            assert_eq!(d[(t.row, t.col)], d[(t.col, t.row)]);
+        }
+    }
+
+    #[test]
+    fn locality_keeps_entries_near_diagonal() {
+        let m = road_mesh(12, 12, 1.0, 0.2, &mut seeded_rng(2));
+        for t in m.iter() {
+            let off = (t.row as isize - t.col as isize).unsigned_abs();
+            assert!(off <= 13, "offset {off} exceeds grid stride + 1");
+        }
+    }
+
+    #[test]
+    fn keep_probability_scales_edges() {
+        let full = road_mesh(16, 16, 1.0, 0.0, &mut seeded_rng(3)).nnz();
+        let half = road_mesh(16, 16, 0.5, 0.0, &mut seeded_rng(3)).nnz();
+        assert!(half < full);
+        assert!(half > full / 4);
+    }
+
+    #[test]
+    fn average_degree_is_road_like() {
+        let m = road_mesh(30, 30, 0.9, 0.05, &mut seeded_rng(4));
+        let avg = m.nnz() as f64 / m.nrows() as f64;
+        assert!(
+            (1.5..=4.5).contains(&avg),
+            "average degree {avg} not road-like"
+        );
+    }
+}

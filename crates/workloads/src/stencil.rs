@@ -1,0 +1,141 @@
+//! PDE discretization stencils (§3.1): "To use digital computers for solving
+//! PDEs, they are discretized into a 3D grid [...] the coefficient matrix A
+//! is sparse."
+//!
+//! These Laplacian stencil matrices back the structural/thermal/
+//! electromagnetics stand-ins of Table 1 (dwt_918, thermomech_dK,
+//! 2cubes_sphere): symmetric positive-definite band-plus-fringe matrices
+//! exactly like FEM/FDM discretizations produce.
+
+use sparsemat::Coo;
+
+/// The 5-point Laplacian of an `nx × ny` 2-D grid: an
+/// `(nx·ny) × (nx·ny)` symmetric positive-definite matrix with 4 on the
+/// diagonal and −1 toward each grid neighbour.
+pub fn laplacian_2d(nx: usize, ny: usize) -> Coo<f32> {
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| x * ny + y;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    for x in 0..nx {
+        for y in 0..ny {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0).expect("in range");
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), -1.0).expect("in range");
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), -1.0).expect("in range");
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), -1.0).expect("in range");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), -1.0).expect("in range");
+            }
+        }
+    }
+    coo
+}
+
+/// The 7-point Laplacian of an `nx × ny × nz` 3-D grid (6 on the diagonal,
+/// −1 toward each of the six neighbours) — the discretization §3.1
+/// describes for physical phenomena in 3-D.
+pub fn laplacian_3d(nx: usize, ny: usize, nz: usize) -> Coo<f32> {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    for x in 0..nx {
+        for y in 0..ny {
+            for z in 0..nz {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0).expect("in range");
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), -1.0).expect("in range");
+                }
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), -1.0).expect("in range");
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), -1.0).expect("in range");
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), -1.0).expect("in range");
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), -1.0).expect("in range");
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), -1.0).expect("in range");
+                }
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::{Dia, Matrix};
+
+    #[test]
+    fn laplacian_2d_shape_and_count() {
+        let m = laplacian_2d(4, 5);
+        assert_eq!(m.nrows(), 20);
+        // nnz = 5n - 2*(boundary deficits): n + 2*(edges in grid graph).
+        // Grid 4x5 has 4*4 + 3*5 = 31 edges, each giving two off-diagonals.
+        assert_eq!(m.nnz(), 20 + 2 * 31);
+    }
+
+    #[test]
+    fn laplacian_2d_is_symmetric() {
+        let m = laplacian_2d(3, 3).to_dense();
+        for r in 0..9 {
+            for c in 0..9 {
+                assert_eq!(m[(r, c)], m[(c, r)]);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_2d_rows_sum_to_boundary_deficit() {
+        // Interior rows sum to 0; boundary rows are positive (diagonally
+        // dominant → positive definite).
+        let m = laplacian_2d(5, 5).to_dense();
+        for r in 0..25 {
+            let sum: f32 = (0..25).map(|c| m[(r, c)]).sum();
+            assert!(sum >= 0.0);
+        }
+        // Center row of the 5x5 grid is interior.
+        let center = 2 * 5 + 2;
+        let sum: f32 = (0..25).map(|c| m[(center, c)]).sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn laplacian_2d_is_banded() {
+        // With y-major indexing, neighbours sit at offsets ±1 and ±ny.
+        let dia = Dia::from(&laplacian_2d(6, 4));
+        assert_eq!(dia.offsets(), &[-4, -1, 0, 1, 4]);
+    }
+
+    #[test]
+    fn laplacian_3d_shape_and_symmetry() {
+        let m = laplacian_3d(3, 3, 3);
+        assert_eq!(m.nrows(), 27);
+        let d = m.to_dense();
+        for r in 0..27 {
+            for c in 0..27 {
+                assert_eq!(d[(r, c)], d[(c, r)]);
+            }
+        }
+        assert_eq!(d[(13, 13)], 6.0); // center cell
+    }
+
+    #[test]
+    fn laplacian_3d_diagonal_structure() {
+        let dia = Dia::from(&laplacian_3d(4, 3, 2));
+        // Offsets: ±1 (z), ±nz (y), ±ny*nz (x).
+        assert_eq!(dia.offsets(), &[-6, -2, -1, 0, 1, 2, 6]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Characterize your own matrix: pass a MatrixMarket file and get the
+//! paper's metrics for every format and partition size.
+//!
+//! ```sh
+//! cargo run --example characterize_custom -- path/to/matrix.mtx
+//! # or, with no argument, a bundled demo matrix is generated:
+//! cargo run --example characterize_custom
+//! ```
+
+use copernicus::table::{eng, f3, TextTable};
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_workloads::{mtx, seeded_rng};
+use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid};
+use std::fs::File;
+use std::io::BufReader;
+
+fn load_matrix() -> Result<(String, Coo<f32>), Box<dyn std::error::Error>> {
+    match std::env::args().nth(1) {
+        Some(path) => {
+            let file = File::open(&path)?;
+            let coo = mtx::read_mtx(BufReader::new(file))?;
+            Ok((path, coo))
+        }
+        None => {
+            // Demo: a circuit-like matrix, as if freshly exported from a
+            // simulator.
+            let coo = copernicus_workloads::circuit::circuit(512, 5.0, 0.9, &mut seeded_rng(99));
+            Ok(("<generated circuit demo>".to_string(), coo))
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (name, matrix) = load_matrix()?;
+    println!(
+        "matrix {name}: {}x{}, {} non-zeros ({:.4}% dense)",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz(),
+        100.0 * matrix.density()
+    );
+
+    // Fig.-3-style partition statistics first.
+    println!("\npartition statistics:");
+    let mut stats_table = TextTable::new(&["p", "nz_tiles", "tile_density%", "nz_row_share%"]);
+    for p in [8usize, 16, 32] {
+        let stats = PartitionGrid::new(&matrix, p)?.stats();
+        stats_table.row(&[
+            p.to_string(),
+            stats.nonzero_partitions.to_string(),
+            f3(stats.partition_density_pct),
+            f3(stats.nonzero_row_share_pct),
+        ]);
+    }
+    println!("{}", stats_table.render());
+
+    // Full format × partition characterization.
+    println!("characterization (σ, balance, bandwidth utilization, throughput):");
+    let mut table = TextTable::new(&["format", "p", "sigma", "balance", "bw_util", "throughput"]);
+    for p in [8usize, 16, 32] {
+        let platform = Platform::new(HwConfig::with_partition_size(p))?;
+        for kind in FormatKind::CHARACTERIZED {
+            let r = platform.run(&matrix, kind)?;
+            table.row(&[
+                kind.to_string(),
+                p.to_string(),
+                f3(r.sigma()),
+                f3(r.balance_ratio),
+                f3(r.bandwidth_utilization()),
+                format!("{}B/s", eng(r.throughput_bytes_per_sec())),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    Ok(())
+}

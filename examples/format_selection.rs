@@ -1,0 +1,58 @@
+//! Format selection across workload types and optimization goals — the
+//! paper's §8 "hints to architects", as an executable decision table.
+//!
+//! ```sh
+//! cargo run --example format_selection
+//! ```
+
+use copernicus::table::TextTable;
+use copernicus::{recommend, Goal};
+use copernicus_workloads::rmat::{rmat, RmatParams};
+use copernicus_workloads::{band, random, seeded_rng, stencil};
+use sparsemat::{Coo, Matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workloads: Vec<(&str, Coo<f32>)> = vec![
+        ("diagonal", band::diagonal(256, &mut seeded_rng(1))),
+        ("band w=16", band::band(256, 16, &mut seeded_rng(2))),
+        ("2D Poisson", stencil::laplacian_2d(16, 16)),
+        (
+            "web graph",
+            rmat(8, 1500, RmatParams::GRAPH500, &mut seeded_rng(3)),
+        ),
+        ("NN weights d=0.3", random::uniform_square(128, 0.3, &mut seeded_rng(4))),
+        ("extreme sparse", random::uniform_square(256, 0.001, &mut seeded_rng(5))),
+    ];
+    let goals = [
+        Goal::Latency,
+        Goal::Throughput,
+        Goal::Power,
+        Goal::Balance,
+        Goal::BandwidthUtilization,
+    ];
+
+    let mut table = TextTable::new(&[
+        "workload",
+        "density",
+        "latency",
+        "throughput",
+        "power",
+        "balance",
+        "bw_util",
+    ]);
+    for (name, matrix) in &workloads {
+        let mut cells = vec![name.to_string(), format!("{:.4}", matrix.density())];
+        for goal in goals {
+            let rec = recommend(matrix, goal)?;
+            cells.push(format!("{}@{}", rec.format, rec.partition_size));
+        }
+        table.row(&cells);
+    }
+    println!("recommended format@partition per goal:\n");
+    println!("{}", table.render());
+
+    // Show one full rationale.
+    let rec = recommend(&workloads[0].1, Goal::BandwidthUtilization)?;
+    println!("why {} for a diagonal matrix?\n  {}", rec.format, rec.rationale);
+    Ok(())
+}

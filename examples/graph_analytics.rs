@@ -1,0 +1,103 @@
+//! Graph analytics on the accelerator model: PageRank as repeated SpMV
+//! (§3.3 of the paper: graph algorithms "can be implemented as a sparse
+//! matrix-vector operation").
+//!
+//! Generates an R-MAT web-like graph, runs PageRank where every iteration's
+//! SpMV goes through the modeled datapath, and compares the cycle cost of
+//! running the same algorithm with COO (the paper's recommendation for
+//! graphs) against CSC (the paper's worst case).
+//!
+//! ```sh
+//! cargo run --example graph_analytics
+//! ```
+
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_workloads::rmat::{rmat, RmatParams};
+use copernicus_workloads::seeded_rng;
+use sparsemat::{Coo, FormatKind, Matrix};
+
+/// Builds the column-stochastic PageRank transition matrix of a graph:
+/// `M[j][i] = 1 / outdegree(i)` for each edge `i -> j`.
+fn transition_matrix(graph: &Coo<f32>) -> Coo<f32> {
+    let n = graph.nrows();
+    let mut outdeg = vec![0usize; n];
+    for t in graph.iter() {
+        outdeg[t.row] += 1;
+    }
+    let mut m = Coo::with_capacity(n, n, graph.nnz());
+    for t in graph.iter() {
+        m.push(t.col, t.row, 1.0 / outdeg[t.row] as f32)
+            .expect("within shape");
+    }
+    m
+}
+
+/// One PageRank sweep: `r' = (1-d)/n + d · (M·r + dangling_mass/n)`.
+fn pagerank(
+    platform: &Platform,
+    m: &Coo<f32>,
+    outdeg_zero: &[bool],
+    format: FormatKind,
+    iters: usize,
+) -> Result<(Vec<f32>, u64), copernicus_hls::PlatformError> {
+    let n = m.nrows();
+    let d = 0.85f32;
+    let mut rank = vec![1.0 / n as f32; n];
+    let mut total_cycles = 0u64;
+    for _ in 0..iters {
+        let (mut next, report) = platform.run_spmv(m, &rank, format)?;
+        total_cycles += report.total_cycles;
+        let dangling: f32 = rank
+            .iter()
+            .zip(outdeg_zero)
+            .filter(|&(_, &z)| z)
+            .map(|(r, _)| r)
+            .sum();
+        for v in &mut next {
+            *v = (1.0 - d) / n as f32 + d * (*v + dangling / n as f32);
+        }
+        rank = next;
+    }
+    Ok((rank, total_cycles))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 512-node web-like graph with a heavy-tailed degree distribution.
+    let graph = rmat(9, 3000, RmatParams::GRAPH500, &mut seeded_rng(11));
+    let n = graph.nrows();
+    println!("graph: {n} nodes, {} edges", graph.nnz());
+
+    let m = transition_matrix(&graph);
+    let mut outdeg_zero = vec![true; n];
+    for t in graph.iter() {
+        outdeg_zero[t.row] = false;
+    }
+
+    let platform = Platform::new(HwConfig::with_partition_size(16))?;
+    let iters = 20;
+
+    let (rank_coo, cycles_coo) = pagerank(&platform, &m, &outdeg_zero, FormatKind::Coo, iters)?;
+    let (rank_csc, cycles_csc) = pagerank(&platform, &m, &outdeg_zero, FormatKind::Csc, iters)?;
+
+    // Same algorithm, same answer.
+    assert_eq!(rank_coo, rank_csc);
+    let mass: f32 = rank_coo.iter().sum();
+    assert!((mass - 1.0).abs() < 1e-3, "rank mass {mass} drifted");
+
+    let mut top: Vec<(usize, f32)> = rank_coo.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop 5 nodes by PageRank:");
+    for (node, score) in top.iter().take(5) {
+        println!("  node {node:>4}: {score:.5}");
+    }
+
+    println!("\naccelerator cycles for {iters} PageRank iterations:");
+    println!("  COO: {cycles_coo:>12}");
+    println!("  CSC: {cycles_csc:>12}  ({:.1}x slower)", cycles_csc as f64 / cycles_coo as f64);
+    println!(
+        "\n§8 of the paper: a generic format like COO matches generic hardware;\n\
+         the column-oriented CSC pays a {:.0}x decompression penalty on this graph.",
+        cycles_csc as f64 / cycles_coo as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Sparse neural-network inference on the accelerator model — the
+//! machine-learning domain of §3.3, with the §8 punchline about structured
+//! pruning made concrete.
+//!
+//! Builds a pruned 3-layer MLP twice — once with unstructured (magnitude)
+//! pruning, once with structured block pruning at the same density — runs
+//! the same input through both (the math agrees), and compares what the
+//! accelerator pays for each layer's SpMV.
+//!
+//! ```sh
+//! cargo run -p copernicus-repro --example nn_inference
+//! ```
+
+use copernicus::table::{f3, TextTable};
+use copernicus_hls::{HwConfig, Platform};
+use copernicus_solvers::{sparse_mlp_forward, SparseLayer};
+use copernicus_workloads::{ml, seeded_rng};
+use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid};
+
+const DIMS: [usize; 4] = [256, 192, 128, 64];
+const DENSITY: f64 = 0.125;
+
+fn build_mlp(structured: bool, seed: u64) -> Vec<(String, Coo<f32>)> {
+    let mut rng = seeded_rng(seed);
+    (0..3)
+        .map(|l| {
+            let (out, inp) = (DIMS[l + 1], DIMS[l]);
+            let w = if structured {
+                // 8x8 surviving blocks at the same overall density.
+                ml::pruned_block(out, inp, 8, DENSITY, &mut rng)
+            } else {
+                ml::pruned_unstructured(out, inp, DENSITY, &mut rng)
+            };
+            (format!("fc{}", l + 1), w)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::new(HwConfig::with_partition_size(8))?;
+    let input: Vec<f32> = (0..DIMS[0]).map(|i| ((i % 11) as f32) / 11.0).collect();
+
+    for (name, structured) in [("unstructured", false), ("block-structured", true)] {
+        let weights = build_mlp(structured, 77);
+
+        // Functional forward pass through the software kernels.
+        let layers: Vec<SparseLayer> = weights
+            .iter()
+            .map(|(_, w)| SparseLayer::new(w, vec![0.0; w.nrows()], true))
+            .collect::<Result<_, _>>()?;
+        let logits = sparse_mlp_forward(&layers, &input)?;
+
+        println!("\n== {name} pruning (density {DENSITY}) ==");
+        println!("logit head: {:?}", &logits[..4.min(logits.len())]);
+
+        let mut t = TextTable::new(&[
+            "layer", "nnz", "nz_tiles", "format", "sigma", "bw_util", "cycles",
+        ]);
+        for (lname, w) in &weights {
+            let tiles = PartitionGrid::new(w, 8)?.nonzero_tiles();
+            for format in [FormatKind::Bcsr, FormatKind::Csr, FormatKind::Coo] {
+                let r = platform.run(w, format)?;
+                t.row(&[
+                    lname.clone(),
+                    w.nnz().to_string(),
+                    tiles.to_string(),
+                    format.to_string(),
+                    f3(r.sigma()),
+                    f3(r.bandwidth_utilization()),
+                    r.total_cycles.to_string(),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+    }
+
+    println!(
+        "§8: \"for less sparse (density > 0.1) applications such as the \n\
+         inference of neural networks [...] extracting the non-zero \n\
+         partitions can be done with the aid of structure pruning schemes\" \n\
+         — block pruning leaves far fewer non-zero tiles, so every format \n\
+         moves less data and finishes in fewer cycles at identical accuracy."
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Copernicus reproduction workspace.
+//!
+//! Re-exports the public APIs of the member crates so examples and
+//! integration tests can reach everything through one dependency:
+//!
+//! * [`sparsemat`] — the sparse-format substrate,
+//! * `workloads` ([`copernicus_workloads`]) — workload generators and the
+//!   Table-1 registry,
+//! * `hls` ([`copernicus_hls`]) — the cycle-level hardware model,
+//! * `solvers` ([`copernicus_solvers`]) — the application kernels §3.3
+//!   motivates (CG/BiCGSTAB, PageRank/BFS, sparse NN inference),
+//! * [`copernicus`] — metrics, the experiment runner and figure drivers.
+
+pub use copernicus;
+pub use copernicus_hls as hls;
+pub use copernicus_solvers as solvers;
+pub use copernicus_workloads as workloads;
+pub use sparsemat;

@@ -1,0 +1,57 @@
+//! MatrixMarket interop: matrices survive a disk round trip and feed the
+//! characterization identically to their in-memory originals.
+
+use copernicus_repro::hls::{HwConfig, Platform};
+use copernicus_repro::sparsemat::{FormatKind, Matrix};
+use copernicus_repro::workloads::{mtx, seeded_rng, Workload, SUITE};
+use std::io::Cursor;
+
+#[test]
+fn every_suite_stand_in_round_trips_through_mtx() {
+    for suite in SUITE.iter().take(8) {
+        let m = suite.generate(128, 5);
+        let mut buf = Vec::new();
+        mtx::write_mtx(&mut buf, &m).unwrap();
+        let back = mtx::read_mtx(Cursor::new(&buf)).unwrap();
+        assert!(
+            m.to_dense().structurally_eq(&back),
+            "{} changed across the mtx round trip",
+            suite.id
+        );
+    }
+}
+
+#[test]
+fn characterization_is_identical_for_loaded_matrices() {
+    let m = Workload::Band { n: 96, width: 16 }.generate(0, 7);
+    let mut buf = Vec::new();
+    mtx::write_mtx(&mut buf, &m).unwrap();
+    let loaded = mtx::read_mtx(Cursor::new(&buf)).unwrap();
+
+    let platform = Platform::new(HwConfig::with_partition_size(16)).unwrap();
+    for kind in FormatKind::CHARACTERIZED {
+        let a = platform.run(&m, kind).unwrap();
+        let b = platform.run(&loaded, kind).unwrap();
+        assert_eq!(a, b, "{kind} report changed after mtx round trip");
+    }
+}
+
+#[test]
+fn mtx_files_written_to_disk_are_readable() {
+    let dir = std::env::temp_dir().join("copernicus_mtx_interop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("band.mtx");
+
+    let m = copernicus_repro::workloads::band::band(32, 4, &mut seeded_rng(1));
+    let mut file = std::fs::File::create(&path).unwrap();
+    mtx::write_mtx(&mut file, &m).unwrap();
+    drop(file);
+
+    let back = mtx::read_mtx(std::io::BufReader::new(
+        std::fs::File::open(&path).unwrap(),
+    ))
+    .unwrap();
+    assert_eq!(back.nnz(), m.nnz());
+    assert!(m.to_dense().structurally_eq(&back));
+    std::fs::remove_dir_all(&dir).ok();
+}
