@@ -12,9 +12,9 @@ fn bench_decompress(c: &mut Criterion) {
     for (name, density) in [("sparse", 0.05), ("dense", 0.5)] {
         let tile = random::uniform_square(16, density, &mut seeded_rng(1));
         let mut group = c.benchmark_group(format!("decompress/{name}"));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(20);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.sample_size(20);
         for kind in FormatKind::CHARACTERIZED {
             let part = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
             group.bench_with_input(BenchmarkId::from_parameter(kind), &part, |b, part| {

@@ -13,13 +13,27 @@ fn bench_figures(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(20);
     group.sample_size(10);
-    group.bench_function("fig03", |b| b.iter(|| black_box(ex::fig03::run(&cfg).unwrap())));
-    group.bench_function("fig05", |b| b.iter(|| black_box(ex::fig05::run(&cfg).unwrap())));
-    group.bench_function("fig06", |b| b.iter(|| black_box(ex::fig06::run(&cfg).unwrap())));
-    group.bench_function("fig10", |b| b.iter(|| black_box(ex::fig10::run(&cfg).unwrap())));
-    group.bench_function("fig11", |b| b.iter(|| black_box(ex::fig11::run(&cfg).unwrap())));
-    group.bench_function("table2", |b| b.iter(|| black_box(ex::table2::run(&[8, 16, 32]))));
-    group.bench_function("fig13", |b| b.iter(|| black_box(ex::fig13::run(&[8, 16, 32]))));
+    group.bench_function("fig03", |b| {
+        b.iter(|| black_box(ex::fig03::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig05", |b| {
+        b.iter(|| black_box(ex::fig05::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig06", |b| {
+        b.iter(|| black_box(ex::fig06::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig10", |b| {
+        b.iter(|| black_box(ex::fig10::run(&cfg).unwrap()))
+    });
+    group.bench_function("fig11", |b| {
+        b.iter(|| black_box(ex::fig11::run(&cfg).unwrap()))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(ex::table2::run(&[8, 16, 32])))
+    });
+    group.bench_function("fig13", |b| {
+        b.iter(|| black_box(ex::fig13::run(&[8, 16, 32])))
+    });
     group.finish();
 }
 

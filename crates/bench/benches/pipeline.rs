@@ -12,14 +12,17 @@ fn bench_pipeline(c: &mut Criterion) {
     hw.verify_functional = false;
     let platform = Platform::new(hw).unwrap();
     let workloads = [
-        ("random", random::uniform_square(256, 0.02, &mut seeded_rng(4))),
+        (
+            "random",
+            random::uniform_square(256, 0.02, &mut seeded_rng(4)),
+        ),
         ("band", band::band(256, 16, &mut seeded_rng(5))),
     ];
     for (name, matrix) in &workloads {
         let mut group = c.benchmark_group(format!("pipeline/{name}"));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.sample_size(20);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.sample_size(20);
         for kind in FormatKind::CHARACTERIZED {
             group.bench_with_input(BenchmarkId::from_parameter(kind), matrix, |b, m| {
                 b.iter(|| black_box(platform.run(m, kind).unwrap()));

@@ -18,7 +18,14 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| black_box(band::band(512, 16, &mut seeded_rng(2))));
     });
     group.bench_function("rmat_scale9_4k_edges", |b| {
-        b.iter(|| black_box(rmat::rmat(9, 4096, RmatParams::GRAPH500, &mut seeded_rng(3))));
+        b.iter(|| {
+            black_box(rmat::rmat(
+                9,
+                4096,
+                RmatParams::GRAPH500,
+                &mut seeded_rng(3),
+            ))
+        });
     });
     group.bench_function("circuit_512", |b| {
         b.iter(|| black_box(circuit::circuit(512, 4.0, 0.9, &mut seeded_rng(4))));

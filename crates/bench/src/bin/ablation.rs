@@ -46,7 +46,11 @@ fn base() -> HwConfig {
 fn main() {
     let cli = Cli::from_env();
     let dim = cli.cfg.sweep_dim.max(192);
-    let random = Workload::Random { n: dim, density: 0.05 }.generate(0, cli.cfg.seed);
+    let random = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
     let band = Workload::Band { n: dim, width: 16 }.generate(0, cli.cfg.seed);
 
     // BRAM read latency: CSR pays one offsets read per row, LIL one per

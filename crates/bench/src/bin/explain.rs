@@ -15,7 +15,11 @@ use sparsemat::{FormatKind, Matrix, PartitionGrid};
 fn main() {
     let cli = Cli::from_env();
     let dim = cli.cfg.sweep_dim.max(128);
-    let matrix = Workload::Random { n: dim, density: 0.05 }.generate(0, cli.cfg.seed);
+    let matrix = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
     let cfg = HwConfig::with_partition_size(16);
     let grid = PartitionGrid::new(&matrix, 16).expect("partitioning");
 

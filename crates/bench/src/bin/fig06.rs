@@ -7,10 +7,12 @@ use copernicus_bench::{emit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    let rows = fig06::run(&cli.cfg).unwrap_or_else(|e| {
+    let mut telemetry = cli.telemetry();
+    let rows = fig06::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
         eprintln!("fig06 failed: {e}");
         std::process::exit(1);
     });
+    telemetry.finish(fig06::manifest(&cli.cfg));
     emit(&cli, &fig06::render(&rows));
     if cli.chart {
         let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();

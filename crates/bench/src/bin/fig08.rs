@@ -9,10 +9,12 @@ use copernicus_bench::{emit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    let rows = fig08::run(&cli.cfg).unwrap_or_else(|e| {
+    let mut telemetry = cli.telemetry();
+    let rows = fig08::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
         eprintln!("fig08 failed: {e}");
         std::process::exit(1);
     });
+    telemetry.finish(fig08::manifest(&cli.cfg));
     emit(&cli, &fig08::render(&rows));
     if cli.chart {
         let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();

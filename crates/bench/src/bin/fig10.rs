@@ -7,10 +7,12 @@ use copernicus_bench::{emit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    let rows = fig10::run(&cli.cfg).unwrap_or_else(|e| {
+    let mut telemetry = cli.telemetry();
+    let rows = fig10::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
         eprintln!("fig10 failed: {e}");
         std::process::exit(1);
     });
+    telemetry.finish(fig10::manifest(&cli.cfg));
     emit(&cli, &fig10::render(&rows));
     if cli.chart {
         let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();

@@ -5,9 +5,11 @@ use copernicus_bench::{emit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    let rows = fig12::run(&cli.cfg).unwrap_or_else(|e| {
+    let mut telemetry = cli.telemetry();
+    let rows = fig12::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
         eprintln!("fig12 failed: {e}");
         std::process::exit(1);
     });
+    telemetry.finish(fig12::manifest(&cli.cfg));
     emit(&cli, &fig12::render(&rows));
 }

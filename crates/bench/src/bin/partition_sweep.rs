@@ -6,9 +6,12 @@ use copernicus_bench::{emit_named, Cli};
 
 fn main() {
     let cli = Cli::from_env();
-    let rows = ext_partition_sweep::run(&cli.cfg).unwrap_or_else(|e| {
-        eprintln!("partition_sweep failed: {e}");
-        std::process::exit(1);
-    });
+    let mut telemetry = cli.telemetry();
+    let rows = ext_partition_sweep::run_with(&cli.cfg, &mut telemetry.instruments())
+        .unwrap_or_else(|e| {
+            eprintln!("partition_sweep failed: {e}");
+            std::process::exit(1);
+        });
+    telemetry.finish(ext_partition_sweep::manifest(&cli.cfg));
     emit_named(&cli, "partition_sweep", &ext_partition_sweep::render(&rows));
 }

@@ -10,57 +10,107 @@ fn section(title: &str) {
 
 fn main() {
     let cli = Cli::from_env();
+    let mut telemetry = cli.telemetry();
     let cfg = &cli.cfg;
 
     section("Table 1: SuiteSparse workloads");
     emit_named(&cli, "table1", &ex::table1::render());
 
     section("Fig 3: partition density & locality");
-    emit_named(&cli, "fig03", &ex::fig03::render(&ex::fig03::run(cfg).expect("fig03")));
+    emit_named(
+        &cli,
+        "fig03",
+        &ex::fig03::render(&ex::fig03::run(cfg).expect("fig03")),
+    );
 
     section("Fig 4: decompression overhead (SuiteSparse, p=16)");
-    emit_named(&cli, "fig04", &ex::fig04::render(&ex::fig04::run(cfg).expect("fig04")));
+    emit_named(
+        &cli,
+        "fig04",
+        &ex::fig04::render(&ex::fig04::run_with(cfg, &mut telemetry.instruments()).expect("fig04")),
+    );
 
     section("Fig 5: decompression overhead vs density (random, p=16)");
-    emit_named(&cli, "fig05", &ex::fig05::render(&ex::fig05::run(cfg).expect("fig05")));
+    emit_named(
+        &cli,
+        "fig05",
+        &ex::fig05::render(&ex::fig05::run_with(cfg, &mut telemetry.instruments()).expect("fig05")),
+    );
 
     section("Fig 6: decompression overhead vs band width (p=16)");
-    emit_named(&cli, "fig06", &ex::fig06::render(&ex::fig06::run(cfg).expect("fig06")));
+    emit_named(
+        &cli,
+        "fig06",
+        &ex::fig06::render(&ex::fig06::run_with(cfg, &mut telemetry.instruments()).expect("fig06")),
+    );
 
     section("Fig 10: bandwidth utilization vs density (p=16)");
-    emit_named(&cli, "fig10", &ex::fig10::render(&ex::fig10::run(cfg).expect("fig10")));
+    emit_named(
+        &cli,
+        "fig10",
+        &ex::fig10::render(&ex::fig10::run_with(cfg, &mut telemetry.instruments()).expect("fig10")),
+    );
 
     section("Fig 11: bandwidth utilization vs band width (p=16)");
-    emit_named(&cli, "fig11", &ex::fig11::render(&ex::fig11::run(cfg).expect("fig11")));
+    emit_named(
+        &cli,
+        "fig11",
+        &ex::fig11::render(&ex::fig11::run_with(cfg, &mut telemetry.instruments()).expect("fig11")),
+    );
 
     // Figs 7, 8, 9, 12 and 14 all consume the same workload × format ×
     // partition-size campaign; run it once and aggregate.
     eprintln!("[repro_all] running the shared full campaign ...");
-    let campaign = copernicus::characterize(
+    let campaign = copernicus::characterize_with(
         &ex::fig07::all_class_workloads(cfg),
         &ex::FIGURE_FORMATS,
         &ex::FIGURE_PARTITION_SIZES,
         cfg,
+        &mut telemetry.instruments(),
     )
     .expect("campaign");
 
     section("Fig 7: mean decompression overhead per class and partition size");
-    emit_named(&cli, "fig07", &ex::fig07::render(&ex::fig07::aggregate(&campaign)));
+    emit_named(
+        &cli,
+        "fig07",
+        &ex::fig07::render(&ex::fig07::aggregate(&campaign)),
+    );
 
     section("Fig 8: memory vs compute latency (balance ratio)");
-    emit_named(&cli, "fig08", &ex::fig08::render(&ex::fig08::rows_from(&campaign)));
+    emit_named(
+        &cli,
+        "fig08",
+        &ex::fig08::render(&ex::fig08::rows_from(&campaign)),
+    );
 
     section("Fig 9: throughput vs latency");
-    emit_named(&cli, "fig09", &ex::fig09::render(&ex::fig09::from_measurements(&campaign)));
+    emit_named(
+        &cli,
+        "fig09",
+        &ex::fig09::render(&ex::fig09::from_measurements(&campaign)),
+    );
 
     section("Fig 12: mean bandwidth utilization per class and partition size");
-    emit_named(&cli, "fig12", &ex::fig12::render(&ex::fig12::aggregate(&campaign)));
+    emit_named(
+        &cli,
+        "fig12",
+        &ex::fig12::render(&ex::fig12::aggregate(&campaign)),
+    );
 
     section("Table 2: FPGA resources & dynamic power");
-    emit_named(&cli, "table2", &ex::table2::render(&ex::table2::run(&[8, 16, 32])));
+    emit_named(
+        &cli,
+        "table2",
+        &ex::table2::render(&ex::table2::run(&[8, 16, 32])),
+    );
 
     section("Fig 13: dynamic power breakdown");
-    emit_named(&cli, "fig13", &ex::fig13::render(&ex::fig13::run(&[8, 16, 32])));
+    emit_named(
+        &cli,
+        "fig13",
+        &ex::fig13::render(&ex::fig13::run(&[8, 16, 32])),
+    );
 
     section("Fig 14: normalized six-metric summary");
     emit_named(
@@ -74,5 +124,17 @@ fn main() {
         &cli,
         "insights",
         &copernicus::insights::render(&copernicus::insights::verify(&campaign)),
+    );
+
+    // One manifest covers the whole reproduction; the trace and metrics
+    // accumulate across every figure above.
+    telemetry.finish(
+        copernicus::manifest_for(
+            cfg,
+            &ex::fig07::all_class_workloads(cfg),
+            &ex::FIGURE_FORMATS,
+            &ex::FIGURE_PARTITION_SIZES,
+        )
+        .with_note("binary=repro_all (trace covers all figures)"),
     );
 }

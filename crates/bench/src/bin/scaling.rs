@@ -16,13 +16,22 @@ use sparsemat::FormatKind;
 fn main() {
     let cli = Cli::from_env();
     let dim = cli.cfg.sweep_dim.max(256);
-    let matrix = Workload::Random { n: dim, density: 0.05 }.generate(0, cli.cfg.seed);
+    let matrix = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
     let mut hw = HwConfig::with_partition_size(16);
     hw.verify_functional = false;
     let platform = Platform::new(hw).expect("valid config");
 
     let mut t = TextTable::new(&[
-        "format", "lanes", "total_cycles", "speedup", "efficiency", "bound",
+        "format",
+        "lanes",
+        "total_cycles",
+        "speedup",
+        "efficiency",
+        "bound",
     ]);
     for format in FormatKind::CHARACTERIZED {
         for lanes in [1usize, 2, 4, 8, 16] {
@@ -33,7 +42,12 @@ fn main() {
                 r.total_cycles.to_string(),
                 f3(r.speedup()),
                 f3(r.efficiency()),
-                if r.is_memory_bound() { "memory" } else { "compute" }.to_string(),
+                if r.is_memory_bound() {
+                    "memory"
+                } else {
+                    "compute"
+                }
+                .to_string(),
             ]);
         }
     }

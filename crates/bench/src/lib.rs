@@ -8,8 +8,14 @@
 //! * `--suite-dim N` — override the suite stand-in dimension cap.
 //! * `--seed N` — workload generation seed.
 //! * `--tsv` — print tab-separated values instead of the aligned table.
+//! * `--trace FILE` — write a Chrome trace-event JSON of every modeled
+//!   pipeline run (open in Perfetto or `chrome://tracing`).
+//! * `--manifest FILE` — write a reproducibility manifest (hardware
+//!   config, seed, workloads, versions) as JSON.
+//! * `--progress` — print one progress line per run to stderr.
 
-use copernicus::ExperimentConfig;
+use copernicus::{ExperimentConfig, Instruments};
+use copernicus_telemetry::{ChromeTraceWriter, MetricsRegistry, RunManifest};
 
 /// Parsed command line shared by all regeneration binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +29,12 @@ pub struct Cli {
     /// When set, also write each emitted artifact as TSV into this
     /// directory.
     pub out_dir: Option<std::path::PathBuf>,
+    /// When set, write a Chrome trace of every pipeline run to this file.
+    pub trace: Option<std::path::PathBuf>,
+    /// When set, write the run manifest (JSON) to this file.
+    pub manifest: Option<std::path::PathBuf>,
+    /// Print per-run progress lines to stderr.
+    pub progress: bool,
 }
 
 impl Cli {
@@ -36,15 +48,27 @@ impl Cli {
         let mut tsv = false;
         let mut chart = false;
         let mut out_dir = None;
+        let mut trace = None;
+        let mut manifest = None;
+        let mut progress = false;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--paper" => cfg = ExperimentConfig::paper(),
                 "--tsv" => tsv = true,
                 "--chart" => chart = true,
+                "--progress" => progress = true,
                 "--out" => {
                     let v = args.next().ok_or("--out needs a directory")?;
                     out_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--trace" => {
+                    let v = args.next().ok_or("--trace needs a file path")?;
+                    trace = Some(std::path::PathBuf::from(v));
+                }
+                "--manifest" => {
+                    let v = args.next().ok_or("--manifest needs a file path")?;
+                    manifest = Some(std::path::PathBuf::from(v));
                 }
                 "--dim" => {
                     let v = args.next().ok_or("--dim needs a value")?;
@@ -52,8 +76,9 @@ impl Cli {
                 }
                 "--suite-dim" => {
                     let v = args.next().ok_or("--suite-dim needs a value")?;
-                    cfg.suite_max_dim =
-                        v.parse().map_err(|e| format!("bad --suite-dim {v:?}: {e}"))?;
+                    cfg.suite_max_dim = v
+                        .parse()
+                        .map_err(|e| format!("bad --suite-dim {v:?}: {e}"))?;
                 }
                 "--seed" => {
                     let v = args.next().ok_or("--seed needs a value")?;
@@ -61,7 +86,7 @@ impl Cli {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--tsv] [--chart] [--out DIR]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress]"
                     ));
                 }
             }
@@ -71,7 +96,22 @@ impl Cli {
             tsv,
             chart,
             out_dir,
+            trace,
+            manifest,
+            progress,
         })
+    }
+
+    /// The telemetry bundle requested by the flags; see [`Telemetry`].
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry {
+            trace_path: self.trace.clone(),
+            manifest_path: self.manifest.clone(),
+            out_dir: self.out_dir.clone(),
+            progress: self.progress,
+            writer: ChromeTraceWriter::new(),
+            metrics: MetricsRegistry::new(),
+        }
     }
 
     /// Parses the process arguments, exiting with the usage message on
@@ -110,7 +150,10 @@ mod tests {
 
     #[test]
     fn overrides_apply_after_preset() {
-        let cli = parse(&["--paper", "--dim", "1000", "--seed", "7", "--tsv", "--chart"]).unwrap();
+        let cli = parse(&[
+            "--paper", "--dim", "1000", "--seed", "7", "--tsv", "--chart",
+        ])
+        .unwrap();
         assert_eq!(cli.cfg.sweep_dim, 1000);
         assert_eq!(cli.cfg.seed, 7);
         assert!(cli.tsv);
@@ -129,6 +172,114 @@ mod tests {
     fn out_dir_is_parsed() {
         let cli = parse(&["--out", "/tmp/x"]).unwrap();
         assert_eq!(cli.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn telemetry_flags_are_parsed() {
+        let cli = parse(&[
+            "--trace",
+            "/tmp/t.json",
+            "--manifest",
+            "/tmp/m.json",
+            "--progress",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(
+            cli.manifest.as_deref(),
+            Some(std::path::Path::new("/tmp/m.json"))
+        );
+        assert!(cli.progress);
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--manifest"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_to_no_artifacts() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.trace, None);
+        assert_eq!(cli.manifest, None);
+        assert!(!cli.progress);
+    }
+
+    #[test]
+    fn sink_is_attached_only_when_tracing() {
+        let mut quiet = parse(&[]).unwrap().telemetry();
+        let instruments = quiet.instruments();
+        assert!(instruments.sink.is_none());
+        assert!(instruments.metrics.is_some());
+
+        let mut traced = parse(&["--trace", "/tmp/t.json"]).unwrap().telemetry();
+        assert!(traced.instruments().sink.is_some());
+    }
+}
+
+/// The observability artifacts a binary was asked to produce, bundled so
+/// every driver wires them identically:
+///
+/// ```text
+/// let cli = Cli::from_env();
+/// let mut telemetry = cli.telemetry();
+/// let table = fig05::run_with(&cli.cfg, &mut telemetry.instruments())?;
+/// telemetry.finish(copernicus::manifest_for(..));
+/// ```
+///
+/// [`Telemetry::finish`] writes the Chrome trace (`--trace`), the run
+/// manifest (`--manifest`) and — when `--out` was given — the campaign
+/// metrics as `metrics.tsv`. I/O failures are reported on stderr but never
+/// abort the run.
+#[derive(Debug)]
+pub struct Telemetry {
+    trace_path: Option<std::path::PathBuf>,
+    manifest_path: Option<std::path::PathBuf>,
+    out_dir: Option<std::path::PathBuf>,
+    progress: bool,
+    /// The Chrome trace accumulated across every pipeline run.
+    pub writer: ChromeTraceWriter,
+    /// Campaign-level counters and histograms.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// The instruments to thread through `run_with`/`characterize_with`.
+    ///
+    /// The trace sink is only attached when `--trace` was given, so an
+    /// untraced run keeps the zero-cost no-op path through the platform.
+    pub fn instruments(&mut self) -> Instruments<'_> {
+        let mut instruments = Instruments::none().with_metrics(&self.metrics);
+        if self.progress {
+            instruments = instruments.with_progress();
+        }
+        if self.trace_path.is_some() {
+            instruments = instruments.with_sink(&mut self.writer);
+        }
+        instruments
+    }
+
+    /// Writes every requested artifact. Call once, after the last run.
+    pub fn finish(self, manifest: RunManifest) {
+        if let Some(path) = &self.trace_path {
+            if let Err(e) = self.writer.save(path) {
+                eprintln!("warning: could not write trace {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &self.manifest_path {
+            if let Err(e) = manifest.save(path) {
+                eprintln!("warning: could not write manifest {}: {e}", path.display());
+            }
+        }
+        if let Some(dir) = &self.out_dir {
+            if !self.metrics.counter_names().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join("metrics.tsv"), self.metrics.to_tsv()))
+                {
+                    eprintln!("warning: could not write metrics.tsv: {e}");
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,100 @@
+//! End-to-end check of the observability artifacts: a real (tiny) campaign
+//! driven through the [`Telemetry`](copernicus_bench::Telemetry) bundle must
+//! leave a Chrome trace-event JSON file that parses, a manifest that round
+//! trips, and a metrics TSV — exactly what `fig05 --trace ... --manifest ...
+//! --out ...` writes.
+
+use copernicus::{characterize_with, manifest_for, ExperimentConfig};
+use copernicus_bench::Cli;
+use copernicus_telemetry::RunManifest;
+use copernicus_workloads::Workload;
+use sparsemat::FormatKind;
+
+fn scratch_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "copernicus-bench-telemetry-{}-{test}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_tiny_campaign(dir: &std::path::Path) -> usize {
+    let trace = dir.join("trace.json");
+    let manifest = dir.join("manifest.json");
+    let args = [
+        "--trace",
+        trace.to_str().unwrap(),
+        "--manifest",
+        manifest.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ];
+    let cli = Cli::parse(args.iter().map(|s| s.to_string())).unwrap();
+    let mut telemetry = cli.telemetry();
+
+    let cfg = ExperimentConfig::quick();
+    let workloads = [Workload::Random {
+        n: 64,
+        density: 0.08,
+    }];
+    let formats = [FormatKind::Csr, FormatKind::Coo];
+    let ms = characterize_with(
+        &workloads,
+        &formats,
+        &[16],
+        &cfg,
+        &mut telemetry.instruments(),
+    )
+    .expect("campaign runs");
+    telemetry.finish(manifest_for(&cfg, &workloads, &formats, &[16]));
+    ms.len()
+}
+
+#[test]
+fn emitted_trace_is_valid_chrome_trace_json() {
+    let dir = scratch_dir("trace");
+    let runs = run_tiny_campaign(&dir);
+
+    let text = std::fs::read_to_string(dir.join("trace.json")).expect("trace file exists");
+    let doc = serde::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut spans = 0;
+    for e in events {
+        // Every entry is a trace event with the mandatory fields.
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph:?}");
+        assert!(e.get("pid").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+        if ph == "X" {
+            spans += 1;
+            assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_u64()).is_some());
+        }
+    }
+    // Four stage spans (mem, compute, decompress, write-back) per partition,
+    // and a 64x64 matrix at p=16 has 16 partitions per run.
+    assert_eq!(spans, runs * 16 * 4);
+}
+
+#[test]
+fn emitted_manifest_round_trips_and_metrics_tsv_is_written() {
+    let dir = scratch_dir("manifest");
+    let runs = run_tiny_campaign(&dir);
+
+    let text = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest file exists");
+    let manifest = RunManifest::from_json(&text).expect("manifest parses");
+    assert_eq!(manifest.seed, ExperimentConfig::quick().seed);
+    assert_eq!(manifest.formats, vec!["CSR".to_string(), "COO".to_string()]);
+    assert_eq!(manifest.partition_sizes, vec![16]);
+
+    let tsv = std::fs::read_to_string(dir.join("metrics.tsv")).expect("metrics.tsv exists");
+    let header = tsv.lines().next().expect("header line");
+    assert!(header.starts_with("metric\tkind"));
+    assert!(tsv.contains(&format!("runs\tcounter\t{runs}")));
+}

@@ -4,7 +4,7 @@
 //! partitioning of size 8×8 or at most 16×16 hurt the performance even
 //! though it might help reduce the memory footprint."
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::table::{eng, f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -12,6 +12,29 @@ use sparsemat::FormatKind;
 
 /// The extended partition sweep (the paper stops at 32).
 pub const SWEEP_SIZES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// The formats carried through the sweep.
+pub const SWEEP_FORMATS: [FormatKind; 4] = [
+    FormatKind::Csr,
+    FormatKind::Bcsr,
+    FormatKind::Coo,
+    FormatKind::Ell,
+];
+
+/// The two sweep workloads: a sparse (0.01) and an NN-dense (0.3) random
+/// matrix.
+pub fn sweep_workloads(cfg: &ExperimentConfig) -> [Workload; 2] {
+    [
+        Workload::Random {
+            n: cfg.sweep_dim,
+            density: 0.01,
+        },
+        Workload::Random {
+            n: cfg.sweep_dim,
+            density: 0.3,
+        },
+    ]
+}
 
 /// One point of the sweep.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -36,12 +59,26 @@ pub struct PartitionSweepRow {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<PartitionSweepRow>, PlatformError> {
-    let workloads = [
-        Workload::Random { n: cfg.sweep_dim, density: 0.01 },
-        Workload::Random { n: cfg.sweep_dim, density: 0.3 },
-    ];
-    let formats = [FormatKind::Csr, FormatKind::Bcsr, FormatKind::Coo, FormatKind::Ell];
-    let ms = characterize(&workloads, &formats, &SWEEP_SIZES, cfg)?;
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<PartitionSweepRow>, PlatformError> {
+    let ms = characterize_with(
+        &sweep_workloads(cfg),
+        &SWEEP_FORMATS,
+        &SWEEP_SIZES,
+        cfg,
+        instruments,
+    )?;
     Ok(ms
         .iter()
         .map(|m| PartitionSweepRow {
@@ -53,6 +90,12 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<PartitionSweepRow>, PlatformErr
             total_bytes: m.report.total_bytes,
         })
         .collect())
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(cfg, &sweep_workloads(cfg), &SWEEP_FORMATS, &SWEEP_SIZES)
+        .with_note("figure=partition_sweep")
 }
 
 /// Renders the rows as an aligned table.

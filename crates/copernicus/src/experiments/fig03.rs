@@ -82,10 +82,7 @@ mod tests {
         // concentrate density.
         for r in run(&ExperimentConfig::quick()).unwrap() {
             assert!((0.0..=100.0).contains(&r.partition_density_pct), "{r:?}");
-            assert!(
-                r.row_density_pct >= r.partition_density_pct - 1e-9,
-                "{r:?}"
-            );
+            assert!(r.row_density_pct >= r.partition_density_pct - 1e-9, "{r:?}");
         }
     }
 

@@ -2,7 +2,7 @@
 //! SuiteSparse workloads, partition size 16 (lower is better; the darkness
 //! of the paper's bars encodes density, reported here as a column).
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -27,11 +27,25 @@ pub struct Fig04Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig04Row>, PlatformError> {
-    let ms = characterize(
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig04Row>, PlatformError> {
+    let ms = characterize_with(
         &Workload::paper_suite(),
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],
         cfg,
+        instruments,
     )?;
     Ok(ms
         .into_iter()
@@ -42,6 +56,17 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig04Row>, PlatformError> {
             sigma: m.sigma(),
         })
         .collect())
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &Workload::paper_suite(),
+        &super::FIGURE_FORMATS,
+        &[super::DEFAULT_PARTITION],
+    )
+    .with_note("figure=fig04")
 }
 
 /// Renders the rows as an aligned table.
@@ -86,7 +111,11 @@ mod tests {
         // be the worst format on a clear majority of workloads.
         let rows = rows();
         let mean = |f: FormatKind| {
-            let v: Vec<f64> = rows.iter().filter(|r| r.format == f).map(|r| r.sigma).collect();
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.format == f)
+                .map(|r| r.sigma)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let csc = mean(FormatKind::Csc);
@@ -108,7 +137,9 @@ mod tests {
                         .sigma
                 };
                 let csc = of(FormatKind::Csc);
-                super::super::FIGURE_FORMATS.iter().all(|&f| csc >= of(f) - 1e-9)
+                super::super::FIGURE_FORMATS
+                    .iter()
+                    .all(|&f| csc >= of(f) - 1e-9)
             })
             .count();
         assert!(
@@ -122,6 +153,8 @@ mod tests {
     fn some_sparse_formats_beat_dense_on_sparse_workloads() {
         // Bars below 1.0 exist: "bars lower than one illustrate faster
         // computation than the baseline dense format."
-        assert!(rows().iter().any(|r| r.format != FormatKind::Dense && r.sigma < 1.0));
+        assert!(rows()
+            .iter()
+            .any(|r| r.format != FormatKind::Dense && r.sigma < 1.0));
     }
 }

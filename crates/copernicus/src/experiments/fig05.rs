@@ -1,7 +1,7 @@
 //! Fig. 5 — σ of the seven formats on random matrices as density sweeps
 //! from 0.0001 to 0.5, partition size 16.
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -24,12 +24,26 @@ pub struct Fig05Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig05Row>, PlatformError> {
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig05Row>, PlatformError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
-    let ms = characterize(
+    let ms = characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],
         cfg,
+        instruments,
     )?;
     Ok(workloads
         .iter()
@@ -50,11 +64,26 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig05Row>, PlatformError> {
         .collect())
 }
 
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &Workload::paper_random_sweep(cfg.sweep_dim),
+        &super::FIGURE_FORMATS,
+        &[super::DEFAULT_PARTITION],
+    )
+    .with_note("figure=fig05")
+}
+
 /// Renders the rows as an aligned table.
 pub fn render(rows: &[Fig05Row]) -> String {
     let mut t = TextTable::new(&["density", "format", "sigma"]);
     for r in rows {
-        t.row(&[format!("{:.4}", r.density), r.format.to_string(), f3(r.sigma)]);
+        t.row(&[
+            format!("{:.4}", r.density),
+            r.format.to_string(),
+            f3(r.sigma),
+        ]);
     }
     t.render()
 }
@@ -101,7 +130,11 @@ mod tests {
         // over the density sweep.
         let rows = rows();
         let spread = |f: FormatKind| {
-            let vals: Vec<f64> = rows.iter().filter(|r| r.format == f).map(|r| r.sigma).collect();
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.format == f)
+                .map(|r| r.sigma)
+                .collect();
             let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
             max / min

@@ -1,7 +1,7 @@
 //! Fig. 7 — average σ of the seven formats for the three workload classes
 //! (SuiteSparse, random, band) at partition sizes 8, 16 and 32.
 
-use crate::measure::{characterize, ExperimentConfig, Measurement};
+use crate::measure::{characterize_with, ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::{Workload, WorkloadClass};
@@ -66,13 +66,38 @@ pub fn aggregate(ms: &[Measurement]) -> Vec<Fig07Row> {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig07Row>, PlatformError> {
-    let ms = characterize(
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig07Row>, PlatformError> {
+    let ms = characterize_with(
         &all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,
         cfg,
+        instruments,
     )?;
     Ok(aggregate(&ms))
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &all_class_workloads(cfg),
+        &super::FIGURE_FORMATS,
+        &super::FIGURE_PARTITION_SIZES,
+    )
+    .with_note("figure=fig07")
 }
 
 /// Renders the rows as an aligned table.

@@ -2,7 +2,7 @@
 //! format, workload and partition size (marker size in the paper encodes
 //! the partition size; points below the diagonal are compute-bound).
 
-use crate::measure::{characterize, ExperimentConfig, Measurement};
+use crate::measure::{characterize_with, ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::WorkloadClass;
@@ -57,19 +57,50 @@ fn to_row(m: &Measurement) -> Fig08Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig08Row>, PlatformError> {
-    let ms = characterize(
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig08Row>, PlatformError> {
+    let ms = characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,
         cfg,
+        instruments,
     )?;
     Ok(rows_from(&ms))
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &super::fig07::all_class_workloads(cfg),
+        &super::FIGURE_FORMATS,
+        &super::FIGURE_PARTITION_SIZES,
+    )
+    .with_note("figure=fig08")
 }
 
 /// Renders the rows as an aligned table.
 pub fn render(rows: &[Fig08Row]) -> String {
     let mut t = TextTable::new(&[
-        "class", "workload", "format", "p", "mem_cycles", "compute_cycles", "balance",
+        "class",
+        "workload",
+        "format",
+        "p",
+        "mem_cycles",
+        "compute_cycles",
+        "balance",
     ]);
     for r in rows {
         t.row(&[

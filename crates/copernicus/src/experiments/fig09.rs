@@ -2,7 +2,7 @@
 //! format, with one line per partition size (the paper draws thicker lines
 //! for larger partitions) and density as the parameter along each line.
 
-use crate::measure::{characterize, ExperimentConfig, Measurement};
+use crate::measure::{characterize_with, ExperimentConfig, Measurement};
 use crate::table::{eng, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -30,12 +30,26 @@ pub struct Fig09Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig09Row>, PlatformError> {
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig09Row>, PlatformError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
-    let ms = characterize(
+    let ms = characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,
         cfg,
+        instruments,
     )?;
     Ok(from_measurements(&ms))
 }
@@ -52,6 +66,17 @@ pub fn from_measurements(ms: &[Measurement]) -> Vec<Fig09Row> {
             throughput_bps: m.throughput(),
         })
         .collect()
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &Workload::paper_random_sweep(cfg.sweep_dim),
+        &super::FIGURE_FORMATS,
+        &super::FIGURE_PARTITION_SIZES,
+    )
+    .with_note("figure=fig09")
 }
 
 /// Renders the rows as an aligned table.
@@ -111,7 +136,12 @@ mod tests {
         // §6.3: "for all formats but CSC, increasing partition size results
         // in higher throughput."
         let rows = rows();
-        for f in [FormatKind::Bcsr, FormatKind::Lil, FormatKind::Ell, FormatKind::Dia] {
+        for f in [
+            FormatKind::Bcsr,
+            FormatKind::Lil,
+            FormatKind::Ell,
+            FormatKind::Dia,
+        ] {
             let t8: f64 = rows
                 .iter()
                 .filter(|r| r.format == f && r.partition_size == 8)

@@ -1,7 +1,7 @@
 //! Fig. 10 — memory-bandwidth utilization on random matrices as density
 //! sweeps from 0.0001 to 0.5, partition size 16 (higher is better).
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -24,12 +24,26 @@ pub struct Fig10Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig10Row>, PlatformError> {
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig10Row>, PlatformError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
-    let ms = characterize(
+    let ms = characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],
         cfg,
+        instruments,
     )?;
     Ok(workloads
         .iter()
@@ -46,6 +60,17 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig10Row>, PlatformError> {
             })
         })
         .collect())
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &Workload::paper_random_sweep(cfg.sweep_dim),
+        &super::FIGURE_FORMATS,
+        &[super::DEFAULT_PARTITION],
+    )
+    .with_note("figure=fig10")
 }
 
 /// Renders the rows as an aligned table.

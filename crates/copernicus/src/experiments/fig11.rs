@@ -1,7 +1,7 @@
 //! Fig. 11 — memory-bandwidth utilization on band matrices as the width
 //! sweeps from 1 to 64, partition size 16.
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -24,12 +24,26 @@ pub struct Fig11Row {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig11Row>, PlatformError> {
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig11Row>, PlatformError> {
     let workloads = Workload::paper_band_sweep(cfg.sweep_dim);
-    let ms = characterize(
+    let ms = characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],
         cfg,
+        instruments,
     )?;
     Ok(workloads
         .iter()
@@ -46,6 +60,17 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig11Row>, PlatformError> {
             })
         })
         .collect())
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &Workload::paper_band_sweep(cfg.sweep_dim),
+        &super::FIGURE_FORMATS,
+        &[super::DEFAULT_PARTITION],
+    )
+    .with_note("figure=fig11")
 }
 
 /// Renders the rows as an aligned table.

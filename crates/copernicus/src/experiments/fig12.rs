@@ -1,7 +1,7 @@
 //! Fig. 12 — average memory-bandwidth utilization per workload class and
 //! partition size (higher is better).
 
-use crate::measure::{characterize, ExperimentConfig, Measurement};
+use crate::measure::{characterize_with, ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::WorkloadClass;
@@ -56,13 +56,38 @@ pub fn aggregate(ms: &[Measurement]) -> Vec<Fig12Row> {
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig12Row>, PlatformError> {
-    let ms = characterize(
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig12Row>, PlatformError> {
+    let ms = characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,
         cfg,
+        instruments,
     )?;
     Ok(aggregate(&ms))
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &super::fig07::all_class_workloads(cfg),
+        &super::FIGURE_FORMATS,
+        &super::FIGURE_PARTITION_SIZES,
+    )
+    .with_note("figure=fig12")
 }
 
 /// Renders the rows as an aligned table.
@@ -111,7 +136,12 @@ mod tests {
         // §6.3: denser/structured matrices utilize bandwidth better than
         // extremely sparse ones for every format but COO.
         let rows = rows();
-        for f in [FormatKind::Ell, FormatKind::Lil, FormatKind::Dia, FormatKind::Csr] {
+        for f in [
+            FormatKind::Ell,
+            FormatKind::Lil,
+            FormatKind::Dia,
+            FormatKind::Csr,
+        ] {
             assert!(
                 util(&rows, WorkloadClass::Band, 16, f)
                     > util(&rows, WorkloadClass::SuiteSparse, 16, f),

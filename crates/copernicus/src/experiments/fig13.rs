@@ -77,7 +77,13 @@ mod tests {
         // steady as partition size increases" — allow small model noise for
         // ELL, whose LUT count genuinely shrinks at 32 in Table 2.
         let rows = rows();
-        for f in [FormatKind::Dense, FormatKind::Csr, FormatKind::Bcsr, FormatKind::Coo, FormatKind::Dia] {
+        for f in [
+            FormatKind::Dense,
+            FormatKind::Csr,
+            FormatKind::Bcsr,
+            FormatKind::Coo,
+            FormatKind::Dia,
+        ] {
             let at = |p: usize| {
                 rows.iter()
                     .find(|r| r.format == f && r.partition_size == p)

@@ -1,7 +1,7 @@
 //! Fig. 14 — the normalized six-metric summary per workload class
 //! (1 = best format on a metric within the class, 0 = worst).
 
-use crate::measure::{characterize, ExperimentConfig};
+use crate::measure::{characterize_with, ExperimentConfig};
 use crate::summary::{normalized_summary, MetricKind, SummaryRow};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
@@ -12,13 +12,38 @@ use copernicus_hls::PlatformError;
 ///
 /// Propagates platform failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<SummaryRow>, PlatformError> {
-    let ms = characterize(
+    run_with(cfg, &mut crate::Instruments::none())
+}
+
+/// Like [`run`], with campaign instruments attached (trace sink, metrics
+/// registry, progress reporting).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<SummaryRow>, PlatformError> {
+    let ms = characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,
         cfg,
+        instruments,
     )?;
     Ok(normalized_summary(&ms))
+}
+
+/// The reproducibility manifest for this figure's campaign.
+pub fn manifest(cfg: &ExperimentConfig) -> copernicus_telemetry::RunManifest {
+    crate::manifest_for(
+        cfg,
+        &super::fig07::all_class_workloads(cfg),
+        &super::FIGURE_FORMATS,
+        &super::FIGURE_PARTITION_SIZES,
+    )
+    .with_note("figure=fig14")
 }
 
 /// Renders the rows as an aligned table (one line per class × format).

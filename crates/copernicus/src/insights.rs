@@ -61,8 +61,16 @@ pub fn verify(ms: &[Measurement]) -> Vec<InsightCheck> {
 
     // 2. CSR allows a lower-bandwidth memory than dense.
     if let (Some(csr), Some(dense)) = (
-        mean(ms, |m| m.format == FormatKind::Csr, |m| m.mem_cycles() as f64),
-        mean(ms, |m| m.format == FormatKind::Dense, |m| m.mem_cycles() as f64),
+        mean(
+            ms,
+            |m| m.format == FormatKind::Csr,
+            |m| m.mem_cycles() as f64,
+        ),
+        mean(
+            ms,
+            |m| m.format == FormatKind::Dense,
+            |m| m.mem_cycles() as f64,
+        ),
     ) {
         out.push(InsightCheck {
             id: "csr-needs-less-bandwidth",
@@ -76,10 +84,26 @@ pub fn verify(ms: &[Measurement]) -> Vec<InsightCheck> {
     // 3. Generic COO beats specialized DIA on real-world workloads.
     let suite = |m: &Measurement| m.class == WorkloadClass::SuiteSparse;
     if let (Some(coo_t), Some(dia_t), Some(coo_u), Some(dia_u)) = (
-        mean(ms, |m| suite(m) && m.format == FormatKind::Coo, Measurement::total_seconds),
-        mean(ms, |m| suite(m) && m.format == FormatKind::Dia, Measurement::total_seconds),
-        mean(ms, |m| suite(m) && m.format == FormatKind::Coo, Measurement::bandwidth_utilization),
-        mean(ms, |m| suite(m) && m.format == FormatKind::Dia, Measurement::bandwidth_utilization),
+        mean(
+            ms,
+            |m| suite(m) && m.format == FormatKind::Coo,
+            Measurement::total_seconds,
+        ),
+        mean(
+            ms,
+            |m| suite(m) && m.format == FormatKind::Dia,
+            Measurement::total_seconds,
+        ),
+        mean(
+            ms,
+            |m| suite(m) && m.format == FormatKind::Coo,
+            Measurement::bandwidth_utilization,
+        ),
+        mean(
+            ms,
+            |m| suite(m) && m.format == FormatKind::Dia,
+            Measurement::bandwidth_utilization,
+        ),
     ) {
         out.push(InsightCheck {
             id: "generic-beats-specialized",
@@ -120,7 +144,11 @@ pub fn verify(ms: &[Measurement]) -> Vec<InsightCheck> {
             .iter()
             .filter(|&&f| f != FormatKind::Dia && f != FormatKind::Dense && f != FormatKind::Bcsr)
             .filter_map(|&f| {
-                mean(ms, |m| band(m) && m.format == f, Measurement::bandwidth_utilization)
+                mean(
+                    ms,
+                    |m| band(m) && m.format == f,
+                    Measurement::bandwidth_utilization,
+                )
             })
             .fold(0.0f64, f64::max);
         out.push(InsightCheck {

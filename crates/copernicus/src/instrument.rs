@@ -1,0 +1,174 @@
+//! Campaign instrumentation: optional observers threaded through
+//! [`characterize_with`](crate::characterize_with), plus the run-manifest
+//! builder.
+//!
+//! Everything here is opt-in. A campaign run with [`Instruments::none`] is
+//! byte-for-byte identical to an uninstrumented one.
+
+use crate::{ExperimentConfig, Measurement};
+use copernicus_telemetry::{MetricsRegistry, RunManifest, TraceSink};
+use copernicus_workloads::Workload;
+use sparsemat::FormatKind;
+
+/// The observers attached to one characterization campaign.
+#[derive(Default)]
+pub struct Instruments<'a> {
+    /// Receives pipeline events from every platform run.
+    pub sink: Option<&'a mut dyn TraceSink>,
+    /// Accumulates campaign-level counters and histograms.
+    pub metrics: Option<&'a MetricsRegistry>,
+    /// Prints one progress line per `workload × partition × format` run to
+    /// stderr.
+    pub progress: bool,
+}
+
+impl std::fmt::Debug for Instruments<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instruments")
+            .field("sink", &self.sink.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+impl<'a> Instruments<'a> {
+    /// No instrumentation at all (what plain `characterize` uses).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a trace sink.
+    pub fn with_sink(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a metrics registry.
+    pub fn with_metrics(mut self, metrics: &'a MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Enables per-run progress lines on stderr.
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Folds one finished measurement into the metrics registry.
+    pub(crate) fn record_measurement(&self, m: &Measurement) {
+        let Some(metrics) = self.metrics else { return };
+        let r = &m.report;
+        metrics.incr("runs", 1);
+        metrics.incr("partitions", r.partitions as u64);
+        metrics.incr("mem_cycles", r.total_mem_cycles);
+        metrics.incr("compute_cycles", r.total_compute_cycles);
+        metrics.incr("decomp_cycles", r.total_decomp_cycles);
+        metrics.incr("writeback_cycles", r.total_writeback_cycles);
+        metrics.incr("dot_issues", r.total_dot_issues);
+        metrics.incr("bytes", r.total_bytes);
+        metrics.incr("useful_bytes", r.useful_bytes);
+        metrics.incr("bram_reads", r.total_bram_reads);
+        metrics.observe("stage_cycles.mem", r.total_mem_cycles as f64);
+        metrics.observe("stage_cycles.compute", r.total_compute_cycles as f64);
+        metrics.observe("stage_cycles.decomp", r.total_decomp_cycles as f64);
+        metrics.observe("stage_cycles.writeback", r.total_writeback_cycles as f64);
+        metrics.observe("bytes_per_run", r.total_bytes as f64);
+        metrics.observe("sigma", r.sigma());
+        metrics.observe("balance_ratio", r.balance_ratio);
+    }
+}
+
+/// Builds the reproducibility manifest for a campaign: full hardware
+/// configuration, seed, and the swept workload/format/partition labels.
+pub fn manifest_for(
+    cfg: &ExperimentConfig,
+    workloads: &[Workload],
+    formats: &[FormatKind],
+    partition_sizes: &[usize],
+) -> RunManifest {
+    let mut manifest = RunManifest::new(cfg.seed, serde::Serialize::serialize(&cfg.hw));
+    manifest.workloads = workloads.iter().map(Workload::label).collect();
+    manifest.formats = formats.iter().map(|f| f.to_string()).collect();
+    manifest.partition_sizes = partition_sizes.to_vec();
+    manifest.notes.push(format!(
+        "suite_max_dim={} sweep_dim={}",
+        cfg.suite_max_dim, cfg.sweep_dim
+    ));
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize_with;
+    use copernicus_telemetry::{RecordingSink, Stage};
+
+    fn small_campaign() -> (Vec<Workload>, Vec<FormatKind>, Vec<usize>, ExperimentConfig) {
+        (
+            vec![Workload::Random {
+                n: 64,
+                density: 0.08,
+            }],
+            vec![FormatKind::Csr, FormatKind::Coo],
+            vec![16],
+            ExperimentConfig::quick(),
+        )
+    }
+
+    #[test]
+    fn instrumented_campaign_matches_plain_campaign() {
+        let (w, f, p, cfg) = small_campaign();
+        let plain = crate::characterize(&w, &f, &p, &cfg).unwrap();
+        let mut sink = RecordingSink::new();
+        let metrics = MetricsRegistry::new();
+        let mut instruments = Instruments::none()
+            .with_sink(&mut sink)
+            .with_metrics(&metrics);
+        let traced = characterize_with(&w, &f, &p, &cfg, &mut instruments).unwrap();
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn sink_sees_every_run_and_spans_sum_to_totals() {
+        let (w, f, p, cfg) = small_campaign();
+        let mut sink = RecordingSink::new();
+        let mut instruments = Instruments::none().with_sink(&mut sink);
+        let ms = characterize_with(&w, &f, &p, &cfg, &mut instruments).unwrap();
+        assert_eq!(sink.count("run_start"), ms.len());
+        assert_eq!(sink.count("run_complete"), ms.len());
+        let mem_total: u64 = ms.iter().map(|m| m.report.total_mem_cycles).sum();
+        assert_eq!(sink.stage_cycles(Stage::MemRead), mem_total);
+    }
+
+    #[test]
+    fn metrics_registry_accumulates_campaign_totals() {
+        let (w, f, p, cfg) = small_campaign();
+        let metrics = MetricsRegistry::new();
+        let mut instruments = Instruments::none().with_metrics(&metrics);
+        let ms = characterize_with(&w, &f, &p, &cfg, &mut instruments).unwrap();
+        assert_eq!(metrics.counter("runs"), ms.len() as u64);
+        let compute: u64 = ms.iter().map(|m| m.report.total_compute_cycles).sum();
+        assert_eq!(metrics.counter("compute_cycles"), compute);
+        let sigma = metrics.histogram("sigma").expect("sigma histogram");
+        assert_eq!(sigma.count(), ms.len() as u64);
+        assert!(metrics.to_tsv().contains("sigma\thistogram"));
+    }
+
+    #[test]
+    fn manifest_captures_the_campaign_shape() {
+        let (w, f, p, cfg) = small_campaign();
+        let manifest = manifest_for(&cfg, &w, &f, &p);
+        assert_eq!(manifest.seed, cfg.seed);
+        assert_eq!(manifest.workloads, vec![w[0].label()]);
+        assert_eq!(manifest.formats, vec!["CSR".to_string(), "COO".to_string()]);
+        assert_eq!(manifest.partition_sizes, vec![16]);
+        // The hardware block carries the full config.
+        let hw: copernicus_hls::HwConfig = serde::Deserialize::deserialize(&manifest.hw).unwrap();
+        assert_eq!(hw, cfg.hw);
+        // And the whole manifest survives a JSON round trip.
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod experiments;
 pub mod insights;
+pub mod instrument;
 pub mod measure;
 pub mod plot;
 pub mod recommend;
@@ -56,7 +57,8 @@ pub mod summary;
 pub mod table;
 
 pub use insights::{verify as verify_insights, InsightCheck};
-pub use measure::{characterize, ExperimentConfig, Measurement};
+pub use instrument::{manifest_for, Instruments};
+pub use measure::{characterize, characterize_with, ExperimentConfig, Measurement};
 pub use recommend::{recommend, recommend_measured, Goal, Recommendation};
 pub use summary::{normalized_summary, MetricKind, SummaryRow};
 

@@ -128,11 +128,7 @@ impl Measurement {
     /// Total energy in joules (dynamic + static power over the run time);
     /// `None` for formats without a synthesized power model.
     pub fn energy_joules(&self) -> Option<f64> {
-        copernicus_hls::power::energy_joules(
-            self.format,
-            self.partition_size,
-            self.total_seconds(),
-        )
+        copernicus_hls::power::energy_joules(self.format, self.partition_size, self.total_seconds())
     }
 }
 
@@ -152,7 +148,36 @@ pub fn characterize(
     partition_sizes: &[usize],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Measurement>, PlatformError> {
-    let mut out = Vec::with_capacity(workloads.len() * formats.len() * partition_sizes.len());
+    characterize_with(
+        workloads,
+        formats,
+        partition_sizes,
+        cfg,
+        &mut crate::Instruments::none(),
+    )
+}
+
+/// [`characterize`] with observers attached: every platform run streams its
+/// pipeline events into the instruments' trace sink, campaign counters and
+/// histograms accumulate in the metrics registry, and `progress` prints one
+/// line per run to stderr.
+///
+/// With [`Instruments::none`](crate::Instruments::none) the measurements
+/// are bit-identical to plain [`characterize`].
+///
+/// # Errors
+///
+/// See [`characterize`].
+pub fn characterize_with(
+    workloads: &[Workload],
+    formats: &[FormatKind],
+    partition_sizes: &[usize],
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Measurement>, PlatformError> {
+    let total = workloads.len() * formats.len() * partition_sizes.len();
+    let mut done = 0usize;
+    let mut out = Vec::with_capacity(total);
     for workload in workloads {
         let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
         let density = sparsemat::Matrix::density(&matrix);
@@ -160,15 +185,24 @@ pub fn characterize(
             let platform = cfg.platform(p)?;
             let grid = PartitionGrid::new(&matrix, p)?;
             for &format in formats {
-                let report = platform.run_grid(&grid, format)?;
-                out.push(Measurement {
+                done += 1;
+                if instruments.progress {
+                    eprintln!("[{done}/{total}] {} p={p} {format}", workload.label());
+                }
+                let report = match instruments.sink.as_deref_mut() {
+                    Some(sink) => platform.run_grid_with_sink(&grid, format, sink)?,
+                    None => platform.run_grid(&grid, format)?,
+                };
+                let measurement = Measurement {
                     workload: workload.label(),
                     class: workload.class(),
                     density,
                     format,
                     partition_size: p,
                     report,
-                });
+                };
+                instruments.record_measurement(&measurement);
+                out.push(measurement);
             }
         }
     }
@@ -183,7 +217,10 @@ mod tests {
     fn characterize_covers_the_cross_product() {
         let cfg = ExperimentConfig::quick();
         let workloads = [
-            Workload::Random { n: 64, density: 0.05 },
+            Workload::Random {
+                n: 64,
+                density: 0.05,
+            },
             Workload::Band { n: 64, width: 4 },
         ];
         let formats = [FormatKind::Dense, FormatKind::Csr, FormatKind::Coo];

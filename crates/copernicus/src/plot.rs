@@ -161,14 +161,18 @@ impl ScatterPlot {
             out.push_str("(no points)\n");
             return out;
         }
-        let xs: Vec<f64> = self.points.iter().map(|&(x, _, _)| self.transform(x)).collect();
-        let ys: Vec<f64> = self.points.iter().map(|&(_, y, _)| self.transform(y)).collect();
-        // Shared bounds so the y = x diagonal is meaningful.
-        let lo = xs
+        let xs: Vec<f64> = self
+            .points
             .iter()
-            .chain(&ys)
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+            .map(|&(x, _, _)| self.transform(x))
+            .collect();
+        let ys: Vec<f64> = self
+            .points
+            .iter()
+            .map(|&(_, y, _)| self.transform(y))
+            .collect();
+        // Shared bounds so the y = x diagonal is meaningful.
+        let lo = xs.iter().chain(&ys).copied().fold(f64::INFINITY, f64::min);
         let hi = xs
             .iter()
             .chain(&ys)
@@ -177,6 +181,7 @@ impl ScatterPlot {
         let span = (hi - lo).max(1e-12);
         let mut grid = vec![vec![' '; self.cols]; self.rows];
         // Balance diagonal.
+        #[allow(clippy::needless_range_loop)] // the target row is computed per column
         for c in 0..self.cols {
             let r = ((c as f64 / (self.cols - 1) as f64) * (self.rows - 1) as f64).round() as usize;
             grid[self.rows - 1 - r][c] = '·';
@@ -244,7 +249,9 @@ mod tests {
     #[test]
     fn log_scatter_drops_nonpositive_points() {
         let mut p = ScatterPlot::new("t", 10, 5, true);
-        p.point(0.0, 1.0, 'X').point(1.0, f64::NAN, 'Y').point(2.0, 3.0, 'Z');
+        p.point(0.0, 1.0, 'X')
+            .point(1.0, f64::NAN, 'Y')
+            .point(2.0, 3.0, 'Z');
         assert_eq!(p.len(), 1);
         assert!(p.render().contains('Z'));
     }

@@ -70,7 +70,10 @@ pub struct SummaryRow {
 impl SummaryRow {
     /// The score for one metric.
     pub fn score(&self, metric: MetricKind) -> f64 {
-        let idx = MetricKind::ALL.iter().position(|&m| m == metric).expect("metric in ALL");
+        let idx = MetricKind::ALL
+            .iter()
+            .position(|&m| m == metric)
+            .expect("metric in ALL");
         self.scores[idx]
     }
 
@@ -101,14 +104,13 @@ fn raw_metric(ms: &[&Measurement], metric: MetricKind) -> f64 {
         MetricKind::BandwidthUtilization => {
             ms.iter().map(|m| m.bandwidth_utilization()).sum::<f64>() / n
         }
-        MetricKind::Power => ms
-            .iter()
-            .filter_map(|m| {
-                copernicus_hls::power::dynamic_power(m.format, m.partition_size)
-            })
-            .sum::<f64>()
-            .max(1e-12)
-            / n,
+        MetricKind::Power => {
+            ms.iter()
+                .filter_map(|m| copernicus_hls::power::dynamic_power(m.format, m.partition_size))
+                .sum::<f64>()
+                .max(1e-12)
+                / n
+        }
     }
 }
 
@@ -177,16 +179,13 @@ mod tests {
     fn sample_rows() -> Vec<SummaryRow> {
         let cfg = ExperimentConfig::quick();
         let workloads = [
-            Workload::Random { n: 96, density: 0.05 },
+            Workload::Random {
+                n: 96,
+                density: 0.05,
+            },
             Workload::Band { n: 96, width: 4 },
         ];
-        let ms = characterize(
-            &workloads,
-            &FormatKind::CHARACTERIZED,
-            &[16],
-            &cfg,
-        )
-        .unwrap();
+        let ms = characterize(&workloads, &FormatKind::CHARACTERIZED, &[16], &cfg).unwrap();
         normalized_summary(&ms)
     }
 
@@ -194,7 +193,12 @@ mod tests {
     fn scores_are_in_unit_interval() {
         for row in sample_rows() {
             for (m, s) in MetricKind::ALL.iter().zip(row.scores) {
-                assert!((0.0..=1.0).contains(&s), "{} {} {m} = {s}", row.class, row.format);
+                assert!(
+                    (0.0..=1.0).contains(&s),
+                    "{} {} {m} = {s}",
+                    row.class,
+                    row.format
+                );
             }
         }
     }

@@ -393,8 +393,14 @@ mod tests {
     fn dok_decompresses_like_coo() {
         let t = sample();
         let cfg = cfg();
-        let c = decompress(&EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(), &cfg);
-        let k = decompress(&EncodedPartition::encode(&t, FormatKind::Dok, &cfg).unwrap(), &cfg);
+        let c = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(),
+            &cfg,
+        );
+        let k = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Dok, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(c.decomp_cycles, k.decomp_cycles);
         assert_eq!(c.dot_issues, k.dot_issues);
         assert_eq!(c.assemble(16), k.assemble(16));
@@ -404,7 +410,10 @@ mod tests {
     fn dense_has_sigma_one_by_construction() {
         let t = sample();
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Dense, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Dense, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.decomp_cycles, 0);
         assert_eq!(d.dot_issues, 16);
         assert_eq!(d.compute_cycles(&cfg), 16 * cfg.dot_latency(16));
@@ -415,7 +424,10 @@ mod tests {
         // T_decomp = nzr·L_bram + nnz; dots = nzr.
         let t = sample(); // nnz = 6, nzr = 4
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Csr, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Csr, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.decomp_cycles, 4 * cfg.bram_read_latency + 6);
         assert_eq!(d.dot_issues, 4);
     }
@@ -425,7 +437,10 @@ mod tests {
         // T_decomp = p·nnz: the worst case the paper measures at 21–30×.
         let t = sample();
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Csc, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Csc, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.decomp_cycles, 16 * 6);
         assert_eq!(d.dot_issues, 4);
     }
@@ -434,7 +449,10 @@ mod tests {
     fn coo_is_one_pass_over_tuples() {
         let t = sample();
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.decomp_cycles, cfg.bram_read_latency + 6);
         assert_eq!(d.dot_issues, 4);
     }
@@ -445,7 +463,10 @@ mod tests {
         // non-zero → 3 block-rows × 4 rows = 12 dot issues.
         let t = sample();
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Bcsr, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Bcsr, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.dot_issues, 12);
         // Blocks: row0 {(0,0),(0,4)} wait (0,0),(0,5),(3,3),(3,4) → block
         // cols {0, 1}; row2 {(9,0)} → 1; row3 {(15,15)} → 1. Total 4 blocks.
@@ -459,7 +480,10 @@ mod tests {
     fn lil_cost_scales_with_nonzero_rows() {
         let t = sample(); // nzr = 4
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Lil, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Lil, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(
             d.decomp_cycles,
             4 * (cfg.bram_read_latency + 2) + cfg.bram_read_latency
@@ -471,7 +495,10 @@ mod tests {
     fn ell_processes_all_rows_every_pass() {
         let t = sample(); // max row nnz = 2 → width 2 → 1 pass
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Ell, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Ell, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(d.dot_issues, 16);
         assert_eq!(d.decomp_cycles, 16);
         assert_eq!(d.engine_width, cfg.ell_hw_width);
@@ -484,7 +511,10 @@ mod tests {
         let wide: Vec<(usize, usize, f32)> = (0..13).map(|c| (2, c, 1.0)).collect();
         let t = tile(&wide);
         let cfg = cfg();
-        let d = decompress(&EncodedPartition::encode(&t, FormatKind::Ell, &cfg).unwrap(), &cfg);
+        let d = decompress(
+            &EncodedPartition::encode(&t, FormatKind::Ell, &cfg).unwrap(),
+            &cfg,
+        );
         let narrow = decompress(
             &EncodedPartition::encode(&sample(), FormatKind::Ell, &cfg).unwrap(),
             &cfg,
@@ -515,9 +545,14 @@ mod tests {
             }
         }
         let cfg = cfg();
-        let csc = decompress(&EncodedPartition::encode(&coo, FormatKind::Csc, &cfg).unwrap(), &cfg);
-        let dense =
-            decompress(&EncodedPartition::encode(&coo, FormatKind::Dense, &cfg).unwrap(), &cfg);
+        let csc = decompress(
+            &EncodedPartition::encode(&coo, FormatKind::Csc, &cfg).unwrap(),
+            &cfg,
+        );
+        let dense = decompress(
+            &EncodedPartition::encode(&coo, FormatKind::Dense, &cfg).unwrap(),
+            &cfg,
+        );
         let ratio = csc.compute_cycles(&cfg) as f64 / dense.compute_cycles(&cfg) as f64;
         assert!(ratio > 20.0, "CSC/dense = {ratio}");
         assert_eq!(csc.assemble(16), coo.to_dense());

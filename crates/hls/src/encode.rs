@@ -44,7 +44,11 @@ impl EncodedPartition {
     ///
     /// Returns [`SparseError::UnknownFormat`] for formats the paper does not
     /// characterize on the platform (`Sell`, `Jds`).
-    pub fn encode(tile: &Coo<f32>, format: FormatKind, cfg: &HwConfig) -> Result<Self, SparseError> {
+    pub fn encode(
+        tile: &Coo<f32>,
+        format: FormatKind,
+        cfg: &HwConfig,
+    ) -> Result<Self, SparseError> {
         let vb = cfg.value_bytes as u64;
         let ib = cfg.index_bytes as u64;
         let p = cfg.partition_size as u64;
@@ -54,7 +58,13 @@ impl EncodedPartition {
             FormatKind::Dense => {
                 let m = AnyMatrix::Dense(tile.to_dense());
                 // The dense baseline streams every cell, zeros included.
-                (m, vec![Stream { name: "values", bytes: p * p * vb }])
+                (
+                    m,
+                    vec![Stream {
+                        name: "values",
+                        bytes: p * p * vb,
+                    }],
+                )
             }
             FormatKind::Csr => {
                 let csr = sparsemat::Csr::from(tile);
@@ -62,9 +72,18 @@ impl EncodedPartition {
                 // streamed entry count is the *encoded* structure's.
                 let stored = csr.nnz() as u64;
                 let streams = vec![
-                    Stream { name: "offsets", bytes: (p + 1) * ib },
-                    Stream { name: "colInx", bytes: stored * ib },
-                    Stream { name: "values", bytes: stored * vb },
+                    Stream {
+                        name: "offsets",
+                        bytes: (p + 1) * ib,
+                    },
+                    Stream {
+                        name: "colInx",
+                        bytes: stored * ib,
+                    },
+                    Stream {
+                        name: "values",
+                        bytes: stored * vb,
+                    },
                 ];
                 (AnyMatrix::Csr(csr), streams)
             }
@@ -72,9 +91,18 @@ impl EncodedPartition {
                 let csc = sparsemat::Csc::from(tile);
                 let stored = csc.nnz() as u64;
                 let streams = vec![
-                    Stream { name: "offsets", bytes: (p + 1) * ib },
-                    Stream { name: "rowInx", bytes: stored * ib },
-                    Stream { name: "values", bytes: stored * vb },
+                    Stream {
+                        name: "offsets",
+                        bytes: (p + 1) * ib,
+                    },
+                    Stream {
+                        name: "rowInx",
+                        bytes: stored * ib,
+                    },
+                    Stream {
+                        name: "values",
+                        bytes: stored * vb,
+                    },
                 ];
                 (AnyMatrix::Csc(csc), streams)
             }
@@ -84,20 +112,38 @@ impl EncodedPartition {
                 let nblk = bcsr.num_blocks() as u64;
                 let b2 = (cfg.bcsr_block * cfg.bcsr_block) as u64;
                 let streams = vec![
-                    Stream { name: "offsets", bytes: (block_rows + 1) * ib },
-                    Stream { name: "colInx", bytes: nblk * ib },
+                    Stream {
+                        name: "offsets",
+                        bytes: (block_rows + 1) * ib,
+                    },
+                    Stream {
+                        name: "colInx",
+                        bytes: nblk * ib,
+                    },
                     // The whole block is streamed, intra-block zeros too —
                     // the paper's first BCSR downside.
-                    Stream { name: "values", bytes: nblk * b2 * vb },
+                    Stream {
+                        name: "values",
+                        bytes: nblk * b2 * vb,
+                    },
                 ];
                 (AnyMatrix::Bcsr(bcsr), streams)
             }
             FormatKind::Coo | FormatKind::Dok => {
                 // (row, col, value) per entry; DOK streams identically.
                 let streams = vec![
-                    Stream { name: "rowInx", bytes: nnz * ib },
-                    Stream { name: "colInx", bytes: nnz * ib },
-                    Stream { name: "values", bytes: nnz * vb },
+                    Stream {
+                        name: "rowInx",
+                        bytes: nnz * ib,
+                    },
+                    Stream {
+                        name: "colInx",
+                        bytes: nnz * ib,
+                    },
+                    Stream {
+                        name: "values",
+                        bytes: nnz * vb,
+                    },
                 ];
                 (AnyMatrix::Coo(tile.clone()), streams)
             }
@@ -107,8 +153,14 @@ impl EncodedPartition {
                 // the longest column plus the end-marker row §5.2 describes.
                 let height = lil.max_line_len() as u64 + 1;
                 let streams = vec![
-                    Stream { name: "Inx", bytes: height * p * ib },
-                    Stream { name: "values", bytes: height * p * vb },
+                    Stream {
+                        name: "Inx",
+                        bytes: height * p * ib,
+                    },
+                    Stream {
+                        name: "values",
+                        bytes: height * p * vb,
+                    },
                 ];
                 (AnyMatrix::Lil(lil), streams)
             }
@@ -116,8 +168,14 @@ impl EncodedPartition {
                 let ell = Ell::from_coo_natural(tile);
                 let w = ell.width() as u64;
                 let streams = vec![
-                    Stream { name: "colInx", bytes: w * p * ib },
-                    Stream { name: "values", bytes: w * p * vb },
+                    Stream {
+                        name: "colInx",
+                        bytes: w * p * ib,
+                    },
+                    Stream {
+                        name: "values",
+                        bytes: w * p * vb,
+                    },
                 ];
                 (AnyMatrix::Ell(ell), streams)
             }
@@ -133,7 +191,10 @@ impl EncodedPartition {
                 let bytes: u64 = dia.num_diagonals() as u64 * (p + 1) * vb;
                 (
                     AnyMatrix::Dia(dia),
-                    vec![Stream { name: "diags", bytes }],
+                    vec![Stream {
+                        name: "diags",
+                        bytes,
+                    }],
                 )
             }
             other @ (FormatKind::Bcsc | FormatKind::Sell | FormatKind::Jds) => {

@@ -82,7 +82,9 @@ pub fn explain(part: &EncodedPartition, cfg: &HwConfig) -> CostBreakdown {
             let nzr = (0..m.nrows()).filter(|&r| m.row_nnz(r) > 0).count() as u64;
             vec![
                 CostTerm {
-                    label: format!("{nzr} non-zero rows x {l}-cycle offsets read (Listing 1 line 7)"),
+                    label: format!(
+                        "{nzr} non-zero rows x {l}-cycle offsets read (Listing 1 line 7)"
+                    ),
                     cycles: nzr * l,
                 },
                 CostTerm {
@@ -248,8 +250,14 @@ mod tests {
     fn dok_is_explained_like_coo() {
         let cfg = HwConfig::with_partition_size(16);
         let t = tile();
-        let coo = explain(&EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(), &cfg);
-        let dok = explain(&EncodedPartition::encode(&t, FormatKind::Dok, &cfg).unwrap(), &cfg);
+        let coo = explain(
+            &EncodedPartition::encode(&t, FormatKind::Coo, &cfg).unwrap(),
+            &cfg,
+        );
+        let dok = explain(
+            &EncodedPartition::encode(&t, FormatKind::Dok, &cfg).unwrap(),
+            &cfg,
+        );
         assert_eq!(coo.compute_cycles, dok.compute_cycles);
         assert_eq!(coo.decomp_terms.len(), dok.decomp_terms.len());
     }

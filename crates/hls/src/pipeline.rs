@@ -1,8 +1,9 @@
 //! The three-stage streaming platform of Fig. 2: memory-read → compute
 //! (decompress + dot-product) → memory-write, pipelined across partitions.
 
-use crate::{decompress, EncodedPartition, HwConfig};
-use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid, SparseError};
+use crate::{decompress, Decompression, EncodedPartition, HwConfig};
+use copernicus_telemetry::{NullSink, PipelineEvent, Stage, TraceSink};
+use sparsemat::{Coo, FormatKind, Matrix, Partition, PartitionGrid, SparseError};
 
 /// Errors produced by platform runs.
 #[derive(Debug)]
@@ -147,6 +148,107 @@ impl RunReport {
     }
 }
 
+/// Incremental [`RunReport`] builder. Every run entry point funnels its
+/// per-partition timings through one of these, so reports are identical no
+/// matter which path (instrumented or not) produced them.
+struct ReportBuilder {
+    report: RunReport,
+    balance_sum: f64,
+    first_stage_sum: Option<u64>,
+    first_stage_max: u64,
+    dense_per_part: u64,
+}
+
+impl ReportBuilder {
+    fn new(format: FormatKind, cfg: &HwConfig) -> Self {
+        ReportBuilder {
+            report: RunReport {
+                format,
+                partition_size: cfg.partition_size,
+                partitions: 0,
+                total_mem_cycles: 0,
+                total_compute_cycles: 0,
+                total_decomp_cycles: 0,
+                total_writeback_cycles: 0,
+                total_dot_issues: 0,
+                total_bytes: 0,
+                useful_bytes: 0,
+                total_bram_reads: 0,
+                total_cycles: 0,
+                dense_equivalent_compute: 0,
+                balance_ratio: 0.0,
+                clock_mhz: cfg.clock_mhz,
+            },
+            balance_sum: 0.0,
+            first_stage_sum: None,
+            first_stage_max: 0,
+            dense_per_part: cfg.partition_size as u64 * cfg.dot_latency_full(),
+        }
+    }
+
+    fn push(&mut self, timing: &PartitionTiming) {
+        let bottleneck = timing
+            .mem_cycles
+            .max(timing.compute_cycles)
+            .max(timing.writeback_cycles);
+        if self.first_stage_sum.is_none() {
+            self.first_stage_sum =
+                Some(timing.mem_cycles + timing.compute_cycles + timing.writeback_cycles);
+            self.first_stage_max = bottleneck;
+        }
+        let r = &mut self.report;
+        r.partitions += 1;
+        r.total_mem_cycles += timing.mem_cycles;
+        r.total_compute_cycles += timing.compute_cycles;
+        r.total_decomp_cycles += timing.decomp_cycles;
+        r.total_writeback_cycles += timing.writeback_cycles;
+        r.total_dot_issues += timing.dot_issues;
+        r.total_bytes += timing.bytes;
+        r.useful_bytes += timing.useful_bytes;
+        r.total_bram_reads += timing.bram_reads;
+        r.total_cycles += bottleneck;
+        r.dense_equivalent_compute += self.dense_per_part;
+        self.balance_sum += timing.mem_cycles as f64 / timing.compute_cycles.max(1) as f64;
+    }
+
+    fn finish(mut self) -> RunReport {
+        // Pipeline fill: the first partition flows through all three stages;
+        // afterwards one partition completes per bottleneck interval.
+        if let Some(first) = self.first_stage_sum {
+            self.report.total_cycles += first - self.first_stage_max;
+        }
+        if self.report.partitions > 0 {
+            self.report.balance_ratio = self.balance_sum / self.report.partitions as f64;
+        }
+        self.report
+    }
+}
+
+/// Gantt placement of trace spans at modeled-cycle timestamps: memory
+/// bursts serialize back-to-back on the channel, compute starts once its
+/// operands have arrived *and* the engine is free, write-back analogously.
+/// Decompression is traced as a prefix of the compute span.
+#[derive(Debug, Default)]
+struct SpanScheduler {
+    mem_end: u64,
+    compute_end: u64,
+    writeback_end: u64,
+}
+
+impl SpanScheduler {
+    /// Places one partition; returns its (mem, compute, write-back) span
+    /// start cycles.
+    fn place(&mut self, timing: &PartitionTiming) -> (u64, u64, u64) {
+        let mem_start = self.mem_end;
+        self.mem_end += timing.mem_cycles;
+        let compute_start = self.mem_end.max(self.compute_end);
+        self.compute_end = compute_start + timing.compute_cycles;
+        let writeback_start = self.compute_end.max(self.writeback_end);
+        self.writeback_end = writeback_start + timing.writeback_cycles;
+        (mem_start, compute_start, writeback_start)
+    }
+}
+
 /// The modeled platform: a validated [`HwConfig`] plus the run entry points.
 #[derive(Debug, Clone)]
 pub struct Platform {
@@ -179,8 +281,23 @@ impl Platform {
     /// Propagates partitioning/encoding failures and functional mismatches
     /// (when [`HwConfig::verify_functional`] is set).
     pub fn run(&self, matrix: &Coo<f32>, format: FormatKind) -> Result<RunReport, PlatformError> {
+        self.run_with_sink(matrix, format, &mut NullSink)
+    }
+
+    /// Like [`Platform::run`], emitting pipeline events into `sink` at
+    /// modeled-cycle timestamps.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`].
+    pub fn run_with_sink<S: TraceSink + ?Sized>(
+        &self,
+        matrix: &Coo<f32>,
+        format: FormatKind,
+        sink: &mut S,
+    ) -> Result<RunReport, PlatformError> {
         let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_grid(&grid, format)
+        self.run_grid_with_sink(&grid, format, sink)
     }
 
     /// Like [`Platform::run`] for a matrix that is already tiled (lets one
@@ -194,61 +311,134 @@ impl Platform {
         grid: &PartitionGrid<f32>,
         format: FormatKind,
     ) -> Result<RunReport, PlatformError> {
-        let p = self.cfg.partition_size;
-        let dense_per_part = p as u64 * self.cfg.dot_latency_full();
-        let mut report = RunReport {
-            format,
-            partition_size: p,
-            partitions: 0,
-            total_mem_cycles: 0,
-            total_compute_cycles: 0,
-            total_decomp_cycles: 0,
-            total_writeback_cycles: 0,
-            total_dot_issues: 0,
-            total_bytes: 0,
-            useful_bytes: 0,
-            total_bram_reads: 0,
-            total_cycles: 0,
-            dense_equivalent_compute: 0,
-            balance_ratio: 0.0,
-            clock_mhz: self.cfg.clock_mhz,
-        };
-        let mut balance_sum = 0.0f64;
-        let mut first_stage_sum: Option<u64> = None;
-        let mut first_stage_max: u64 = 0;
-        for part in grid.partitions() {
-            let timing = self.run_partition(part.coo.clone(), format, (part.grid_row, part.grid_col))?;
-            let bottleneck = timing
-                .mem_cycles
-                .max(timing.compute_cycles)
-                .max(timing.writeback_cycles);
-            if first_stage_sum.is_none() {
-                first_stage_sum =
-                    Some(timing.mem_cycles + timing.compute_cycles + timing.writeback_cycles);
-                first_stage_max = bottleneck;
+        self.run_grid_with_sink(grid, format, &mut NullSink)
+    }
+
+    /// Like [`Platform::run_grid`], emitting pipeline events into `sink`.
+    ///
+    /// Span invariant (test-enforced): the emitted stage spans sum exactly
+    /// to the report's `total_mem_cycles`, `total_compute_cycles`,
+    /// `total_decomp_cycles` and `total_writeback_cycles`, and the report
+    /// is bit-identical to the uninstrumented run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run`].
+    pub fn run_grid_with_sink<S: TraceSink + ?Sized>(
+        &self,
+        grid: &PartitionGrid<f32>,
+        format: FormatKind,
+        sink: &mut S,
+    ) -> Result<RunReport, PlatformError> {
+        self.run_grid_inner(grid, format, sink, |_, _| {})
+    }
+
+    /// The single shared partition loop: processes each tile exactly once,
+    /// hands its decompression to `consume` (the SpMV path applies the row
+    /// contributions there), emits trace events, and aggregates the report.
+    fn run_grid_inner<S, F>(
+        &self,
+        grid: &PartitionGrid<f32>,
+        format: FormatKind,
+        sink: &mut S,
+        mut consume: F,
+    ) -> Result<RunReport, PlatformError>
+    where
+        S: TraceSink + ?Sized,
+        F: FnMut(&Partition<f32>, &Decompression),
+    {
+        if sink.enabled() {
+            sink.record(&PipelineEvent::RunStart {
+                format: format.to_string(),
+                partitions: grid.partitions().len(),
+                partition_size: self.cfg.partition_size,
+            });
+        }
+        let mut builder = ReportBuilder::new(format, &self.cfg);
+        let mut schedule = SpanScheduler::default();
+        for (idx, part) in grid.partitions().iter().enumerate() {
+            let (timing, d) = self.process_partition(
+                &part.coo,
+                format,
+                (part.grid_row, part.grid_col),
+                sink,
+                idx,
+            )?;
+            consume(part, &d);
+            if sink.enabled() {
+                let (mem_start, compute_start, writeback_start) = schedule.place(&timing);
+                sink.record(&PipelineEvent::PartitionStart {
+                    partition: idx,
+                    grid_row: part.grid_row,
+                    grid_col: part.grid_col,
+                    cycle: mem_start,
+                });
+                for (stage, start_cycle, cycles) in [
+                    (Stage::MemRead, mem_start, timing.mem_cycles),
+                    (Stage::Compute, compute_start, timing.compute_cycles),
+                    (Stage::Decompress, compute_start, timing.decomp_cycles),
+                    (Stage::WriteBack, writeback_start, timing.writeback_cycles),
+                ] {
+                    sink.record(&PipelineEvent::StageSpan {
+                        stage,
+                        partition: idx,
+                        lane: None,
+                        start_cycle,
+                        cycles,
+                    });
+                }
             }
-            report.partitions += 1;
-            report.total_mem_cycles += timing.mem_cycles;
-            report.total_compute_cycles += timing.compute_cycles;
-            report.total_decomp_cycles += timing.decomp_cycles;
-            report.total_writeback_cycles += timing.writeback_cycles;
-            report.total_dot_issues += timing.dot_issues;
-            report.total_bytes += timing.bytes;
-            report.useful_bytes += timing.useful_bytes;
-            report.total_bram_reads += timing.bram_reads;
-            report.total_cycles += bottleneck;
-            report.dense_equivalent_compute += dense_per_part;
-            balance_sum += timing.mem_cycles as f64 / timing.compute_cycles.max(1) as f64;
+            builder.push(&timing);
         }
-        // Pipeline fill: the first partition flows through all three stages;
-        // afterwards one partition completes per bottleneck interval.
-        if let Some(first) = first_stage_sum {
-            report.total_cycles += first - first_stage_max;
-        }
-        if report.partitions > 0 {
-            report.balance_ratio = balance_sum / report.partitions as f64;
+        let report = builder.finish();
+        if sink.enabled() {
+            sink.record(&PipelineEvent::RunComplete {
+                total_cycles: report.total_cycles,
+            });
         }
         Ok(report)
+    }
+
+    /// Encode → decompress → (optional) functional verification for one
+    /// tile; the one place real per-partition work happens.
+    fn process_partition<S: TraceSink + ?Sized>(
+        &self,
+        tile: &Coo<f32>,
+        format: FormatKind,
+        grid_pos: (usize, usize),
+        sink: &mut S,
+        idx: usize,
+    ) -> Result<(PartitionTiming, Decompression), PlatformError> {
+        let encoded = EncodedPartition::encode(tile, format, &self.cfg)?;
+        let d = decompress(&encoded, &self.cfg);
+        if self.cfg.verify_functional && d.assemble(self.cfg.partition_size) != tile.to_dense() {
+            if sink.enabled() {
+                sink.record(&PipelineEvent::FunctionalMismatch {
+                    partition: idx,
+                    detail: format!(
+                        "decompressing {format} partition ({}, {})",
+                        grid_pos.0, grid_pos.1
+                    ),
+                });
+            }
+            return Err(PlatformError::FunctionalMismatch {
+                format,
+                grid: grid_pos,
+            });
+        }
+        let timing = PartitionTiming {
+            mem_cycles: encoded.memory_cycles(&self.cfg),
+            compute_cycles: d.compute_cycles(&self.cfg),
+            decomp_cycles: d.decomp_cycles,
+            writeback_cycles: self
+                .cfg
+                .transfer_cycles((self.cfg.partition_size * self.cfg.value_bytes) as u64),
+            dot_issues: d.dot_issues,
+            bytes: encoded.total_bytes(),
+            useful_bytes: encoded.useful_bytes,
+            bram_reads: d.bram_reads,
+        };
+        Ok((timing, d))
     }
 
     /// Runs a single `p×p` tile (already in tile-local coordinates) through
@@ -263,26 +453,8 @@ impl Platform {
         format: FormatKind,
         grid_pos: (usize, usize),
     ) -> Result<PartitionTiming, PlatformError> {
-        let encoded = EncodedPartition::encode(&tile, format, &self.cfg)?;
-        let d = decompress(&encoded, &self.cfg);
-        if self.cfg.verify_functional && d.assemble(self.cfg.partition_size) != tile.to_dense() {
-            return Err(PlatformError::FunctionalMismatch {
-                format,
-                grid: grid_pos,
-            });
-        }
-        Ok(PartitionTiming {
-            mem_cycles: encoded.memory_cycles(&self.cfg),
-            compute_cycles: d.compute_cycles(&self.cfg),
-            decomp_cycles: d.decomp_cycles,
-            writeback_cycles: self
-                .cfg
-                .transfer_cycles((self.cfg.partition_size * self.cfg.value_bytes) as u64),
-            dot_issues: d.dot_issues,
-            bytes: encoded.total_bytes(),
-            useful_bytes: encoded.useful_bytes,
-            bram_reads: d.bram_reads,
-        })
+        self.process_partition(&tile, format, grid_pos, &mut NullSink, 0)
+            .map(|(timing, _)| timing)
     }
 
     /// Executes a full SpMV `y = A·x` through the modeled datapath — every
@@ -299,6 +471,24 @@ impl Platform {
         x: &[f32],
         format: FormatKind,
     ) -> Result<(Vec<f32>, RunReport), PlatformError> {
+        self.run_spmv_with_sink(matrix, x, format, &mut NullSink)
+    }
+
+    /// Like [`Platform::run_spmv`], emitting pipeline events into `sink`.
+    ///
+    /// Each partition is encoded and decompressed exactly once: the same
+    /// pass feeds both the timing report and the dot-product engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run_spmv`].
+    pub fn run_spmv_with_sink<S: TraceSink + ?Sized>(
+        &self,
+        matrix: &Coo<f32>,
+        x: &[f32],
+        format: FormatKind,
+        sink: &mut S,
+    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
         if x.len() != matrix.ncols() {
             return Err(PlatformError::Sparse(SparseError::ShapeMismatch {
                 expected: (matrix.ncols(), 1),
@@ -307,16 +497,14 @@ impl Platform {
         }
         let p = self.cfg.partition_size;
         let grid = PartitionGrid::new(matrix, p)?;
-        let report = self.run_grid(&grid, format)?;
-        let mut y = vec![0.0f32; matrix.nrows()];
-        for part in grid.partitions() {
-            let encoded = EncodedPartition::encode(&part.coo, format, &self.cfg)?;
-            let d = decompress(&encoded, &self.cfg);
+        let nrows = matrix.nrows();
+        let mut y = vec![0.0f32; nrows];
+        let report = self.run_grid_inner(&grid, format, sink, |part, d| {
             let row0 = part.grid_row * p;
             let col0 = part.grid_col * p;
             for (lr, row) in &d.contributions {
                 let gr = row0 + lr;
-                if gr >= matrix.nrows() {
+                if gr >= nrows {
                     continue;
                 }
                 // The engine: element-wise multiply against the operand
@@ -335,11 +523,10 @@ impl Platform {
                     .sum();
                 y[gr] += dot;
             }
-        }
+        })?;
         Ok((y, report))
     }
 }
-
 
 /// Result of running the platform with several aggregated compute
 /// instances (§5.1: "Instances of this architecture can be aggregated for
@@ -400,17 +587,57 @@ impl Platform {
         format: FormatKind,
         lanes: usize,
     ) -> Result<ParallelReport, PlatformError> {
+        self.run_parallel_with_sink(matrix, format, lanes, &mut NullSink)
+    }
+
+    /// Like [`Platform::run_parallel`], emitting pipeline events into
+    /// `sink`: memory spans land on the shared-channel track, compute spans
+    /// (with their decompression prefixes) on one track per lane.
+    ///
+    /// Each partition is processed exactly once; the same timings feed the
+    /// single-lane baseline report and the lane schedule.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::run_parallel`].
+    pub fn run_parallel_with_sink<S: TraceSink + ?Sized>(
+        &self,
+        matrix: &Coo<f32>,
+        format: FormatKind,
+        lanes: usize,
+        sink: &mut S,
+    ) -> Result<ParallelReport, PlatformError> {
         if lanes == 0 {
             return Err(PlatformError::Config("lane count must be positive".into()));
         }
         let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        let single_lane = self.run_grid(&grid, format)?;
+        if sink.enabled() {
+            sink.record(&PipelineEvent::RunStart {
+                format: format.to_string(),
+                partitions: grid.partitions().len(),
+                partition_size: self.cfg.partition_size,
+            });
+        }
+        let mut builder = ReportBuilder::new(format, &self.cfg);
+        let mut timings = Vec::with_capacity(grid.partitions().len());
+        for (idx, part) in grid.partitions().iter().enumerate() {
+            let (timing, _) = self.process_partition(
+                &part.coo,
+                format,
+                (part.grid_row, part.grid_col),
+                sink,
+                idx,
+            )?;
+            builder.push(&timing);
+            timings.push(timing);
+        }
+        let single_lane = builder.finish();
 
         let mut shared_mem_cycles = 0u64;
         let mut lane_compute = vec![0u64; lanes];
-        for part in grid.partitions() {
-            let timing =
-                self.run_partition(part.coo.clone(), format, (part.grid_row, part.grid_col))?;
+        let mut lane_ready = vec![0u64; lanes];
+        for ((idx, part), timing) in grid.partitions().iter().enumerate().zip(&timings) {
+            let mem_start = shared_mem_cycles;
             shared_mem_cycles += timing.mem_cycles;
             // Deal to the least-loaded lane (online LPT).
             let lane = lane_compute
@@ -420,13 +647,42 @@ impl Platform {
                 .map(|(i, _)| i)
                 .expect("lanes > 0");
             lane_compute[lane] += timing.compute_cycles;
+            // The lane starts once its operands have crossed the shared
+            // channel and the engine is free.
+            let compute_start = shared_mem_cycles.max(lane_ready[lane]);
+            lane_ready[lane] = compute_start + timing.compute_cycles;
+            if sink.enabled() {
+                sink.record(&PipelineEvent::PartitionStart {
+                    partition: idx,
+                    grid_row: part.grid_row,
+                    grid_col: part.grid_col,
+                    cycle: mem_start,
+                });
+                for (stage, start_cycle, cycles) in [
+                    (Stage::MemRead, mem_start, timing.mem_cycles),
+                    (Stage::Compute, compute_start, timing.compute_cycles),
+                    (Stage::Decompress, compute_start, timing.decomp_cycles),
+                ] {
+                    sink.record(&PipelineEvent::StageSpan {
+                        stage,
+                        partition: idx,
+                        lane: Some(lane),
+                        start_cycle,
+                        cycles,
+                    });
+                }
+            }
         }
         let max_lane_compute_cycles = lane_compute.into_iter().max().unwrap_or(0);
+        let total_cycles = shared_mem_cycles.max(max_lane_compute_cycles);
+        if sink.enabled() {
+            sink.record(&PipelineEvent::RunComplete { total_cycles });
+        }
         Ok(ParallelReport {
             lanes,
             shared_mem_cycles,
             max_lane_compute_cycles,
-            total_cycles: shared_mem_cycles.max(max_lane_compute_cycles),
+            total_cycles,
             single_lane,
         })
     }
@@ -544,7 +800,10 @@ mod tests {
         let platform = Platform::default();
         let r = platform.run(&matrix(), FormatKind::Csr).unwrap();
         assert!(r.total_cycles >= r.total_mem_cycles.max(r.total_compute_cycles));
-        assert!(r.total_cycles <= r.total_mem_cycles + r.total_compute_cycles + r.total_writeback_cycles);
+        assert!(
+            r.total_cycles
+                <= r.total_mem_cycles + r.total_compute_cycles + r.total_writeback_cycles
+        );
     }
 
     #[test]
@@ -553,10 +812,7 @@ mod tests {
             partition_size: 0,
             ..HwConfig::default()
         };
-        assert!(matches!(
-            Platform::new(cfg),
-            Err(PlatformError::Config(_))
-        ));
+        assert!(matches!(Platform::new(cfg), Err(PlatformError::Config(_))));
     }
 
     #[test]
@@ -565,8 +821,161 @@ mod tests {
         let a = platform.run(&matrix(), FormatKind::Lil).unwrap();
         let b = platform.run(&matrix(), FormatKind::Lil).unwrap();
         assert_eq!(a, b);
+        // Attaching a sink must not perturb the report: instrumented and
+        // uninstrumented runs are bit-identical.
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        let c = platform
+            .run_with_sink(&matrix(), FormatKind::Lil, &mut sink)
+            .unwrap();
+        assert_eq!(a, c);
+        assert!(!sink.events.is_empty());
     }
 
+    #[test]
+    fn trace_spans_sum_exactly_to_report_totals() {
+        // The defining invariant of the telemetry layer: for every format,
+        // the emitted stage spans account for each report total exactly.
+        let platform = Platform::default();
+        let m = matrix();
+        for kind in FormatKind::CHARACTERIZED {
+            let mut sink = copernicus_telemetry::RecordingSink::new();
+            let report = platform.run_with_sink(&m, kind, &mut sink).unwrap();
+            assert_eq!(
+                sink.stage_cycles(Stage::MemRead),
+                report.total_mem_cycles,
+                "{kind}"
+            );
+            assert_eq!(
+                sink.stage_cycles(Stage::Compute),
+                report.total_compute_cycles,
+                "{kind}"
+            );
+            assert_eq!(
+                sink.stage_cycles(Stage::Decompress),
+                report.total_decomp_cycles,
+                "{kind}"
+            );
+            assert_eq!(
+                sink.stage_cycles(Stage::WriteBack),
+                report.total_writeback_cycles,
+                "{kind}"
+            );
+            assert_eq!(sink.count("partition_start"), report.partitions, "{kind}");
+            assert_eq!(sink.count("run_start"), 1, "{kind}");
+            assert_eq!(
+                sink.events.last(),
+                Some(&PipelineEvent::RunComplete {
+                    total_cycles: report.total_cycles
+                }),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_spans_form_a_consistent_schedule() {
+        let platform = Platform::default();
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        platform
+            .run_with_sink(&matrix(), FormatKind::Csr, &mut sink)
+            .unwrap();
+        // Memory bursts serialize back-to-back on the channel; compute
+        // never starts before its operands have arrived; decompression is a
+        // prefix of its compute span.
+        let mut mem_cursor = 0u64;
+        let mut spans: std::collections::HashMap<
+            usize,
+            std::collections::HashMap<&str, (u64, u64)>,
+        > = std::collections::HashMap::new();
+        for e in &sink.events {
+            if let PipelineEvent::StageSpan {
+                stage,
+                partition,
+                start_cycle,
+                cycles,
+                ..
+            } = e
+            {
+                spans
+                    .entry(*partition)
+                    .or_default()
+                    .insert(stage.label(), (*start_cycle, *cycles));
+                if *stage == Stage::MemRead {
+                    assert_eq!(*start_cycle, mem_cursor);
+                    mem_cursor += cycles;
+                }
+            }
+        }
+        for (part, by_stage) in &spans {
+            let (mem_start, mem_cycles) = by_stage["mem_read"];
+            let (comp_start, comp_cycles) = by_stage["compute"];
+            let (decomp_start, decomp_cycles) = by_stage["decompress"];
+            let (wb_start, _) = by_stage["write_back"];
+            assert!(comp_start >= mem_start + mem_cycles, "partition {part}");
+            assert_eq!(decomp_start, comp_start, "partition {part}");
+            assert!(decomp_cycles <= comp_cycles, "partition {part}");
+            assert!(wb_start >= comp_start + comp_cycles, "partition {part}");
+        }
+    }
+
+    #[test]
+    fn spmv_processes_each_partition_once_and_report_is_unchanged() {
+        let platform = Platform::default();
+        let m = matrix();
+        let x: Vec<f32> = (0..64).map(|i| ((i % 5) as f32) - 2.0).collect();
+        for kind in FormatKind::CHARACTERIZED {
+            let mut sink = copernicus_telemetry::RecordingSink::new();
+            let (y, report) = platform
+                .run_spmv_with_sink(&m, &x, kind, &mut sink)
+                .unwrap();
+            // Identical to the timing-only run: the SpMV path reuses the
+            // same single encode+decompress pass per tile.
+            assert_eq!(report, platform.run(&m, kind).unwrap(), "{kind}");
+            assert_eq!(y, m.spmv(&x).unwrap(), "{kind}");
+            // Exactly one span set per partition — a second encode pass
+            // would double this.
+            assert_eq!(sink.count("stage_span"), 4 * report.partitions, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parallel_trace_lands_on_lane_tracks() {
+        let platform = Platform::default();
+        let m = matrix();
+        let lanes = 3;
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        let report = platform
+            .run_parallel_with_sink(&m, FormatKind::Csc, lanes, &mut sink)
+            .unwrap();
+        let mut lane_compute = vec![0u64; lanes];
+        let mut mem_total = 0u64;
+        for e in &sink.events {
+            if let PipelineEvent::StageSpan {
+                stage,
+                lane,
+                cycles,
+                ..
+            } = e
+            {
+                let lane = lane.expect("parallel spans carry a lane");
+                assert!(lane < lanes);
+                match stage {
+                    Stage::MemRead => mem_total += cycles,
+                    Stage::Compute => lane_compute[lane] += cycles,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(mem_total, report.shared_mem_cycles);
+        assert_eq!(
+            lane_compute.iter().copied().max().unwrap(),
+            report.max_lane_compute_cycles
+        );
+        assert_eq!(
+            lane_compute.iter().sum::<u64>(),
+            report.single_lane.total_compute_cycles
+        );
+    }
 
     #[test]
     fn parallel_lanes_speed_up_compute_bound_formats() {

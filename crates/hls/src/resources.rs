@@ -46,14 +46,62 @@ struct Anchor {
 
 /// Table 2 of the paper, transcribed.
 const TABLE2: [Anchor; 8] = [
-    Anchor { format: FormatKind::Dense, bram: [8.0, 16.0, 32.0], ff_k: [1.5, 1.9, 4.3], lut_k: [0.7, 0.7, 1.2], dyn_w: [0.02, 0.08, 0.03] },
-    Anchor { format: FormatKind::Csr, bram: [2.0, 2.0, 8.0], ff_k: [0.7, 0.8, 3.8], lut_k: [0.9, 0.9, 1.1], dyn_w: [0.04, 0.04, 0.07] },
-    Anchor { format: FormatKind::Bcsr, bram: [8.0, 16.0, 32.0], ff_k: [1.6, 2.4, 4.4], lut_k: [1.2, 1.4, 2.2], dyn_w: [0.05, 0.06, 0.06] },
-    Anchor { format: FormatKind::Csc, bram: [1.0, 1.0, 9.0], ff_k: [0.9, 1.0, 2.7], lut_k: [1.0, 1.2, 1.1], dyn_w: [0.01, 0.05, 0.03] },
-    Anchor { format: FormatKind::Lil, bram: [4.0, 4.0, 6.0], ff_k: [2.9, 5.8, 9.1], lut_k: [1.6, 2.7, 4.8], dyn_w: [0.05, 0.08, 0.07] },
-    Anchor { format: FormatKind::Ell, bram: [1.0, 7.0, 9.0], ff_k: [2.0, 3.2, 0.9], lut_k: [0.9, 1.0, 0.8], dyn_w: [0.06, 0.10, 0.06] },
-    Anchor { format: FormatKind::Coo, bram: [3.0, 3.0, 8.0], ff_k: [1.8, 1.3, 3.2], lut_k: [1.2, 2.5, 5.4], dyn_w: [0.02, 0.04, 0.04] },
-    Anchor { format: FormatKind::Dia, bram: [3.0, 3.0, 11.0], ff_k: [2.2, 5.0, 9.2], lut_k: [1.5, 2.8, 4.6], dyn_w: [0.07, 0.12, 0.05] },
+    Anchor {
+        format: FormatKind::Dense,
+        bram: [8.0, 16.0, 32.0],
+        ff_k: [1.5, 1.9, 4.3],
+        lut_k: [0.7, 0.7, 1.2],
+        dyn_w: [0.02, 0.08, 0.03],
+    },
+    Anchor {
+        format: FormatKind::Csr,
+        bram: [2.0, 2.0, 8.0],
+        ff_k: [0.7, 0.8, 3.8],
+        lut_k: [0.9, 0.9, 1.1],
+        dyn_w: [0.04, 0.04, 0.07],
+    },
+    Anchor {
+        format: FormatKind::Bcsr,
+        bram: [8.0, 16.0, 32.0],
+        ff_k: [1.6, 2.4, 4.4],
+        lut_k: [1.2, 1.4, 2.2],
+        dyn_w: [0.05, 0.06, 0.06],
+    },
+    Anchor {
+        format: FormatKind::Csc,
+        bram: [1.0, 1.0, 9.0],
+        ff_k: [0.9, 1.0, 2.7],
+        lut_k: [1.0, 1.2, 1.1],
+        dyn_w: [0.01, 0.05, 0.03],
+    },
+    Anchor {
+        format: FormatKind::Lil,
+        bram: [4.0, 4.0, 6.0],
+        ff_k: [2.9, 5.8, 9.1],
+        lut_k: [1.6, 2.7, 4.8],
+        dyn_w: [0.05, 0.08, 0.07],
+    },
+    Anchor {
+        format: FormatKind::Ell,
+        bram: [1.0, 7.0, 9.0],
+        ff_k: [2.0, 3.2, 0.9],
+        lut_k: [0.9, 1.0, 0.8],
+        dyn_w: [0.06, 0.10, 0.06],
+    },
+    Anchor {
+        format: FormatKind::Coo,
+        bram: [3.0, 3.0, 8.0],
+        ff_k: [1.8, 1.3, 3.2],
+        lut_k: [1.2, 2.5, 5.4],
+        dyn_w: [0.02, 0.04, 0.04],
+    },
+    Anchor {
+        format: FormatKind::Dia,
+        bram: [3.0, 3.0, 11.0],
+        ff_k: [2.2, 5.0, 9.2],
+        lut_k: [1.5, 2.8, 4.6],
+        dyn_w: [0.07, 0.12, 0.05],
+    },
 ];
 
 fn anchor(format: FormatKind) -> Option<&'static Anchor> {
@@ -72,7 +120,7 @@ fn anchor(format: FormatKind) -> Option<&'static Anchor> {
 pub(crate) fn interpolate(values: &[f64; 3], p: usize) -> f64 {
     let x = (p.max(1) as f64).log2();
     let xs = [3.0f64, 4.0, 5.0]; // log2 of 8, 16, 32
-    // Pick the segment to (ex|in)terpolate on.
+                                 // Pick the segment to (ex|in)terpolate on.
     let (i, j) = if x <= xs[1] { (0, 1) } else { (1, 2) };
     let (x0, x1) = (xs[i], xs[j]);
     let (y0, y1) = (values[i].max(1e-9), values[j].max(1e-9));
@@ -211,7 +259,11 @@ mod tests {
     fn paper_point_is_exact_and_only_for_paper_sizes() {
         assert_eq!(
             paper_point(FormatKind::Ell, 16).unwrap(),
-            Resources { bram_18k: 7.0, ff_k: 3.2, lut_k: 1.0 }
+            Resources {
+                bram_18k: 7.0,
+                ff_k: 3.2,
+                lut_k: 1.0
+            }
         );
         assert!(paper_point(FormatKind::Ell, 12).is_none());
     }

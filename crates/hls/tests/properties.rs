@@ -8,7 +8,7 @@ use sparsemat::{Coo, Dia, FormatKind, Lil, Matrix, Triplet};
 /// Strategy: a random tile exactly `p×p` with unique coordinates.
 fn tile_strategy(p: usize) -> impl Strategy<Value = Coo<f32>> {
     let cells = p * p;
-    proptest::collection::btree_map(0..cells, prop_oneof![(-9i32..0), (1i32..=9)], 1..=cells / 2)
+    proptest::collection::btree_map(0..cells, prop_oneof![-9i32..0, 1i32..=9], 1..=cells / 2)
         .prop_map(move |map| {
             let triplets = map
                 .into_iter()
@@ -21,14 +21,15 @@ fn tile_strategy(p: usize) -> impl Strategy<Value = Coo<f32>> {
 /// Strategy: a random matrix larger than one partition.
 fn matrix_strategy() -> impl Strategy<Value = Coo<f32>> {
     let n = 48usize;
-    proptest::collection::btree_map(0..n * n, prop_oneof![(-9i32..0), (1i32..=9)], 0..=160)
-        .prop_map(move |map| {
+    proptest::collection::btree_map(0..n * n, prop_oneof![-9i32..0, 1i32..=9], 0..=160).prop_map(
+        move |map| {
             let triplets = map
                 .into_iter()
                 .map(|(cell, v)| Triplet::new(cell / n, cell % n, v as f32))
                 .collect();
             Coo::from_triplets(n, n, triplets).expect("in range")
-        })
+        },
+    )
 }
 
 proptest! {
@@ -157,6 +158,26 @@ proptest! {
         let csr = decompress(&EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap(), &cfg);
         let csc = decompress(&EncodedPartition::encode(&tile, FormatKind::Csc, &cfg).unwrap(), &cfg);
         prop_assert!(csc.compute_cycles(&cfg) >= csr.compute_cycles(&cfg));
+    }
+
+    #[test]
+    fn trace_spans_always_sum_to_report_totals(m in matrix_strategy()) {
+        // The telemetry layer's defining invariant, over random matrices:
+        // recorded stage spans account for every report total exactly, and
+        // the instrumented report is bit-identical to the plain one.
+        let platform = Platform::default();
+        for kind in FormatKind::CHARACTERIZED {
+            let mut sink = copernicus_telemetry::RecordingSink::new();
+            let traced = platform.run_with_sink(&m, kind, &mut sink).unwrap();
+            let plain = platform.run(&m, kind).unwrap();
+            prop_assert_eq!(&traced, &plain, "{} report changed under tracing", kind);
+            use copernicus_telemetry::Stage;
+            prop_assert_eq!(sink.stage_cycles(Stage::MemRead), traced.total_mem_cycles, "{}", kind);
+            prop_assert_eq!(sink.stage_cycles(Stage::Compute), traced.total_compute_cycles, "{}", kind);
+            prop_assert_eq!(sink.stage_cycles(Stage::Decompress), traced.total_decomp_cycles, "{}", kind);
+            prop_assert_eq!(sink.stage_cycles(Stage::WriteBack), traced.total_writeback_cycles, "{}", kind);
+            prop_assert_eq!(sink.count("partition_start"), traced.partitions, "{}", kind);
+        }
     }
 
     #[test]

@@ -103,10 +103,12 @@ pub fn bfs_levels<T: Scalar, M: Matrix<T>>(
 ) -> Result<Vec<usize>, SolverError> {
     let n = adjacency.nrows();
     if adjacency.ncols() != n || source >= n {
-        return Err(SolverError::Shape(sparsemat::SparseError::IndexOutOfBounds {
-            index: (source, 0),
-            shape: (n, adjacency.ncols()),
-        }));
+        return Err(SolverError::Shape(
+            sparsemat::SparseError::IndexOutOfBounds {
+                index: (source, 0),
+                shape: (n, adjacency.ncols()),
+            },
+        ));
     }
     // Row-major neighbour lists once (the vertex-centric phase-1 of §3.3).
     let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];

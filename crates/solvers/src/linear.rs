@@ -85,6 +85,7 @@ pub fn conjugate_gradient<T: Scalar, M: Matrix<T>>(
     let mut p = r.clone();
     let mut rr = dot(&r, &r);
     let mut spmv_count = 0;
+    #[allow(clippy::explicit_counter_loop)] // counts SpMV applications, not iterations
     for k in 0..opts.max_iterations {
         let res = rr.sqrt();
         if res < opts.tolerance {
@@ -137,7 +138,7 @@ pub fn preconditioned_cg<T: Scalar, M: Matrix<T>>(
     check_square_system(a, b)?;
     let n = b.len();
     let diag: Vec<f64> = (0..n).map(|i| a.get(i, i).to_f64()).collect();
-    if diag.iter().any(|&d| d == 0.0) {
+    if diag.contains(&0.0) {
         return Err(SolverError::Precondition("PCG needs a non-zero diagonal"));
     }
     let mut x = vec![0.0; n];
@@ -146,6 +147,7 @@ pub fn preconditioned_cg<T: Scalar, M: Matrix<T>>(
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut spmv_count = 0;
+    #[allow(clippy::explicit_counter_loop)] // counts SpMV applications, not iterations
     for k in 0..opts.max_iterations {
         let res = norm2(&r);
         if res < opts.tolerance {
@@ -259,6 +261,7 @@ pub fn bicgstab<T: Scalar, M: Matrix<T>>(
     let mut v = vec![0.0; n];
     let mut p = vec![0.0; n];
     let mut spmv_count = 0;
+    #[allow(clippy::explicit_counter_loop)] // counts SpMV applications, not iterations
     for k in 0..opts.max_iterations {
         let res = norm2(&r);
         if res < opts.tolerance {
@@ -333,11 +336,14 @@ pub fn jacobi<T: Scalar, M: Matrix<T>>(
     check_square_system(a, b)?;
     let n = b.len();
     let diag: Vec<f64> = (0..n).map(|i| a.get(i, i).to_f64()).collect();
-    if diag.iter().any(|&d| d == 0.0) {
-        return Err(SolverError::Precondition("Jacobi needs a non-zero diagonal"));
+    if diag.contains(&0.0) {
+        return Err(SolverError::Precondition(
+            "Jacobi needs a non-zero diagonal",
+        ));
     }
     let mut x = vec![0.0; n];
     let mut spmv_count = 0;
+    #[allow(clippy::explicit_counter_loop)] // counts SpMV applications, not iterations
     for k in 0..opts.max_iterations {
         let ax = spmv_f64(a, &x)?;
         spmv_count += 1;
@@ -387,13 +393,14 @@ pub fn gauss_seidel<T: Scalar, M: Matrix<T>>(
             rows[t.row].push((t.col, t.val.to_f64()));
         }
     }
-    if diag.iter().any(|&d| d == 0.0) {
+    if diag.contains(&0.0) {
         return Err(SolverError::Precondition(
             "Gauss-Seidel needs a non-zero diagonal",
         ));
     }
     let mut x = vec![0.0; n];
     let mut spmv_count = 0;
+    #[allow(clippy::explicit_counter_loop)] // counts SpMV applications, not iterations
     for k in 0..opts.max_iterations {
         // One forward sweep.
         for i in 0..n {
@@ -435,7 +442,10 @@ mod tests {
 
     fn residual<M: Matrix<f32>>(a: &M, x: &[f64], b: &[f64]) -> f64 {
         let ax = spmv_f64(a, x).unwrap();
-        (0..b.len()).map(|i| (b[i] - ax[i]).powi(2)).sum::<f64>().sqrt()
+        (0..b.len())
+            .map(|i| (b[i] - ax[i]).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -444,7 +454,11 @@ mod tests {
         let (x, stats) = conjugate_gradient(&a, &b, SolveOptions::default()).unwrap();
         // The operator is f32, so the achievable true residual is bounded
         // by single-precision round-off regardless of the f64 recurrences.
-        assert!(residual(&a, &x, &b) < 1e-3, "residual {}", residual(&a, &x, &b));
+        assert!(
+            residual(&a, &x, &b) < 1e-3,
+            "residual {}",
+            residual(&a, &x, &b)
+        );
         assert!(stats.iterations > 0 && stats.iterations < 200);
         assert_eq!(stats.spmv_count, stats.iterations);
     }
@@ -476,7 +490,11 @@ mod tests {
         let a = Csr::from(&coo);
         let b: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
         let (x, stats) = bicgstab(&a, &b, SolveOptions::default()).unwrap();
-        assert!(residual(&a, &x, &b) < 1e-3, "residual {}", residual(&a, &x, &b));
+        assert!(
+            residual(&a, &x, &b) < 1e-3,
+            "residual {}",
+            residual(&a, &x, &b)
+        );
         assert!(stats.spmv_count >= stats.iterations);
     }
 
@@ -507,10 +525,12 @@ mod tests {
         let (x_gs, _) = gauss_seidel(&a, &b, opts).unwrap();
         for i in 0..b.len() {
             assert!((x_cg[i] - x_bi[i]).abs() < 1e-2, "cg vs bicgstab at {i}");
-            assert!((x_cg[i] - x_gs[i]).abs() < 1e-2, "cg vs gauss-seidel at {i}");
+            assert!(
+                (x_cg[i] - x_gs[i]).abs() < 1e-2,
+                "cg vs gauss-seidel at {i}"
+            );
         }
     }
-
 
     #[test]
     fn pcg_matches_cg_and_converges_no_slower_on_stiff_systems() {
@@ -531,14 +551,24 @@ mod tests {
         spd.compress();
         let a = Csr::from(&spd);
         let b: Vec<f64> = (0..64).map(|i| ((i % 5) as f64) - 2.0).collect();
-        let opts = SolveOptions { tolerance: 1e-5, max_iterations: 10_000 };
+        let opts = SolveOptions {
+            tolerance: 1e-5,
+            max_iterations: 10_000,
+        };
         let (x_cg, s_cg) = conjugate_gradient(&a, &b, opts).unwrap();
         let (x_pcg, s_pcg) = preconditioned_cg(&a, &b, opts).unwrap();
         for i in 0..64 {
-            assert!((x_cg[i] - x_pcg[i]).abs() < 1e-2, "solutions diverge at {i}");
+            assert!(
+                (x_cg[i] - x_pcg[i]).abs() < 1e-2,
+                "solutions diverge at {i}"
+            );
         }
-        assert!(s_pcg.iterations <= s_cg.iterations + 2,
-                "PCG {} vs CG {}", s_pcg.iterations, s_cg.iterations);
+        assert!(
+            s_pcg.iterations <= s_cg.iterations + 2,
+            "PCG {} vs CG {}",
+            s_pcg.iterations,
+            s_cg.iterations
+        );
     }
 
     #[test]
@@ -561,7 +591,10 @@ mod tests {
         coo.push(2, 2, 3.0).unwrap();
         let (lambda, v, iters) = power_iteration(
             &Csr::from(&coo),
-            SolveOptions { tolerance: 1e-10, max_iterations: 1000 },
+            SolveOptions {
+                tolerance: 1e-10,
+                max_iterations: 1000,
+            },
         )
         .unwrap();
         assert!((lambda - 5.0).abs() < 1e-6, "lambda {lambda}");
@@ -574,7 +607,10 @@ mod tests {
         let a = Csr::from(&laplacian_2d(8, 8));
         let (lambda, _, _) = power_iteration(
             &a,
-            SolveOptions { tolerance: 1e-9, max_iterations: 20_000 },
+            SolveOptions {
+                tolerance: 1e-9,
+                max_iterations: 20_000,
+            },
         )
         .unwrap();
         // 5-point Laplacian eigenvalues live in (0, 8).

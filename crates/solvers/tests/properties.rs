@@ -102,7 +102,7 @@ proptest! {
         x in proptest::collection::vec(-4.0f32..4.0, 10),
     ) {
         let layer = SparseLayer::new(&coo, vec![0.25; 10], true).unwrap();
-        let a = sparse_mlp_forward(&[layer.clone()], &x).unwrap();
+        let a = sparse_mlp_forward(std::slice::from_ref(&layer), &x).unwrap();
         let b = sparse_mlp_forward(&[layer], &x).unwrap();
         prop_assert_eq!(&a, &b);
         prop_assert!(a.iter().all(|&v| v >= 0.0));

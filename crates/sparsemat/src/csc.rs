@@ -299,10 +299,16 @@ mod tests {
 
     #[test]
     fn from_raw_parts_validates() {
-        assert!(Csc::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(
+            Csc::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok()
+        );
         assert!(Csc::<f32>::from_raw_parts(2, 2, vec![0, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
-        assert!(Csc::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 9], vec![1.0, 2.0]).is_err());
-        assert!(Csc::<f32>::from_raw_parts(1, 2, vec![1, 1, 2], vec![0, 0], vec![1.0, 2.0]).is_err());
+        assert!(
+            Csc::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 9], vec![1.0, 2.0]).is_err()
+        );
+        assert!(
+            Csc::<f32>::from_raw_parts(1, 2, vec![1, 1, 2], vec![0, 0], vec![1.0, 2.0]).is_err()
+        );
     }
 
     #[test]

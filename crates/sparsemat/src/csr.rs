@@ -354,17 +354,21 @@ mod tests {
     #[test]
     fn from_raw_parts_validates() {
         // Good.
-        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(
+            Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok()
+        );
         // Bad offsets length.
         assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
         // Non-monotonic offsets.
-        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
-        // Column out of range.
-        assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
-        // Duplicate column within a row.
         assert!(
-            Csr::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
+            Csr::<f32>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
         );
+        // Column out of range.
+        assert!(
+            Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err()
+        );
+        // Duplicate column within a row.
+        assert!(Csr::<f32>::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // Length mismatch between indices and values.
         assert!(Csr::<f32>::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).is_err());
     }

@@ -65,7 +65,11 @@ impl<T: Scalar> Dense<T> {
     ///
     /// Panics if `i >= nrows()`.
     pub fn row(&self, i: usize) -> &[T] {
-        assert!(i < self.nrows, "row {i} out of bounds ({} rows)", self.nrows);
+        assert!(
+            i < self.nrows,
+            "row {i} out of bounds ({} rows)",
+            self.nrows
+        );
         &self.data[i * self.ncols..(i + 1) * self.ncols]
     }
 
@@ -75,7 +79,11 @@ impl<T: Scalar> Dense<T> {
     ///
     /// Panics if `i >= nrows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [T] {
-        assert!(i < self.nrows, "row {i} out of bounds ({} rows)", self.nrows);
+        assert!(
+            i < self.nrows,
+            "row {i} out of bounds ({} rows)",
+            self.nrows
+        );
         &mut self.data[i * self.ncols..(i + 1) * self.ncols]
     }
 
@@ -181,12 +189,7 @@ impl<T: Scalar> Matrix<T> for Dense<T> {
         check_spmv_operand(self, x)?;
         let mut y = vec![T::ZERO; self.nrows];
         for (r, yr) in y.iter_mut().enumerate() {
-            *yr = self
-                .row(r)
-                .iter()
-                .zip(x)
-                .map(|(&a, &b)| a * b)
-                .sum();
+            *yr = self.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum();
         }
         Ok(y)
     }

@@ -81,7 +81,10 @@ impl<T: Scalar> Jds<T> {
     ///
     /// Panics if `d >= num_jagged_diagonals()`.
     pub fn jd_len(&self, d: usize) -> usize {
-        assert!(d < self.num_jagged_diagonals(), "diagonal {d} out of bounds");
+        assert!(
+            d < self.num_jagged_diagonals(),
+            "diagonal {d} out of bounds"
+        );
         self.jd_ptr[d + 1] - self.jd_ptr[d]
     }
 }
@@ -128,7 +131,11 @@ impl<T: Scalar> Matrix<T> for Jds<T> {
         for d in 0..self.num_jagged_diagonals() {
             for pos in 0..self.jd_len(d) {
                 let k = self.jd_ptr[d] + pos;
-                out.push(Triplet::new(self.perm[pos], self.indices[k], self.values[k]));
+                out.push(Triplet::new(
+                    self.perm[pos],
+                    self.indices[k],
+                    self.values[k],
+                ));
             }
         }
         crate::triplet::sort_row_major(&mut out);

@@ -98,7 +98,9 @@ use std::fmt::Debug;
 /// `Dense` is the paper's baseline; the seven characterized formats are
 /// `Csr`, `Csc`, `Bcsr`, `Coo`, `Lil`, `Ell` and `Dia`. `Dok`, `Sell` and
 /// `Jds` are the variants §2 discusses alongside them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum FormatKind {
     /// Row-major dense baseline.
     Dense,

@@ -37,10 +37,11 @@ pub fn sub<T: Scalar, A: Matrix<T>, B: Matrix<T>>(a: &A, b: &B) -> Result<Coo<T>
     }
     let mut out = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz() + b.nnz());
     out.extend(a.triplets());
-    out.extend(b.triplets().into_iter().map(|t| Triplet {
-        val: -t.val,
-        ..t
-    }));
+    out.extend(
+        b.triplets()
+            .into_iter()
+            .map(|t| Triplet { val: -t.val, ..t }),
+    );
     out.compress();
     Ok(out)
 }
@@ -99,11 +100,7 @@ pub fn spmm<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
 /// graph).
 pub fn kron<T: Scalar, A: Matrix<T>, B: Matrix<T>>(a: &A, b: &B) -> Coo<T> {
     let (bn, bm) = (b.nrows(), b.ncols());
-    let mut out = Coo::with_capacity(
-        a.nrows() * bn,
-        a.ncols() * bm,
-        a.nnz() * b.nnz(),
-    );
+    let mut out = Coo::with_capacity(a.nrows() * bn, a.ncols() * bm, a.nnz() * b.nnz());
     let b_triplets = b.triplets();
     for ta in a.triplets() {
         for tb in &b_triplets {
@@ -171,7 +168,10 @@ pub fn axpy<T: Scalar>(k: T, x: &[T], y: &mut [T]) {
 
 /// Euclidean norm of a vector, computed in `f64`.
 pub fn norm2<T: Scalar>(v: &[T]) -> f64 {
-    v.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| x.to_f64() * x.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -256,7 +256,6 @@ mod tests {
         assert!(spmm(&ac, &wide).is_err());
     }
 
-
     #[test]
     fn kron_matches_dense_definition() {
         let x = a(); // diag(1, 2)
@@ -267,7 +266,11 @@ mod tests {
         let (xd, yd) = (x.to_dense(), y.to_dense());
         for r in 0..4 {
             for c in 0..4 {
-                assert_eq!(kd[(r, c)], xd[(r / 2, c / 2)] * yd[(r % 2, c % 2)], "({r},{c})");
+                assert_eq!(
+                    kd[(r, c)],
+                    xd[(r / 2, c / 2)] * yd[(r % 2, c % 2)],
+                    "({r},{c})"
+                );
             }
         }
         assert_eq!(k.nnz(), x.nnz() * y.nnz());
@@ -285,7 +288,6 @@ mod tests {
         assert_eq!(cubed.nrows(), 8);
         assert_eq!(cubed.nnz(), seed.nnz().pow(3));
     }
-
 
     #[test]
     fn diagonal_extraction() {

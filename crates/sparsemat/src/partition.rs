@@ -62,12 +62,7 @@ impl<T: Scalar> PartitionGrid<T> {
     ///
     /// Returns [`SparseError::InvalidBlockSize`] when `size == 0`.
     pub fn new<M: Matrix<T>>(matrix: &M, size: usize) -> Result<Self, SparseError> {
-        Self::from_triplets(
-            matrix.nrows(),
-            matrix.ncols(),
-            matrix.triplets(),
-            size,
-        )
+        Self::from_triplets(matrix.nrows(), matrix.ncols(), matrix.triplets(), size)
     }
 
     /// Tiles a triplet list directly (avoids materializing intermediate

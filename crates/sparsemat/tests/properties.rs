@@ -18,7 +18,7 @@ fn coo_strategy() -> impl Strategy<Value = Coo<f32>> {
         proptest::collection::btree_map(
             0..cells,
             // Exclude zero so nnz is exactly the map size.
-            prop_oneof![(-50i32..0), (1i32..=50)],
+            prop_oneof![-50i32..0, 1i32..=50],
             0..=cells.min(60),
         )
         .prop_map(move |map| {
@@ -202,7 +202,7 @@ proptest! {
                 let cells = inner * ncols;
                 proptest::collection::btree_map(
                     0..cells,
-                    prop_oneof![(-9i32..0), (1i32..=9)],
+                    prop_oneof![-9i32..0, 1i32..=9],
                     0..=cells.min(40),
                 )
                 .prop_map(move |map| {

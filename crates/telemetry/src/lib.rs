@@ -1,0 +1,11 @@
+//! Cycle-level telemetry for the Copernicus pipeline model.
+
+pub mod event;
+pub mod manifest;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{PipelineEvent, Stage};
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{ChromeTraceWriter, JsonlSink, NullSink, RecordingSink, TraceSink};

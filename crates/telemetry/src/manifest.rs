@@ -1,0 +1,139 @@
+//! Run manifests: everything needed to reproduce (and audit) a
+//! characterization run — hardware configuration, seed, workload labels,
+//! crate version and wall-clock timestamp.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A self-describing record of one characterization run or campaign.
+///
+/// The hardware configuration is stored as a generic [`Value`] tree so this
+/// crate does not depend on the pipeline model; callers serialize their
+/// `HwConfig` and hand over the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Producing tool, always `"copernicus-repro"`.
+    pub tool: String,
+    /// Workspace crate version at build time.
+    pub version: String,
+    /// Wall-clock creation time, seconds since the Unix epoch.
+    pub created_unix_s: u64,
+    /// Human-readable UTC rendering of `created_unix_s`.
+    pub created_utc: String,
+    /// RNG seed the workload generators were run with.
+    pub seed: u64,
+    /// Full hardware configuration, serialized by the caller.
+    pub hw: Value,
+    /// Labels of every workload characterized.
+    pub workloads: Vec<String>,
+    /// Labels of every compression format characterized.
+    pub formats: Vec<String>,
+    /// Partition edge lengths swept.
+    pub partition_sizes: Vec<usize>,
+    /// Free-form notes (figure names, CLI invocation, preset).
+    pub notes: Vec<String>,
+}
+
+impl RunManifest {
+    /// Builds a manifest stamped with the current wall-clock time and this
+    /// workspace's crate version.
+    pub fn new(seed: u64, hw: Value) -> Self {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        RunManifest {
+            tool: "copernicus-repro".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            created_unix_s: now,
+            created_utc: format_utc(now),
+            seed,
+            hw,
+            workloads: Vec::new(),
+            formats: Vec::new(),
+            partition_sizes: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a free-form note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the manifest as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(&self.serialize())
+    }
+
+    /// Parses a manifest back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        Self::deserialize(&serde::json::from_str(text)?)
+    }
+
+    /// Writes the manifest JSON to a file at `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Renders Unix seconds as `YYYY-MM-DDTHH:MM:SSZ` without a date-time
+/// dependency (Howard Hinnant's civil-from-days algorithm).
+pub fn format_utc(unix_s: u64) -> String {
+    let days = (unix_s / 86_400) as i64;
+    let secs = unix_s % 86_400;
+    let (h, m, s) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_formatting_matches_known_dates() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(format_utc(86_400), "1970-01-02T00:00:00Z");
+        // 2021-11-07 12:00:00 UTC (Copernicus was presented at IISWC 2021).
+        assert_eq!(format_utc(1_636_286_400), "2021-11-07T12:00:00Z");
+        // Leap-year boundary.
+        assert_eq!(format_utc(951_825_599), "2000-02-29T11:59:59Z");
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let hw = Value::Map(vec![
+            ("clock_mhz".to_string(), Value::Float(250.0)),
+            ("bus_bytes_per_cycle".to_string(), Value::UInt(8)),
+        ]);
+        let mut m = RunManifest::new(42, hw).with_note("fig05");
+        m.workloads.push("random d=0.05".to_string());
+        m.formats.push("CSR".to_string());
+        m.partition_sizes.push(16);
+
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.tool, "copernicus-repro");
+        assert_eq!(back.version, env!("CARGO_PKG_VERSION"));
+        assert!(back.created_utc.ends_with('Z'));
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_json() {
+        assert!(RunManifest::from_json("{").is_err());
+        assert!(RunManifest::from_json("{\"tool\": \"x\"}").is_err());
+    }
+}

@@ -133,7 +133,12 @@ mod tests {
         // Every 8x8 tile is either fully dense or fully empty.
         let grid = PartitionGrid::new(&m, 8).unwrap();
         for part in grid.partitions() {
-            assert_eq!(part.nnz(), 64, "partial tile at {:?}", (part.grid_row, part.grid_col));
+            assert_eq!(
+                part.nnz(),
+                64,
+                "partial tile at {:?}",
+                (part.grid_row, part.grid_col)
+            );
         }
     }
 
@@ -142,8 +147,7 @@ mod tests {
         // The §8 argument: at equal density, block pruning leaves far fewer
         // non-zero partitions to transfer.
         let blocked = pruned_block(128, 128, 8, 0.1, &mut seeded_rng(2));
-        let unstructured =
-            pruned_unstructured(128, 128, blocked.density(), &mut seeded_rng(3));
+        let unstructured = pruned_unstructured(128, 128, blocked.density(), &mut seeded_rng(3));
         let gb = PartitionGrid::new(&blocked, 8).unwrap();
         let gu = PartitionGrid::new(&unstructured, 8).unwrap();
         assert!(
@@ -174,9 +178,8 @@ mod tests {
     fn embedding_skew_concentrates_on_hot_rows() {
         let hot = embedding_access(200, 500, 4, 0.9, &mut seeded_rng(6));
         let cold = embedding_access(200, 500, 4, 0.0, &mut seeded_rng(6));
-        let hot_mass = |m: &Coo<f32>| {
-            m.iter().filter(|t| t.col < 50).count() as f64 / m.nnz() as f64
-        };
+        let hot_mass =
+            |m: &Coo<f32>| m.iter().filter(|t| t.col < 50).count() as f64 / m.nnz() as f64;
         assert!(hot_mass(&hot) > 0.8, "hot mass {}", hot_mass(&hot));
         assert!(hot_mass(&cold) < 0.3, "cold mass {}", hot_mass(&cold));
     }

@@ -180,7 +180,12 @@ mod tests {
         let g = rmat_symmetric(7, 300, RmatParams::GRAPH500, &mut seeded_rng(4));
         let d = g.to_dense();
         for t in g.iter() {
-            assert!(!d[(t.col, t.row)].is_zero(), "missing mirror of ({},{})", t.row, t.col);
+            assert!(
+                !d[(t.col, t.row)].is_zero(),
+                "missing mirror of ({},{})",
+                t.row,
+                t.col
+            );
         }
     }
 

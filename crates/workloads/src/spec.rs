@@ -113,7 +113,11 @@ mod tests {
             WorkloadClass::SuiteSparse
         );
         assert_eq!(
-            Workload::Random { n: 10, density: 0.1 }.class(),
+            Workload::Random {
+                n: 10,
+                density: 0.1
+            }
+            .class(),
             WorkloadClass::Random
         );
         assert_eq!(
@@ -131,7 +135,11 @@ mod tests {
 
     #[test]
     fn generate_respects_parameters() {
-        let m = Workload::Random { n: 64, density: 0.1 }.generate(0, 1);
+        let m = Workload::Random {
+            n: 64,
+            density: 0.1,
+        }
+        .generate(0, 1);
         assert_eq!(m.nrows(), 64);
         assert_eq!(m.nnz(), 410, "0.1 * 64^2 rounded");
 
@@ -142,10 +150,7 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert_eq!(Workload::Suite(&crate::SUITE[9]).label(), "KR");
-        assert_eq!(
-            Workload::Random { n: 8, density: 0.5 }.label(),
-            "d=0.5"
-        );
+        assert_eq!(Workload::Random { n: 8, density: 0.5 }.label(), "d=0.5");
         assert_eq!(Workload::Band { n: 8, width: 16 }.label(), "w=16");
     }
 

@@ -63,26 +63,166 @@ pub struct SuiteMatrix {
 
 /// The 20 matrices of Table 1, in the paper's order.
 pub const SUITE: [SuiteMatrix; 20] = [
-    SuiteMatrix { id: "2C", name: "2cubes_sphere", dim_millions: 0.101, nnz_millions: 1.647, kind: "Electromagnetics Problem", family: Family::Fem3d },
-    SuiteMatrix { id: "FR", name: "Freescale2", dim_millions: 2.9, nnz_millions: 14.3, kind: "Circuit Sim. Matrix", family: Family::Circuit { locality: 0.9 } },
-    SuiteMatrix { id: "RE", name: "N_reactome", dim_millions: 0.016, nnz_millions: 0.043, kind: "Biochemical Network", family: Family::Uniform },
-    SuiteMatrix { id: "AM", name: "amazon0601", dim_millions: 0.4, nnz_millions: 3.3, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.45 } },
-    SuiteMatrix { id: "DW", name: "dwt_918", dim_millions: 0.000918, nnz_millions: 0.0073, kind: "Structural Problem", family: Family::Fem2d },
-    SuiteMatrix { id: "EO", name: "europe_osm", dim_millions: 50.9, nnz_millions: 108.0, kind: "Undirected Graph", family: Family::RoadMesh },
-    SuiteMatrix { id: "FL", name: "flickr", dim_millions: 0.82, nnz_millions: 9.8, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.57 } },
-    SuiteMatrix { id: "HC", name: "hcircuit", dim_millions: 0.1, nnz_millions: 0.51, kind: "Circuit Sim. Problem", family: Family::Circuit { locality: 0.85 } },
-    SuiteMatrix { id: "HU", name: "hugebubbles", dim_millions: 18.3, nnz_millions: 54.9, kind: "Undirected Graph", family: Family::RoadMesh },
-    SuiteMatrix { id: "KR", name: "kron_g500-logn21", dim_millions: 2.0, nnz_millions: 182.0, kind: "Undirected Multigraph", family: Family::PowerLawSymmetric },
-    SuiteMatrix { id: "RL", name: "rail582", dim_millions: 0.056, nnz_millions: 0.4, kind: "Linear Prog. Problem", family: Family::Uniform },
-    SuiteMatrix { id: "RJ", name: "rajat31", dim_millions: 4.6, nnz_millions: 20.3, kind: "Circuit Sim. Problem", family: Family::Circuit { locality: 0.9 } },
-    SuiteMatrix { id: "RO", name: "roadNet-TX", dim_millions: 1.3, nnz_millions: 3.8, kind: "Undirected Graph", family: Family::RoadMesh },
-    SuiteMatrix { id: "RC", name: "road_central", dim_millions: 14.0, nnz_millions: 33.8, kind: "Undirected Graph", family: Family::RoadMesh },
-    SuiteMatrix { id: "LJ", name: "soc-LiveJournal1", dim_millions: 4.8, nnz_millions: 68.9, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.57 } },
-    SuiteMatrix { id: "TH", name: "thermomech_dK", dim_millions: 0.2, nnz_millions: 2.8, kind: "Thermal Problem", family: Family::Fem3d },
-    SuiteMatrix { id: "WE", name: "wb-edu", dim_millions: 9.8, nnz_millions: 57.1, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.57 } },
-    SuiteMatrix { id: "WG", name: "web-Google", dim_millions: 0.91, nnz_millions: 5.1, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.57 } },
-    SuiteMatrix { id: "WT", name: "wiki-Talk", dim_millions: 2.3, nnz_millions: 5.0, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.65 } },
-    SuiteMatrix { id: "WI", name: "wikipedia", dim_millions: 3.5, nnz_millions: 45.0, kind: "Directed Graph", family: Family::PowerLawGraph { skew: 0.57 } },
+    SuiteMatrix {
+        id: "2C",
+        name: "2cubes_sphere",
+        dim_millions: 0.101,
+        nnz_millions: 1.647,
+        kind: "Electromagnetics Problem",
+        family: Family::Fem3d,
+    },
+    SuiteMatrix {
+        id: "FR",
+        name: "Freescale2",
+        dim_millions: 2.9,
+        nnz_millions: 14.3,
+        kind: "Circuit Sim. Matrix",
+        family: Family::Circuit { locality: 0.9 },
+    },
+    SuiteMatrix {
+        id: "RE",
+        name: "N_reactome",
+        dim_millions: 0.016,
+        nnz_millions: 0.043,
+        kind: "Biochemical Network",
+        family: Family::Uniform,
+    },
+    SuiteMatrix {
+        id: "AM",
+        name: "amazon0601",
+        dim_millions: 0.4,
+        nnz_millions: 3.3,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.45 },
+    },
+    SuiteMatrix {
+        id: "DW",
+        name: "dwt_918",
+        dim_millions: 0.000918,
+        nnz_millions: 0.0073,
+        kind: "Structural Problem",
+        family: Family::Fem2d,
+    },
+    SuiteMatrix {
+        id: "EO",
+        name: "europe_osm",
+        dim_millions: 50.9,
+        nnz_millions: 108.0,
+        kind: "Undirected Graph",
+        family: Family::RoadMesh,
+    },
+    SuiteMatrix {
+        id: "FL",
+        name: "flickr",
+        dim_millions: 0.82,
+        nnz_millions: 9.8,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.57 },
+    },
+    SuiteMatrix {
+        id: "HC",
+        name: "hcircuit",
+        dim_millions: 0.1,
+        nnz_millions: 0.51,
+        kind: "Circuit Sim. Problem",
+        family: Family::Circuit { locality: 0.85 },
+    },
+    SuiteMatrix {
+        id: "HU",
+        name: "hugebubbles",
+        dim_millions: 18.3,
+        nnz_millions: 54.9,
+        kind: "Undirected Graph",
+        family: Family::RoadMesh,
+    },
+    SuiteMatrix {
+        id: "KR",
+        name: "kron_g500-logn21",
+        dim_millions: 2.0,
+        nnz_millions: 182.0,
+        kind: "Undirected Multigraph",
+        family: Family::PowerLawSymmetric,
+    },
+    SuiteMatrix {
+        id: "RL",
+        name: "rail582",
+        dim_millions: 0.056,
+        nnz_millions: 0.4,
+        kind: "Linear Prog. Problem",
+        family: Family::Uniform,
+    },
+    SuiteMatrix {
+        id: "RJ",
+        name: "rajat31",
+        dim_millions: 4.6,
+        nnz_millions: 20.3,
+        kind: "Circuit Sim. Problem",
+        family: Family::Circuit { locality: 0.9 },
+    },
+    SuiteMatrix {
+        id: "RO",
+        name: "roadNet-TX",
+        dim_millions: 1.3,
+        nnz_millions: 3.8,
+        kind: "Undirected Graph",
+        family: Family::RoadMesh,
+    },
+    SuiteMatrix {
+        id: "RC",
+        name: "road_central",
+        dim_millions: 14.0,
+        nnz_millions: 33.8,
+        kind: "Undirected Graph",
+        family: Family::RoadMesh,
+    },
+    SuiteMatrix {
+        id: "LJ",
+        name: "soc-LiveJournal1",
+        dim_millions: 4.8,
+        nnz_millions: 68.9,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.57 },
+    },
+    SuiteMatrix {
+        id: "TH",
+        name: "thermomech_dK",
+        dim_millions: 0.2,
+        nnz_millions: 2.8,
+        kind: "Thermal Problem",
+        family: Family::Fem3d,
+    },
+    SuiteMatrix {
+        id: "WE",
+        name: "wb-edu",
+        dim_millions: 9.8,
+        nnz_millions: 57.1,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.57 },
+    },
+    SuiteMatrix {
+        id: "WG",
+        name: "web-Google",
+        dim_millions: 0.91,
+        nnz_millions: 5.1,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.57 },
+    },
+    SuiteMatrix {
+        id: "WT",
+        name: "wiki-Talk",
+        dim_millions: 2.3,
+        nnz_millions: 5.0,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.65 },
+    },
+    SuiteMatrix {
+        id: "WI",
+        name: "wikipedia",
+        dim_millions: 3.5,
+        nnz_millions: 45.0,
+        kind: "Directed Graph",
+        family: Family::PowerLawGraph { skew: 0.57 },
+    },
 ];
 
 impl SuiteMatrix {
@@ -196,10 +336,9 @@ fn densify_fem<R: Rng>(base: Coo<f32>, avg: f64, rng: &mut R) -> Coo<f32> {
 /// Deterministic tiny string hash so each suite entry gets a distinct
 /// generation stream from the same user seed.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-        })
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 #[cfg(test)]

@@ -20,8 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "web graph",
             rmat(8, 1500, RmatParams::GRAPH500, &mut seeded_rng(3)),
         ),
-        ("NN weights d=0.3", random::uniform_square(128, 0.3, &mut seeded_rng(4))),
-        ("extreme sparse", random::uniform_square(256, 0.001, &mut seeded_rng(5))),
+        (
+            "NN weights d=0.3",
+            random::uniform_square(128, 0.3, &mut seeded_rng(4)),
+        ),
+        (
+            "extreme sparse",
+            random::uniform_square(256, 0.001, &mut seeded_rng(5)),
+        ),
     ];
     let goals = [
         Goal::Latency,
@@ -53,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show one full rationale.
     let rec = recommend(&workloads[0].1, Goal::BandwidthUtilization)?;
-    println!("why {} for a diagonal matrix?\n  {}", rec.format, rec.rationale);
+    println!(
+        "why {} for a diagonal matrix?\n  {}",
+        rec.format, rec.rationale
+    );
     Ok(())
 }

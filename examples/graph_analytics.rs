@@ -93,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\naccelerator cycles for {iters} PageRank iterations:");
     println!("  COO: {cycles_coo:>12}");
-    println!("  CSC: {cycles_csc:>12}  ({:.1}x slower)", cycles_csc as f64 / cycles_coo as f64);
+    println!(
+        "  CSC: {cycles_csc:>12}  ({:.1}x slower)",
+        cycles_csc as f64 / cycles_coo as f64
+    );
     println!(
         "\n§8 of the paper: a generic format like COO matches generic hardware;\n\
          the column-oriented CSC pays a {:.0}x decompression penalty on this graph.",

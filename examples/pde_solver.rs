@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::new(HwConfig::with_partition_size(16))?;
 
     println!("\nCG on the accelerator model, per operator format:");
-    println!("{:>8} {:>7} {:>14} {:>12}", "format", "iters", "cycles", "residual");
+    println!(
+        "{:>8} {:>7} {:>14} {:>12}",
+        "format", "iters", "cycles", "residual"
+    );
     let mut reference: Option<Vec<f32>> = None;
     for format in [
         FormatKind::Csr,
@@ -88,7 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Residual check: ||b - A·u||.
         let au = a.spmv(&u)?;
         let res: Vec<f32> = b.iter().zip(&au).map(|(bi, ai)| bi - ai).collect();
-        println!("{:>8} {:>7} {:>14} {:>12.3e}", format.to_string(), iters, cycles, norm2(&res));
+        println!(
+            "{:>8} {:>7} {:>14} {:>12.3e}",
+            format.to_string(),
+            iters,
+            cycles,
+            norm2(&res)
+        );
         // Every format solves the same system to the same answer.
         match &reference {
             None => reference = Some(u),

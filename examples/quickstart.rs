@@ -44,13 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("accelerator SpMV matches the software kernel ✓\n");
 
     // Characterize every format the paper studies.
-    let mut table = TextTable::new(&[
-        "format",
-        "sigma",
-        "balance",
-        "bw_util",
-        "total_cycles",
-    ]);
+    let mut table = TextTable::new(&["format", "sigma", "balance", "bw_util", "total_cycles"]);
     for kind in FormatKind::CHARACTERIZED {
         let r = platform.run(&a, kind)?;
         table.row(&[

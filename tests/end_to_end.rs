@@ -17,7 +17,10 @@ fn small_cfg() -> ExperimentConfig {
 fn full_campaign_is_deterministic() {
     let cfg = small_cfg();
     let workloads = [
-        Workload::Random { n: 96, density: 0.05 },
+        Workload::Random {
+            n: 96,
+            density: 0.05,
+        },
         Workload::Band { n: 96, width: 16 },
     ];
     let a = characterize(&workloads, &FormatKind::CHARACTERIZED, &[8, 16], &cfg).unwrap();

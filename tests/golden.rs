@@ -51,7 +51,10 @@ fn csr_compute(m: &copernicus_repro::sparsemat::Coo<f32>) -> u64 {
 #[test]
 fn golden_random_matrix_is_stable_across_runs() {
     // The exact same workload twice: every metric must match bit-for-bit.
-    let w = Workload::Random { n: 96, density: 0.05 };
+    let w = Workload::Random {
+        n: 96,
+        density: 0.05,
+    };
     let (a, b) = (w.generate(0, 7), w.generate(0, 7));
     assert_eq!(a, b);
     let p = platform();
@@ -81,6 +84,77 @@ fn golden_suite_stand_in_statistics() {
     }
 }
 
+/// A deterministic quick-preset report: Band(128, 16) at seed 42, CSR, p=16.
+fn quick_csr_report() -> copernicus_repro::hls::RunReport {
+    let m = Workload::Band { n: 128, width: 16 }.generate(0, 42);
+    platform().run(&m, FormatKind::Csr).unwrap()
+}
+
+#[test]
+fn golden_run_report_json_snapshot() {
+    // The serialized form of a quick-preset RunReport is pinned to a
+    // committed snapshot: field names, field order and every value. Refresh
+    // with `BLESS=1 cargo test --test golden` after an intentional model or
+    // schema change.
+    let json = serde::json::to_string_pretty(&quick_csr_report());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/run_report_band16_csr.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, format!("{json}\n")).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run BLESS=1 cargo test --test golden");
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "RunReport JSON drifted from tests/data/run_report_band16_csr.json"
+    );
+}
+
+#[test]
+fn run_report_and_partition_timing_round_trip_through_json() {
+    let report = quick_csr_report();
+    let text = serde::json::to_string(&report);
+    let back: copernicus_repro::hls::RunReport = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, report);
+
+    let timing = copernicus_repro::hls::PartitionTiming {
+        mem_cycles: 17,
+        compute_cycles: 23,
+        decomp_cycles: 5,
+        writeback_cycles: 4,
+        dot_issues: 9,
+        bytes: 1024,
+        useful_bytes: 512,
+        bram_reads: 33,
+    };
+    let text = serde::json::to_string(&timing);
+    let back: copernicus_repro::hls::PartitionTiming = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, timing);
+}
+
+#[test]
+fn measurement_and_manifest_round_trip_through_json() {
+    use copernicus_repro::copernicus::{characterize, manifest_for, ExperimentConfig, Measurement};
+
+    let cfg = ExperimentConfig::quick();
+    let workloads = [Workload::Random {
+        n: 64,
+        density: 0.05,
+    }];
+    let formats = [FormatKind::Csr];
+    let ms = characterize(&workloads, &formats, &[16], &cfg).unwrap();
+    let text = serde::json::to_string(&ms[0]);
+    let back: Measurement = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, ms[0]);
+
+    let manifest = manifest_for(&cfg, &workloads, &formats, &[16]);
+    let back = copernicus_repro::telemetry::RunManifest::from_json(&manifest.to_json()).unwrap();
+    assert_eq!(back, manifest);
+}
+
 #[test]
 fn golden_sigma_values_for_full_tile() {
     // A fully dense 16x16 tile: σ has closed forms for every format.
@@ -102,7 +176,5 @@ fn golden_sigma_values_for_full_tile() {
     // ELL: 16 rows, one cycle each, width-6 engine (T = 5).
     assert!((sigma(FormatKind::Ell) - (16.0 + 16.0 * 5.0) / denom).abs() < 1e-12);
     // DIA: 31 diagonals scanned per row plus the initial access.
-    assert!(
-        (sigma(FormatKind::Dia) - (2.0 + 16.0 * 31.0 + 16.0 * t_dot) / denom).abs() < 1e-12
-    );
+    assert!((sigma(FormatKind::Dia) - (2.0 + 16.0 * 31.0 + 16.0 * t_dot) / denom).abs() < 1e-12);
 }

@@ -47,10 +47,7 @@ fn mtx_files_written_to_disk_are_readable() {
     mtx::write_mtx(&mut file, &m).unwrap();
     drop(file);
 
-    let back = mtx::read_mtx(std::io::BufReader::new(
-        std::fs::File::open(&path).unwrap(),
-    ))
-    .unwrap();
+    let back = mtx::read_mtx(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
     assert_eq!(back.nnz(), m.nnz());
     assert!(m.to_dense().structurally_eq(&back));
     std::fs::remove_dir_all(&dir).ok();

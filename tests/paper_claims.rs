@@ -51,14 +51,8 @@ fn claim_csr_needs_less_memory_bandwidth_than_dense() {
     // §8 insight 1 (continued): "when using a format such as CSR to
     // efficiently use storage, a lower-bandwidth low-cost memory is
     // sufficient."
-    let csr = mean(
-        |m| m.format == FormatKind::Csr,
-        |m| m.mem_cycles() as f64,
-    );
-    let dense = mean(
-        |m| m.format == FormatKind::Dense,
-        |m| m.mem_cycles() as f64,
-    );
+    let csr = mean(|m| m.format == FormatKind::Csr, |m| m.mem_cycles() as f64);
+    let dense = mean(|m| m.format == FormatKind::Dense, |m| m.mem_cycles() as f64);
     assert!(csr < dense, "CSR mem {csr} >= dense mem {dense}");
 }
 
@@ -106,7 +100,11 @@ fn claim_dia_near_perfect_utilization_on_diagonals_improving_with_p() {
             .bandwidth_utilization()
     };
     assert!(diag_util(32) > diag_util(8));
-    assert!(diag_util(32) > 0.9, "DIA diagonal utilization {}", diag_util(32));
+    assert!(
+        diag_util(32) > 0.9,
+        "DIA diagonal utilization {}",
+        diag_util(32)
+    );
 }
 
 #[test]

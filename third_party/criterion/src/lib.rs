@@ -1,0 +1,255 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset the workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::bench_with_input`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark body is timed over a
+//! fixed number of batches and the per-iteration mean and minimum are
+//! printed. Under `cargo test` (bench targets default to `test = true`)
+//! every body runs exactly once as a smoke test, mirroring real criterion's
+//! `--test` behavior, so the benches stay compile- and run-verified without
+//! slowing the test suite down.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: keeps the optimizer from deleting a benchmark
+/// body's work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A label with an explicit function name and parameter rendering.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A label carrying only the parameter (the group provides the name).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, collecting per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let batches = if self.smoke { 1 } else { 15 };
+        for _ in 0..batches {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Builds a harness, detecting smoke-test mode (`cargo test` executes
+    /// bench targets with no relevant arguments; real criterion uses
+    /// `--test`, which is honored too).
+    pub fn new_from_env() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CARGO_BENCH").is_none()
+                && !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b))
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input))
+    }
+
+    /// Opens a named benchmark group; member benchmarks print as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.smoke {
+            println!("bench {name}: ok (smoke)");
+        } else if bencher.samples.is_empty() {
+            println!("bench {name}: no samples");
+        } else {
+            let total: Duration = bencher.samples.iter().sum();
+            let mean = total / bencher.samples.len() as u32;
+            let min = bencher.samples.iter().min().expect("non-empty");
+            println!(
+                "bench {name}: mean {mean:?} / min {min:?} over {} iterations",
+                bencher.samples.len()
+            );
+        }
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing a `group/` prefix.
+///
+/// The tuning knobs (`warm_up_time`, `measurement_time`, `sample_size`)
+/// are accepted for source compatibility with real criterion but ignored:
+/// this stand-in's sampling is fixed (see the crate docs).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (fixed sampling).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (fixed sampling).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (fixed sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark under the group's prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let id = format!("{}/{name}", self.name);
+        self.criterion.run_one(&id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input under the group's prefix.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{id}", self.name);
+        self.criterion.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a function that runs each listed benchmark
+/// function against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new_from_env();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        c.bench_with_input(BenchmarkId::from_parameter(16), &16usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion { smoke: true };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("spmv", 42).to_string(), "spmv/42");
+        assert_eq!(BenchmarkId::from_parameter("csr").to_string(), "csr");
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+
+    #[test]
+    fn benchmark_groups_prefix_their_members() {
+        let mut c = Criterion { smoke: true };
+        let mut group = c.benchmark_group("demo");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.sample_size(10);
+        group.bench_function("one", |b| b.iter(|| black_box(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(2), &2usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest 1.x the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `boxed`, implemented for integer and float ranges, tuples and
+//!   [`strategy::Just`],
+//! * [`collection::vec`] and [`collection::btree_map`] with exact or ranged
+//!   sizes,
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`), and
+//!   `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`/
+//!   [`prop_oneof!`].
+//!
+//! Differences from the real crate, deliberately accepted: inputs are drawn
+//! from a seed derived deterministically from the test's module path and
+//! name (fully reproducible runs, no `PROPTEST_` env handling), and there
+//! is **no shrinking** — a failing case panics with the generated inputs'
+//! `Debug` rendering via the ordinary `assert!` machinery instead.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous strategies of one
+        /// value type can be mixed (see [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased strategies — the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    #[derive(Debug, Clone)]
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(
+                !self.0.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            let pick = rng.0.gen_range(0..self.0.len());
+            self.0[pick].generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Sampling the half-open range is indistinguishable in
+                    // practice; the inclusive bound is a measure-zero point.
+                    rng.0.gen_range(*self.start()..*self.end())
+                }
+            }
+        )*};
+    }
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// Anything usable as a collection size: an exact `usize` or a range.
+    pub trait SizeRange {
+        /// Draws a concrete size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.clone())
+        }
+    }
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with `size` *distinct* keys from `key` mapped to values
+    /// from `value`. If the key space is too small to reach the drawn size,
+    /// the map is as large as the draws allowed (bounded retries), matching
+    /// real proptest's best-effort behavior for saturated key domains.
+    pub fn btree_map<K: Strategy, V: Strategy, Z: SizeRange>(
+        key: K,
+        value: V,
+        size: Z,
+    ) -> BTreeMapStrategy<K, V, Z> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V, Z> {
+        key: K,
+        value: V,
+        size: Z,
+    }
+
+    impl<K, V, Z> Strategy for BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 10 + 100 {
+                let k = self.key.generate(rng);
+                let v = self.value.generate(rng);
+                map.insert(k, v);
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+/// Runner configuration (the accepted subset: case count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; that is affordable for every
+        // property in this workspace and keeps coverage comparable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The runner's RNG, deterministic per `(test name, case index)`.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub SmallRng);
+
+/// Builds the RNG for one case of one property test.
+///
+/// FNV-1a over the fully qualified test name, mixed with the case index, so
+/// every test sees a distinct but fully reproducible stream.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng(SmallRng::seed_from_u64(
+        hash ^ ((case as u64) << 32 | case as u64),
+    ))
+}
+
+/// Declares property tests: functions whose arguments are drawn from
+/// strategies via `pattern in strategy` clauses.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    // One closure per case so prop_assume! can skip by
+                    // returning early.
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                    })();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![$($crate::strategy::Strategy::boxed($alt)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with the formatted
+/// message; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::strategy::Strategy;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = super::test_rng("ranges", 0);
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let strat = prop_oneof![-50i32..0, 1i32..=50];
+        let mut rng = super::test_rng("oneof", 0);
+        let vals: Vec<i32> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v < 0));
+        assert!(vals.iter().any(|&v| v > 0));
+        assert!(vals.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn btree_map_sizes_are_exactly_the_distinct_key_count() {
+        let strat = super::collection::btree_map(0usize..1000, 0i32..5, 40..=40);
+        let mut rng = super::test_rng("map", 1);
+        let m = strat.generate(&mut rng);
+        assert_eq!(m.len(), 40);
+    }
+
+    #[test]
+    fn btree_map_saturates_small_key_spaces_gracefully() {
+        let strat = super::collection::btree_map(0usize..3, 0i32..5, 3..=3);
+        let mut rng = super::test_rng("map-small", 1);
+        let m = strat.generate(&mut rng);
+        assert!(m.len() <= 3);
+        assert!(m.keys().all(|&k| k < 3));
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_values() {
+        let strat = (1usize..=5).prop_flat_map(|n| (Just(n), super::collection::vec(0u8..10, n)));
+        let mut rng = super::test_rng("dep", 2);
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name_and_case() {
+        let a = (0u64..u64::MAX).generate(&mut super::test_rng("x", 3));
+        let b = (0u64..u64::MAX).generate(&mut super::test_rng("x", 3));
+        let c = (0u64..u64::MAX).generate(&mut super::test_rng("x", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_and_asserts(x in 1usize..=20, (lo, hi) in (0i32..5, 10i32..15)) {
+            prop_assume!(x != 13);
+            prop_assert!((1..=20).contains(&x));
+            prop_assert!(lo < hi, "{} vs {}", lo, hi);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(lo, hi);
+        }
+    }
+
+    #[test]
+    fn macro_generated_test_runs() {
+        macro_draws_and_asserts();
+    }
+}

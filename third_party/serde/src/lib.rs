@@ -1,0 +1,774 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the small serde subset the workspace actually uses:
+//!
+//! * `#[derive(serde::Serialize, serde::Deserialize)]` on structs with
+//!   named fields (optionally one type parameter) and on enums with unit
+//!   variants (via the sibling `serde_derive` stub),
+//! * a self-describing [`Value`] tree as the data model,
+//! * a [`json`] module that renders and parses that tree.
+//!
+//! The design intentionally collapses serde's `Serializer`/`Deserializer`
+//! traits into direct `Value` conversion: every serializable type maps to a
+//! `Value`, and JSON is one textual projection of it. That keeps the derive
+//! macro implementable without `syn`/`quote` (also unavailable offline)
+//! while preserving the call sites (`derive` attributes, round-trip tests,
+//! JSON export) unchanged.
+
+/// A self-describing serialized value — the crate's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative numerics parse into this).
+    Int(i64),
+    /// An unsigned integer (non-negative numerics parse into this).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` when `self` is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64` when losslessly possible.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64` when losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The sequence payload.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The map payload.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a struct field — the helper the derive macro
+/// expands to.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing or mistyped.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(inner) => {
+            T::deserialize(inner).map_err(|e| Error::custom(format!("field {name:?}: {e}")))
+        }
+        None => Err(Error::custom(format!("missing field {name:?}"))),
+    }
+}
+
+// ---- Serialize implementations -----------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        (*self as f64).serialize()
+    }
+}
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---- Deserialize implementations ---------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty: $kind:ident),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .$kind()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected {}, got {v:?}", stringify!($t)
+                    )))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64);
+de_int!(u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected f64, got {v:?}")))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = String::deserialize(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+/// Deserializing into `&'static str` leaks the parsed string. The only such
+/// field in the workspace is the static stream-name label of
+/// `copernicus_hls::Stream`, deserialized exclusively by tests, so the leak
+/// is bounded and deliberate.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        String::deserialize(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| Error::custom(format!("expected tuple, got {v:?}")))?;
+                if seq.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {}, got {} elements", $len, seq.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! JSON rendering and parsing of [`Value`](super::Value) trees.
+
+    use super::{Deserialize, Error, Serialize, Value};
+
+    /// Serializes `v` as compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        write_value(&v.serialize(), &mut out, None, 0);
+        out
+    }
+
+    /// Serializes `v` as two-space-indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        write_value(&v.serialize(), &mut out, Some(2), 0);
+        out
+    }
+
+    /// Parses JSON text into a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed JSON or a shape mismatch.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::deserialize(&parse(text)?)
+    }
+
+    /// Parses JSON text into the generic [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed JSON.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!("trailing data at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` is Rust's shortest round-trippable rendering and
+                    // always keeps a decimal point or exponent, so floats
+                    // re-parse as floats.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(s, out),
+            Value::Seq(items) => write_items(
+                out,
+                indent,
+                depth,
+                ('[', ']'),
+                items.iter(),
+                |item, out, d| {
+                    write_value(item, out, indent, d);
+                },
+            ),
+            Value::Map(entries) => {
+                write_items(
+                    out,
+                    indent,
+                    depth,
+                    ('{', '}'),
+                    entries.iter(),
+                    |(k, val), out, d| {
+                        write_string(k, out);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        write_value(val, out, indent, d);
+                    },
+                );
+            }
+        }
+    }
+
+    fn write_items<I: ExactSizeIterator>(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        (open, close): (char, char),
+        items: I,
+        mut write_item: impl FnMut(I::Item, &mut String, usize),
+    ) {
+        out.push(open);
+        let empty = items.len() == 0;
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(step) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(step * (depth + 1)));
+            }
+            write_item(item, out, depth + 1);
+        }
+        if let (Some(step), false) = (indent, empty) {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+        out.push(close);
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {lit:?} at byte {pos}",
+                pos = *pos
+            )))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected , or ] at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    entries.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected , or }} at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        expect(b, pos, "\"")?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&b[*pos..])
+                .map_err(|e| Error::custom(format!("invalid utf-8: {e}")))?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(Error::custom("unterminated string")),
+                Some((_, '"')) => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| Error::custom(format!("bad \\u escape: {e}")))?;
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error::custom("surrogate \\u escape unsupported")
+                            })?);
+                            *pos += 4;
+                        }
+                        other => return Err(Error::custom(format!("bad escape {other:?}"))),
+                    }
+                    *pos += 1;
+                }
+                Some((_, c)) => {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+        if text.is_empty() {
+            return Err(Error::custom(format!("expected a value at byte {start}")));
+        }
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scalar_round_trips() {
+            for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+                let v = parse(text).unwrap();
+                assert_eq!(to_string(&v), text, "{text}");
+            }
+        }
+
+        #[test]
+        fn nested_round_trip() {
+            let text = r#"{"a":[1,2.5,{"b":"x\ny"}],"c":null}"#;
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v), text);
+        }
+
+        #[test]
+        fn pretty_output_reparses() {
+            let v = parse(r#"{"a":[1,2],"b":{"c":true}}"#).unwrap();
+            let pretty = to_string_pretty(&v);
+            assert!(pretty.contains('\n'));
+            assert_eq!(parse(&pretty).unwrap(), v);
+        }
+
+        #[test]
+        fn float_values_keep_their_type() {
+            let v = parse("[1.0, 0.5]").unwrap();
+            assert_eq!(v, Value::Seq(vec![Value::Float(1.0), Value::Float(0.5)]));
+            // 1.0 renders with the decimal point so it re-parses as a float.
+            assert_eq!(to_string(&v), "[1.0,0.5]");
+        }
+
+        #[test]
+        fn typed_round_trip_via_traits() {
+            let xs = vec![(1usize, -2i32), (3, 4)];
+            let text = to_string(&xs);
+            let back: Vec<(usize, i32)> = from_str(&text).unwrap();
+            assert_eq!(back, xs);
+        }
+
+        #[test]
+        fn malformed_inputs_error() {
+            for text in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "[] []"] {
+                assert!(parse(text).is_err(), "{text:?} parsed");
+            }
+        }
+
+        #[test]
+        fn nan_serializes_as_null_and_reads_back_as_nan() {
+            let text = to_string(&f64::NAN);
+            assert_eq!(text, "null");
+            let back: f64 = from_str(&text).unwrap();
+            assert!(back.is_nan());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_reports_missing_and_mistyped() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(3))]);
+        assert_eq!(field::<u64>(&v, "a").unwrap(), 3);
+        assert!(field::<u64>(&v, "b").is_err());
+        assert!(field::<String>(&v, "a").is_err());
+    }
+
+    #[test]
+    fn int_conversions_check_range() {
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert_eq!(i64::deserialize(&Value::UInt(5)).unwrap(), 5);
+        assert!(u64::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize(&Value::UInt(1)).unwrap(),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes this workspace uses:
+//!
+//! * structs with named fields, with zero or more plain type parameters
+//!   (`struct Coo<T> { .. }`) — every parameter is bounded by the derived
+//!   trait, exactly like real serde's default bound inference;
+//! * enums whose variants are all units (`enum FormatKind { Dense, .. }`),
+//!   serialized as their variant-name string.
+//!
+//! `syn`/`quote` are unavailable offline, so parsing walks the raw
+//! `proc_macro::TokenStream` and code generation formats plain strings.
+//! Unsupported shapes (tuple structs, data-carrying enums) fail the build
+//! with a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T`), lifetimes excluded.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Err(msg) => err(&msg),
+        Ok(item) => {
+            let (impl_generics, ty_generics) = item.generics_for("::serde::Serialize");
+            let body = match &item.shape {
+                Shape::Struct(fields) => {
+                    let pushes: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "__m.push((::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize(&self.{f})));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                         ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__m)"
+                    )
+                }
+                Shape::Enum(variants) => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| format!("{}::{v} => {v:?},\n", item.name))
+                        .collect();
+                    format!(
+                        "::serde::Value::Str(::std::string::String::from(match self {{\n{arms}}}))"
+                    )
+                }
+            };
+            format!(
+                "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+                name = item.name
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Err(msg) => err(&msg),
+        Ok(item) => {
+            let (impl_generics, ty_generics) = item.generics_for("::serde::Deserialize");
+            let body = match &item.shape {
+                Shape::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__v, {f:?})?,\n"))
+                        .collect();
+                    format!(
+                        "::core::result::Result::Ok({name} {{\n{inits}}})",
+                        name = item.name
+                    )
+                }
+                Shape::Enum(variants) => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "::core::option::Option::Some({v:?}) => \
+                                 ::core::result::Result::Ok({}::{v}),\n",
+                                item.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match __v.as_str() {{\n{arms}__other => \
+                         ::core::result::Result::Err(::serde::Error::custom(::std::format!(\
+                         \"unknown {name} variant {{:?}}\", __other))),\n}}",
+                        name = item.name
+                    )
+                }
+            };
+            format!(
+                "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+                 fn deserialize(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+                name = item.name
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+    }
+}
+
+impl Item {
+    /// `(impl generics with bounds, bare type generics)` for the impl header.
+    fn generics_for(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            (String::new(), String::new())
+        } else {
+            let bounded: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {bound}"))
+                .collect();
+            (
+                format!("<{}>", bounded.join(", ")),
+                format!("<{}>", self.generics.join(", ")),
+            )
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            i += 1;
+            tokens[i - 1].to_string()
+        }
+        other => return Err(format!("derive expects a struct or enum, found {other:?}")),
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let generics = parse_generics(&tokens, &mut i)?;
+    // `where` clauses never occur on the workspace's derived types.
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "derive supports only brace-bodied {keyword}s (named fields / unit variants), \
+                 found {other:?}"
+            ))
+        }
+    };
+
+    let shape = if keyword == "struct" {
+        Shape::Struct(parse_named_fields(body)?)
+    } else {
+        Shape::Enum(parse_unit_variants(body)?)
+    };
+    Ok(Item {
+        name,
+        generics,
+        shape,
+    })
+}
+
+/// Skips leading `#[..]` attributes (incl. doc comments) and a `pub` /
+/// `pub(..)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[..]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<..>` after the type name, returning the plain type-parameter
+/// names. Lifetimes, const parameters and defaulted/bounded parameters do
+/// not occur on the workspace's derived types; bounds are tolerated and
+/// skipped.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            None => return Err("unbalanced generics".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                // Lifetime: consume the following ident, not a type param.
+                *i += 1;
+                at_param_start = false;
+            }
+            Some(TokenTree::Ident(id)) => {
+                if at_param_start {
+                    params.push(id.to_string());
+                }
+                at_param_start = false;
+            }
+            Some(_) => at_param_start = false,
+        }
+        *i += 1;
+    }
+    Ok(params)
+}
+
+/// Extracts field names from a named-field struct body, skipping each
+/// field's type by tracking `<`/`>` depth so commas inside generic types
+/// don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected a named field, found {other:?}")),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring every variant to be
+/// a unit (no payload, no discriminant surprises beyond `= expr`).
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next top-level comma.
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                variants.push(name);
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "the serde stand-in derives only unit enum variants; \
+                     variant {name} carries data — implement Serialize/Deserialize by hand"
+                ))
+            }
+            other => return Err(format!("unexpected token after variant {name}: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
