@@ -8,10 +8,11 @@ use copernicus_bench::{emit, Cli};
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = fig05::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-        eprintln!("fig05 failed: {e}");
-        std::process::exit(1);
-    });
+    let rows =
+        fig05::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
+            eprintln!("fig05 failed: {e}");
+            std::process::exit(1);
+        });
     telemetry.finish(fig05::manifest(&cli.cfg));
     emit(&cli, &fig05::render(&rows));
     if cli.chart {

@@ -10,10 +10,11 @@ use copernicus_bench::{emit, Cli};
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = fig08::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-        eprintln!("fig08 failed: {e}");
-        std::process::exit(1);
-    });
+    let rows =
+        fig08::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
+            eprintln!("fig08 failed: {e}");
+            std::process::exit(1);
+        });
     telemetry.finish(fig08::manifest(&cli.cfg));
     emit(&cli, &fig08::render(&rows));
     if cli.chart {

@@ -6,10 +6,11 @@ use copernicus_bench::{emit, Cli};
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = fig09::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-        eprintln!("fig09 failed: {e}");
-        std::process::exit(1);
-    });
+    let rows =
+        fig09::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
+            eprintln!("fig09 failed: {e}");
+            std::process::exit(1);
+        });
     telemetry.finish(fig09::manifest(&cli.cfg));
     emit(&cli, &fig09::render(&rows));
 }

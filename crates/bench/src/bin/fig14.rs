@@ -7,10 +7,11 @@ use copernicus_bench::{emit, Cli};
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = fig14::run_with(&cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-        eprintln!("fig14 failed: {e}");
-        std::process::exit(1);
-    });
+    let rows =
+        fig14::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
+            eprintln!("fig14 failed: {e}");
+            std::process::exit(1);
+        });
     telemetry.finish(fig14::manifest(&cli.cfg));
     emit(&cli, &fig14::render(&rows));
 }

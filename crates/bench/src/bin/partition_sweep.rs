@@ -7,7 +7,7 @@ use copernicus_bench::{emit_named, Cli};
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = ext_partition_sweep::run_with(&cli.cfg, &mut telemetry.instruments())
+    let rows = ext_partition_sweep::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments())
         .unwrap_or_else(|e| {
             eprintln!("partition_sweep failed: {e}");
             std::process::exit(1);

@@ -12,6 +12,11 @@ fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
     let cfg = &cli.cfg;
+    // One runner for the whole reproduction: figures that revisit the same
+    // (workload, partition size, format) cell — e.g. the p=16 row shared by
+    // Figs 4-12 and the full campaign — are measured exactly once.
+    let runner = cli.runner();
+    let started = std::time::Instant::now();
 
     section("Table 1: SuiteSparse workloads");
     emit_named(&cli, "table1", &ex::table1::render());
@@ -27,48 +32,68 @@ fn main() {
     emit_named(
         &cli,
         "fig04",
-        &ex::fig04::render(&ex::fig04::run_with(cfg, &mut telemetry.instruments()).expect("fig04")),
+        &ex::fig04::render(
+            &ex::fig04::run_on(&runner, cfg, &mut telemetry.instruments()).expect("fig04"),
+        ),
     );
 
     section("Fig 5: decompression overhead vs density (random, p=16)");
     emit_named(
         &cli,
         "fig05",
-        &ex::fig05::render(&ex::fig05::run_with(cfg, &mut telemetry.instruments()).expect("fig05")),
+        &ex::fig05::render(
+            &ex::fig05::run_on(&runner, cfg, &mut telemetry.instruments()).expect("fig05"),
+        ),
     );
 
     section("Fig 6: decompression overhead vs band width (p=16)");
     emit_named(
         &cli,
         "fig06",
-        &ex::fig06::render(&ex::fig06::run_with(cfg, &mut telemetry.instruments()).expect("fig06")),
+        &ex::fig06::render(
+            &ex::fig06::run_on(&runner, cfg, &mut telemetry.instruments()).expect("fig06"),
+        ),
     );
 
     section("Fig 10: bandwidth utilization vs density (p=16)");
     emit_named(
         &cli,
         "fig10",
-        &ex::fig10::render(&ex::fig10::run_with(cfg, &mut telemetry.instruments()).expect("fig10")),
+        &ex::fig10::render(
+            &ex::fig10::run_on(&runner, cfg, &mut telemetry.instruments()).expect("fig10"),
+        ),
     );
 
     section("Fig 11: bandwidth utilization vs band width (p=16)");
     emit_named(
         &cli,
         "fig11",
-        &ex::fig11::render(&ex::fig11::run_with(cfg, &mut telemetry.instruments()).expect("fig11")),
+        &ex::fig11::render(
+            &ex::fig11::run_on(&runner, cfg, &mut telemetry.instruments()).expect("fig11"),
+        ),
     );
 
     // Figs 7, 8, 9, 12 and 14 all consume the same workload × format ×
     // partition-size campaign; run it once and aggregate.
     eprintln!("[repro_all] running the shared full campaign ...");
-    let campaign = copernicus::characterize_with(
-        &ex::fig07::all_class_workloads(cfg),
-        &ex::FIGURE_FORMATS,
-        &ex::FIGURE_PARTITION_SIZES,
-        cfg,
-        &mut telemetry.instruments(),
-    )
-    .expect("campaign");
+    let campaign = runner
+        .characterize_with(
+            &ex::fig07::all_class_workloads(cfg),
+            &ex::FIGURE_FORMATS,
+            &ex::FIGURE_PARTITION_SIZES,
+            cfg,
+            &mut telemetry.instruments(),
+        )
+        .expect("campaign");
+
+    if let Some(dir) = &cli.out_dir {
+        let json = serde::json::to_string_pretty(&serde::Serialize::serialize(&campaign));
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("measurements.json"), json))
+        {
+            eprintln!("warning: could not write measurements.json: {e}");
+        }
+    }
 
     section("Fig 7: mean decompression overhead per class and partition size");
     emit_named(
@@ -136,5 +161,11 @@ fn main() {
             &ex::FIGURE_PARTITION_SIZES,
         )
         .with_note("binary=repro_all (trace covers all figures)"),
+    );
+    eprintln!(
+        "[repro_all] done in {:.2}s ({} jobs, {} memoized cells)",
+        started.elapsed().as_secs_f64(),
+        runner.jobs(),
+        runner.cached_cells(),
     );
 }

@@ -33,23 +33,30 @@ fn main() {
         "efficiency",
         "bound",
     ]);
-    for format in FormatKind::CHARACTERIZED {
-        for lanes in [1usize, 2, 4, 8, 16] {
-            let r = platform.run_parallel(&matrix, format, lanes).expect("run");
-            t.row(&[
-                format.to_string(),
-                lanes.to_string(),
-                r.total_cycles.to_string(),
-                f3(r.speedup()),
-                f3(r.efficiency()),
-                if r.is_memory_bound() {
-                    "memory"
-                } else {
-                    "compute"
-                }
-                .to_string(),
-            ]);
-        }
+    // Every (format, lanes) point is independent; fan the sweep out over
+    // `--jobs` workers and collect rows back in sweep order.
+    let points: Vec<(FormatKind, usize)> = FormatKind::CHARACTERIZED
+        .into_iter()
+        .flat_map(|format| [1usize, 2, 4, 8, 16].map(|lanes| (format, lanes)))
+        .collect();
+    let rows = copernicus::par_map_ordered(cli.jobs, &points, |_, &(format, lanes)| {
+        let r = platform.run_parallel(&matrix, format, lanes).expect("run");
+        [
+            format.to_string(),
+            lanes.to_string(),
+            r.total_cycles.to_string(),
+            f3(r.speedup()),
+            f3(r.efficiency()),
+            if r.is_memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            }
+            .to_string(),
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     emit(&cli, &t.render());
 }

@@ -13,8 +13,11 @@
 //! * `--manifest FILE` — write a reproducibility manifest (hardware
 //!   config, seed, workloads, versions) as JSON.
 //! * `--progress` — print one progress line per run to stderr.
+//! * `--jobs N` — worker threads for the measurement grid (default: the
+//!   machine's available parallelism). Output is byte-identical at every
+//!   job count.
 
-use copernicus::{ExperimentConfig, Instruments};
+use copernicus::{CampaignRunner, ExperimentConfig, Instruments};
 use copernicus_telemetry::{ChromeTraceWriter, MetricsRegistry, RunManifest};
 
 /// Parsed command line shared by all regeneration binaries.
@@ -35,6 +38,8 @@ pub struct Cli {
     pub manifest: Option<std::path::PathBuf>,
     /// Print per-run progress lines to stderr.
     pub progress: bool,
+    /// Worker threads for the measurement grid.
+    pub jobs: usize,
 }
 
 impl Cli {
@@ -51,6 +56,7 @@ impl Cli {
         let mut trace = None;
         let mut manifest = None;
         let mut progress = false;
+        let mut jobs = copernicus::default_jobs();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -84,9 +90,16 @@ impl Cli {
                     let v = args.next().ok_or("--seed needs a value")?;
                     cfg.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
                 }
+                "--jobs" => {
+                    let v = args.next().ok_or("--jobs needs a value")?;
+                    jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress]"
                     ));
                 }
             }
@@ -99,7 +112,15 @@ impl Cli {
             trace,
             manifest,
             progress,
+            jobs,
         })
+    }
+
+    /// A [`CampaignRunner`] honoring `--jobs`, to share across every
+    /// experiment a binary executes so overlapping grid cells are measured
+    /// exactly once.
+    pub fn runner(&self) -> CampaignRunner {
+        CampaignRunner::new(self.jobs)
     }
 
     /// The telemetry bundle requested by the flags; see [`Telemetry`].
@@ -195,6 +216,17 @@ mod tests {
         assert!(cli.progress);
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--manifest"]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_is_parsed_and_validated() {
+        assert_eq!(parse(&[]).unwrap().jobs, copernicus::default_jobs());
+        let cli = parse(&["--jobs", "4"]).unwrap();
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.runner().jobs(), 4);
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "abc"]).is_err());
     }
 
     #[test]

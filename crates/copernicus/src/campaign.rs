@@ -1,0 +1,575 @@
+//! The parallel campaign executor: runs the `workload × partition size ×
+//! format` measurement grid across OS threads with results that are
+//! **bit-identical and identically ordered** to the sequential path.
+//!
+//! # Threading model
+//!
+//! The grid is split into *units* of one `(workload, partition size)` pair;
+//! a unit generates its matrix and tiling once and sweeps every format over
+//! the shared grid, exactly like the sequential loop in
+//! [`characterize`](crate::characterize). Units are independent, so a pool
+//! of `jobs` scoped OS threads ([`std::thread::scope`] — no external
+//! dependencies) drains them from a bounded work queue (an atomic cursor
+//! over the unit list; no unit is ever buffered twice).
+//!
+//! # Determinism argument
+//!
+//! Every cell of the grid is a pure function of `(workload spec, seed,
+//! partition size, format, HwConfig)`: workload generation is seeded, and
+//! the platform model is cycle-exact with no wall-clock inputs. Workers
+//! therefore compute the same bytes regardless of scheduling; the runner
+//! collects per-unit results and emits them sorted by grid index, so the
+//! measurement vector, the metrics registry and the trace stream are
+//! byte-for-byte independent of `jobs` (test-enforced for `--jobs 1` vs
+//! `--jobs 8`).
+//!
+//! Telemetry under parallelism: each worker records pipeline events into a
+//! private per-unit buffer ([`RecordingSink`]); after the pool joins, the
+//! buffers are replayed into the campaign's real sink in grid order (within
+//! a unit, events are already in nondecreasing modeled-cycle order), the
+//! [`MetricsRegistry`](copernicus_telemetry::MetricsRegistry) is shared —
+//! it is atomic and order-independent — and `--progress` lines are
+//! serialized through one stderr lock.
+//!
+//! # Memoization
+//!
+//! The runner carries a cache keyed on `(workload spec, seed, suite cap,
+//! partition size, format, HwConfig)`. Figure campaigns overlap heavily —
+//! `repro_all`'s shared campaign re-sweeps every cell Figs. 4–6/10/11
+//! already computed — so one runner handed to every figure computes each
+//! overlapping cell exactly once. Cache hits replay the stored
+//! [`Measurement`] without re-running the platform (and therefore without
+//! re-emitting trace spans); hit/miss behavior depends only on the call
+//! sequence, never on `jobs`, so determinism is preserved.
+
+use crate::{ExperimentConfig, Instruments, Measurement};
+use copernicus_hls::PlatformError;
+use copernicus_telemetry::{replay, PipelineEvent, RecordingSink, TraceSink};
+use copernicus_workloads::Workload;
+use sparsemat::{FormatKind, PartitionGrid};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Executes measurement grids across OS threads with a shared memoization
+/// cache. See the [module docs](self) for the threading and determinism
+/// model.
+#[derive(Debug, Default)]
+pub struct CampaignRunner {
+    jobs: usize,
+    cache: Mutex<HashMap<String, Measurement>>,
+}
+
+impl CampaignRunner {
+    /// A runner with `jobs` worker threads (`0` is clamped to 1).
+    pub fn new(jobs: usize) -> Self {
+        CampaignRunner {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A single-threaded runner — the reference path every parallel run
+    /// must match byte-for-byte.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A runner sized to the machine: one worker per available hardware
+    /// thread (1 when the parallelism cannot be queried).
+    pub fn auto() -> Self {
+        Self::new(default_jobs())
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of memoized cells accumulated so far.
+    pub fn cached_cells(&self) -> usize {
+        self.cache.lock().expect("campaign cache").len()
+    }
+
+    /// Runs the full cross product `workloads × partition_sizes × formats`
+    /// across the worker pool. Output is identical — order and bytes — to
+    /// [`characterize`](crate::characterize).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform construction, encoding and
+    /// functional-verification failures; under parallelism the error of the
+    /// earliest failing grid unit (among those observed before the pool
+    /// drains) is returned.
+    pub fn characterize(
+        &self,
+        workloads: &[Workload],
+        formats: &[FormatKind],
+        partition_sizes: &[usize],
+        cfg: &ExperimentConfig,
+    ) -> Result<Vec<Measurement>, PlatformError> {
+        self.characterize_with(
+            workloads,
+            formats,
+            partition_sizes,
+            cfg,
+            &mut Instruments::none(),
+        )
+    }
+
+    /// [`CampaignRunner::characterize`] with observers attached. The trace
+    /// stream, metrics totals and measurement vector are byte-identical for
+    /// any `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignRunner::characterize`].
+    pub fn characterize_with(
+        &self,
+        workloads: &[Workload],
+        formats: &[FormatKind],
+        partition_sizes: &[usize],
+        cfg: &ExperimentConfig,
+        instruments: &mut Instruments<'_>,
+    ) -> Result<Vec<Measurement>, PlatformError> {
+        let units: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|wi| (0..partition_sizes.len()).map(move |pi| (wi, pi)))
+            .collect();
+        let total = workloads.len() * partition_sizes.len() * formats.len();
+        let progress = ProgressMeter {
+            enabled: instruments.progress,
+            total,
+            done: AtomicUsize::new(0),
+        };
+        let trace = instruments.sink.as_deref().is_some_and(TraceSink::enabled);
+        let metrics = instruments.metrics;
+
+        let unit_outputs = try_par_map_ordered(self.jobs, &units, |_, &(wi, pi)| {
+            self.run_unit(
+                &workloads[wi],
+                partition_sizes[pi],
+                formats,
+                cfg,
+                trace,
+                &progress,
+            )
+        })?;
+
+        // In-order replay: the merged trace, metrics accumulation and
+        // output vector all follow grid-index order, independent of which
+        // worker produced each unit.
+        let mut out = Vec::with_capacity(total);
+        for unit in unit_outputs {
+            if let Some(sink) = instruments.sink.as_deref_mut() {
+                replay(&unit.events, sink);
+            }
+            for m in unit.measurements {
+                if metrics.is_some() {
+                    instruments.record_measurement(&m);
+                }
+                out.push(m);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One `(workload, partition size)` unit: generate + tile once (and
+    /// only when at least one cell misses the cache), then sweep formats in
+    /// order, buffering trace events locally.
+    fn run_unit(
+        &self,
+        workload: &Workload,
+        p: usize,
+        formats: &[FormatKind],
+        cfg: &ExperimentConfig,
+        trace: bool,
+        progress: &ProgressMeter,
+    ) -> Result<UnitOutput, PlatformError> {
+        let mut sink = RecordingSink::new();
+        let mut measurements = Vec::with_capacity(formats.len());
+        let mut prepared: Option<(f64, PartitionGrid<f32>, copernicus_hls::Platform)> = None;
+        for &format in formats {
+            let key = cell_key(workload, p, format, cfg);
+            let cached = self
+                .cache
+                .lock()
+                .expect("campaign cache")
+                .get(&key)
+                .cloned();
+            progress.tick(&workload.label(), p, format, cached.is_some());
+            let measurement = match cached {
+                Some(m) => m,
+                None => {
+                    if prepared.is_none() {
+                        let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
+                        let density = sparsemat::Matrix::density(&matrix);
+                        let grid = PartitionGrid::new(&matrix, p)?;
+                        prepared = Some((density, grid, cfg.platform(p)?));
+                    }
+                    let (density, grid, platform) = prepared.as_ref().expect("just prepared");
+                    let report = if trace {
+                        platform.run_grid_with_sink(grid, format, &mut sink)?
+                    } else {
+                        platform.run_grid(grid, format)?
+                    };
+                    let m = Measurement {
+                        workload: workload.label(),
+                        class: workload.class(),
+                        density: *density,
+                        format,
+                        partition_size: p,
+                        report,
+                    };
+                    self.cache
+                        .lock()
+                        .expect("campaign cache")
+                        .insert(key, m.clone());
+                    m
+                }
+            };
+            measurements.push(measurement);
+        }
+        Ok(UnitOutput {
+            measurements,
+            events: sink.into_events(),
+        })
+    }
+}
+
+/// Everything one grid unit produced, handed back to the coordinating
+/// thread for in-order emission.
+struct UnitOutput {
+    measurements: Vec<Measurement>,
+    events: Vec<PipelineEvent>,
+}
+
+/// The memoization key: every input that determines a cell's bytes. The
+/// workload's `Debug` form is used instead of its axis label because labels
+/// elide the dimension (`d=0.5` at two different `n` must not collide).
+fn cell_key(workload: &Workload, p: usize, format: FormatKind, cfg: &ExperimentConfig) -> String {
+    let hw = serde::json::to_string(&serde::Serialize::serialize(&cfg.hw));
+    format!(
+        "{workload:?}|seed={}|cap={}|p={p}|{format}|{hw}",
+        cfg.seed, cfg.suite_max_dim
+    )
+}
+
+/// The worker count [`CampaignRunner::auto`] and the bench `--jobs` default
+/// resolve to: available hardware parallelism, 1 when unknown.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Shared progress reporting: one atomic counter for the `[done/total]`
+/// prefix, lines made atomic by writing through a single stderr lock.
+struct ProgressMeter {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+}
+
+impl ProgressMeter {
+    fn tick(&self, label: &str, p: usize, format: FormatKind, cached: bool) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total;
+        let suffix = if cached { " (cached)" } else { "" };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "[{done}/{total}] {label} p={p} {format}{suffix}");
+    }
+}
+
+/// Applies `f` to every item on a pool of `jobs` scoped threads and returns
+/// the results **in item order**, stopping early on the first error.
+///
+/// The work queue is an atomic cursor over `items`: each worker claims the
+/// next index, computes, and pushes `(index, result)`; the caller sorts by
+/// index after the pool joins. With `jobs <= 1` (or a single item) no
+/// thread is spawned and errors short-circuit exactly like a sequential
+/// loop. Under parallelism the error with the smallest item index among
+/// those encountered is returned, so a failing grid reports the same cell
+/// at every job count in practice.
+///
+/// # Errors
+///
+/// The first (lowest-index observed) error produced by `f`.
+pub fn try_par_map_ordered<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let workers = jobs.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                match f(i, &items[i]) {
+                    Ok(r) => results.lock().expect("result slots").push((i, r)),
+                    Err(e) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = error.lock().expect("error slot");
+                        if slot.as_ref().is_none_or(|&(j, _)| i < j) {
+                            *slot = Some((i, e));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((_, e)) = error.into_inner().expect("error slot") {
+        return Err(e);
+    }
+    let mut pairs = results.into_inner().expect("result slots");
+    pairs.sort_by_key(|&(i, _)| i);
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Infallible [`try_par_map_ordered`]: same pool, same ordering guarantee.
+pub fn par_map_ordered<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_par_map_ordered(jobs, items, |i, t| {
+        Ok::<R, std::convert::Infallible>(f(i, t))
+    }) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copernicus_telemetry::{MetricsRegistry, Stage};
+
+    fn grid() -> (Vec<Workload>, Vec<FormatKind>, Vec<usize>, ExperimentConfig) {
+        (
+            vec![
+                Workload::Random {
+                    n: 64,
+                    density: 0.08,
+                },
+                Workload::Band { n: 48, width: 4 },
+                Workload::Random {
+                    n: 40,
+                    density: 0.2,
+                },
+            ],
+            vec![FormatKind::Dense, FormatKind::Csr, FormatKind::Coo],
+            vec![8, 16],
+            ExperimentConfig::quick(),
+        )
+    }
+
+    /// The straight-line reference the runner must reproduce byte-for-byte:
+    /// the nested loop `characterize` used before the parallel executor.
+    fn reference(
+        workloads: &[Workload],
+        formats: &[FormatKind],
+        sizes: &[usize],
+        cfg: &ExperimentConfig,
+    ) -> Vec<Measurement> {
+        let mut out = Vec::new();
+        for workload in workloads {
+            let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
+            let density = sparsemat::Matrix::density(&matrix);
+            for &p in sizes {
+                let platform = cfg.platform(p).unwrap();
+                let grid = PartitionGrid::new(&matrix, p).unwrap();
+                for &format in formats {
+                    out.push(Measurement {
+                        workload: workload.label(),
+                        class: workload.class(),
+                        density,
+                        format,
+                        partition_size: p,
+                        report: platform.run_grid(&grid, format).unwrap(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn runner_matches_the_sequential_reference_at_every_job_count() {
+        let (w, f, p, cfg) = grid();
+        let expect = reference(&w, &f, &p, &cfg);
+        for jobs in [1, 2, 4, 8] {
+            let got = CampaignRunner::new(jobs)
+                .characterize(&w, &f, &p, &cfg)
+                .unwrap();
+            assert_eq!(expect, got, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn traced_parallel_run_replays_events_in_grid_order() {
+        let (w, f, p, cfg) = grid();
+        let mut seq_sink = RecordingSink::new();
+        let mut seq_instruments = Instruments::none().with_sink(&mut seq_sink);
+        let seq = CampaignRunner::sequential()
+            .characterize_with(&w, &f, &p, &cfg, &mut seq_instruments)
+            .unwrap();
+
+        let mut par_sink = RecordingSink::new();
+        let mut par_instruments = Instruments::none().with_sink(&mut par_sink);
+        let par = CampaignRunner::new(4)
+            .characterize_with(&w, &f, &p, &cfg, &mut par_instruments)
+            .unwrap();
+
+        assert_eq!(seq, par);
+        assert_eq!(seq_sink.events, par_sink.events);
+        assert_eq!(par_sink.count("run_start"), par.len());
+        let mem: u64 = par.iter().map(|m| m.report.total_mem_cycles).sum();
+        assert_eq!(par_sink.stage_cycles(Stage::MemRead), mem);
+    }
+
+    #[test]
+    fn metrics_totals_are_job_count_independent() {
+        let (w, f, p, cfg) = grid();
+        let tsv_at = |jobs: usize| {
+            let metrics = MetricsRegistry::new();
+            let mut instruments = Instruments::none().with_metrics(&metrics);
+            CampaignRunner::new(jobs)
+                .characterize_with(&w, &f, &p, &cfg, &mut instruments)
+                .unwrap();
+            metrics.to_tsv()
+        };
+        assert_eq!(tsv_at(1), tsv_at(8));
+    }
+
+    #[test]
+    fn cache_deduplicates_overlapping_campaigns() {
+        let (w, f, p, cfg) = grid();
+        let runner = CampaignRunner::new(2);
+        let first = runner.characterize(&w, &f, &p, &cfg).unwrap();
+        let cells = runner.cached_cells();
+        assert_eq!(cells, first.len());
+        // A second, overlapping campaign adds no new cells and returns the
+        // same bytes it would have computed.
+        let again = runner.characterize(&w, &f, &[p[0]], &cfg).unwrap();
+        assert_eq!(runner.cached_cells(), cells);
+        let fresh = CampaignRunner::sequential()
+            .characterize(&w, &f, &[p[0]], &cfg)
+            .unwrap();
+        assert_eq!(again, fresh);
+    }
+
+    #[test]
+    fn cache_key_separates_labels_that_collide() {
+        // Two different Random workloads share the label "d=0.1" at
+        // different dimensions; the cache must keep them apart.
+        let cfg = ExperimentConfig::quick();
+        let a = Workload::Random {
+            n: 32,
+            density: 0.1,
+        };
+        let b = Workload::Random {
+            n: 64,
+            density: 0.1,
+        };
+        assert_eq!(a.label(), b.label());
+        assert_ne!(
+            cell_key(&a, 16, FormatKind::Csr, &cfg),
+            cell_key(&b, 16, FormatKind::Csr, &cfg)
+        );
+        let runner = CampaignRunner::new(2);
+        let ms = runner
+            .characterize(&[a, b], &[FormatKind::Csr], &[16], &cfg)
+            .unwrap();
+        assert_eq!(runner.cached_cells(), 2);
+        assert_ne!(ms[0].report, ms[1].report);
+    }
+
+    #[test]
+    fn cached_cells_skip_the_platform_but_still_count_for_metrics() {
+        let (w, f, p, cfg) = grid();
+        let runner = CampaignRunner::sequential();
+        runner.characterize(&w, &f, &p, &cfg).unwrap();
+        // Second pass: all hits — no trace events, but metrics still see
+        // every delivered measurement.
+        let metrics = MetricsRegistry::new();
+        let mut sink = RecordingSink::new();
+        let mut instruments = Instruments::none()
+            .with_sink(&mut sink)
+            .with_metrics(&metrics);
+        let ms = runner
+            .characterize_with(&w, &f, &p, &cfg, &mut instruments)
+            .unwrap();
+        assert!(sink.events.is_empty());
+        assert_eq!(metrics.counter("runs"), ms.len() as u64);
+    }
+
+    #[test]
+    fn par_map_ordered_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 3, 16] {
+            let out = par_map_ordered(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_par_map_ordered_reports_errors_at_every_job_count() {
+        let items: Vec<usize> = (0..50).collect();
+        for jobs in [1, 4] {
+            let r: Result<Vec<usize>, String> = try_par_map_ordered(jobs, &items, |_, &x| {
+                if x == 25 {
+                    Err(format!("boom at {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(r.unwrap_err(), "boom at 25", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn platform_errors_propagate_from_workers() {
+        let cfg = ExperimentConfig {
+            hw: copernicus_hls::HwConfig {
+                bus_bytes_per_cycle: 0,
+                ..copernicus_hls::HwConfig::default()
+            },
+            ..ExperimentConfig::quick()
+        };
+        let w = [Workload::Band { n: 32, width: 2 }];
+        for jobs in [1, 4] {
+            let r = CampaignRunner::new(jobs).characterize(&w, &[FormatKind::Csr], &[16], &cfg);
+            assert!(matches!(r, Err(PlatformError::Config(_))), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(CampaignRunner::new(0).jobs(), 1);
+        assert!(default_jobs() >= 1);
+        assert!(CampaignRunner::auto().jobs() >= 1);
+    }
+}

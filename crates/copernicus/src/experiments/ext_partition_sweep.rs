@@ -4,7 +4,7 @@
 //! partitioning of size 8×8 or at most 16×16 hurt the performance even
 //! though it might help reduce the memory footprint."
 
-use crate::measure::{characterize_with, ExperimentConfig};
+use crate::measure::ExperimentConfig;
 use crate::table::{eng, f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -72,7 +72,23 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<PartitionSweepRow>, PlatformError> {
-    let ms = characterize_with(
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<PartitionSweepRow>, PlatformError> {
+    let ms = runner.characterize_with(
         &sweep_workloads(cfg),
         &SWEEP_FORMATS,
         &SWEEP_SIZES,

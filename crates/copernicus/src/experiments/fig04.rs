@@ -2,7 +2,7 @@
 //! SuiteSparse workloads, partition size 16 (lower is better; the darkness
 //! of the paper's bars encodes density, reported here as a column).
 
-use crate::measure::{characterize_with, ExperimentConfig};
+use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -40,7 +40,23 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig04Row>, PlatformError> {
-    let ms = characterize_with(
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig04Row>, PlatformError> {
+    let ms = runner.characterize_with(
         &Workload::paper_suite(),
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],

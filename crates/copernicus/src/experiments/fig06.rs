@@ -1,7 +1,7 @@
 //! Fig. 6 — σ of the seven formats on band matrices as the width sweeps
 //! from 1 (pure diagonal) to 64, partition size 16.
 
-use crate::measure::{characterize_with, ExperimentConfig};
+use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -37,8 +37,24 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig06Row>, PlatformError> {
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig06Row>, PlatformError> {
     let workloads = Workload::paper_band_sweep(cfg.sweep_dim);
-    let ms = characterize_with(
+    let ms = runner.characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],

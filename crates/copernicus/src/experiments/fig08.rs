@@ -2,7 +2,7 @@
 //! format, workload and partition size (marker size in the paper encodes
 //! the partition size; points below the diagonal are compute-bound).
 
-use crate::measure::{characterize_with, ExperimentConfig, Measurement};
+use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::WorkloadClass;
@@ -70,7 +70,23 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig08Row>, PlatformError> {
-    let ms = characterize_with(
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig08Row>, PlatformError> {
+    let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,

@@ -2,7 +2,7 @@
 //! format, with one line per partition size (the paper draws thicker lines
 //! for larger partitions) and density as the parameter along each line.
 
-use crate::measure::{characterize_with, ExperimentConfig, Measurement};
+use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{eng, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -43,8 +43,24 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig09Row>, PlatformError> {
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig09Row>, PlatformError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
-    let ms = characterize_with(
+    let ms = runner.characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,

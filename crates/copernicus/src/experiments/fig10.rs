@@ -1,7 +1,7 @@
 //! Fig. 10 — memory-bandwidth utilization on random matrices as density
 //! sweeps from 0.0001 to 0.5, partition size 16 (higher is better).
 
-use crate::measure::{characterize_with, ExperimentConfig};
+use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::Workload;
@@ -37,8 +37,24 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig10Row>, PlatformError> {
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig10Row>, PlatformError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
-    let ms = characterize_with(
+    let ms = runner.characterize_with(
         &workloads,
         &super::FIGURE_FORMATS,
         &[super::DEFAULT_PARTITION],

@@ -1,7 +1,7 @@
 //! Fig. 12 — average memory-bandwidth utilization per workload class and
 //! partition size (higher is better).
 
-use crate::measure::{characterize_with, ExperimentConfig, Measurement};
+use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
 use copernicus_workloads::WorkloadClass;
@@ -69,7 +69,23 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Fig12Row>, PlatformError> {
-    let ms = characterize_with(
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<Fig12Row>, PlatformError> {
+    let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,

@@ -1,7 +1,7 @@
 //! Fig. 14 — the normalized six-metric summary per workload class
 //! (1 = best format on a metric within the class, 0 = worst).
 
-use crate::measure::{characterize_with, ExperimentConfig};
+use crate::measure::ExperimentConfig;
 use crate::summary::{normalized_summary, MetricKind, SummaryRow};
 use crate::table::{f3, TextTable};
 use copernicus_hls::PlatformError;
@@ -25,7 +25,23 @@ pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<SummaryRow>, PlatformError> {
-    let ms = characterize_with(
+    run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
+}
+
+/// Like [`run_with`], executed on `runner`: the grid runs across the
+/// runner's worker threads and overlapping cells are served from its
+/// memoization cache, with rows identical — order and bytes — to the
+/// sequential path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+    instruments: &mut crate::Instruments<'_>,
+) -> Result<Vec<SummaryRow>, PlatformError> {
+    let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,
         &super::FIGURE_PARTITION_SIZES,

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod insights;
 pub mod instrument;
@@ -56,6 +57,7 @@ pub mod recommend;
 pub mod summary;
 pub mod table;
 
+pub use campaign::{default_jobs, par_map_ordered, try_par_map_ordered, CampaignRunner};
 pub use insights::{verify as verify_insights, InsightCheck};
 pub use instrument::{manifest_for, Instruments};
 pub use measure::{characterize, characterize_with, ExperimentConfig, Measurement};

@@ -3,7 +3,7 @@
 
 use copernicus_hls::{HwConfig, Platform, PlatformError, RunReport};
 use copernicus_workloads::{Workload, WorkloadClass};
-use sparsemat::{FormatKind, PartitionGrid};
+use sparsemat::FormatKind;
 
 /// Configuration of an experiment campaign.
 ///
@@ -165,6 +165,12 @@ pub fn characterize(
 /// With [`Instruments::none`](crate::Instruments::none) the measurements
 /// are bit-identical to plain [`characterize`].
 ///
+/// This is the single-threaded convenience entry point: it runs on a fresh
+/// [`CampaignRunner::sequential`](crate::CampaignRunner::sequential), so no
+/// memoization persists across calls. Hold a
+/// [`CampaignRunner`](crate::CampaignRunner) to parallelize the grid or to
+/// share the cell cache across overlapping campaigns.
+///
 /// # Errors
 ///
 /// See [`characterize`].
@@ -175,38 +181,13 @@ pub fn characterize_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
 ) -> Result<Vec<Measurement>, PlatformError> {
-    let total = workloads.len() * formats.len() * partition_sizes.len();
-    let mut done = 0usize;
-    let mut out = Vec::with_capacity(total);
-    for workload in workloads {
-        let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
-        let density = sparsemat::Matrix::density(&matrix);
-        for &p in partition_sizes {
-            let platform = cfg.platform(p)?;
-            let grid = PartitionGrid::new(&matrix, p)?;
-            for &format in formats {
-                done += 1;
-                if instruments.progress {
-                    eprintln!("[{done}/{total}] {} p={p} {format}", workload.label());
-                }
-                let report = match instruments.sink.as_deref_mut() {
-                    Some(sink) => platform.run_grid_with_sink(&grid, format, sink)?,
-                    None => platform.run_grid(&grid, format)?,
-                };
-                let measurement = Measurement {
-                    workload: workload.label(),
-                    class: workload.class(),
-                    density,
-                    format,
-                    partition_size: p,
-                    report,
-                };
-                instruments.record_measurement(&measurement);
-                out.push(measurement);
-            }
-        }
-    }
-    Ok(out)
+    crate::CampaignRunner::sequential().characterize_with(
+        workloads,
+        formats,
+        partition_sizes,
+        cfg,
+        instruments,
+    )
 }
 
 #[cfg(test)]

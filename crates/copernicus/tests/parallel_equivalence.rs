@@ -1,0 +1,114 @@
+//! Property tests of the campaign runner's defining guarantee: for any
+//! grid and any job count, the parallel path is indistinguishable — rows,
+//! bytes and trace events — from the sequential reference.
+
+use copernicus::{characterize, CampaignRunner, ExperimentConfig, Instruments};
+use copernicus_telemetry::{RecordingSink, Stage};
+use copernicus_workloads::Workload;
+use proptest::prelude::*;
+use sparsemat::FormatKind;
+
+/// Strategy: one small synthetic workload.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        (24usize..64, 1u32..=10).prop_map(|(n, d)| Workload::Random {
+            n,
+            density: f64::from(d) / 100.0,
+        }),
+        (24usize..64, 1usize..6).prop_map(|(n, width)| Workload::Band { n, width }),
+    ]
+}
+
+/// Strategy: a non-empty format slate drawn from the characterized set.
+fn formats_strategy() -> impl Strategy<Value = Vec<FormatKind>> {
+    prop_oneof![
+        Just(vec![FormatKind::Csr]),
+        Just(vec![FormatKind::Csr, FormatKind::Coo]),
+        Just(vec![FormatKind::Dense, FormatKind::Csc, FormatKind::Lil]),
+        Just(vec![FormatKind::Bcsr, FormatKind::Dia]),
+    ]
+}
+
+/// Strategy: partition sizes for the grid.
+fn sizes_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        Just(vec![8]),
+        Just(vec![16]),
+        Just(vec![8, 16]),
+        Just(vec![16, 32]),
+    ]
+}
+
+fn jobs_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2usize), Just(4usize)]
+}
+
+fn json_bytes(ms: &[copernicus::Measurement]) -> String {
+    serde::json::to_string(&serde::Serialize::serialize(&ms.to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn runner_matches_sequential_reference(
+        workloads in proptest::collection::vec(workload_strategy(), 1..=3),
+        formats in formats_strategy(),
+        sizes in sizes_strategy(),
+        jobs in jobs_strategy(),
+    ) {
+        let cfg = ExperimentConfig::quick();
+        let reference = characterize(&workloads, &formats, &sizes, &cfg).unwrap();
+        let parallel = CampaignRunner::new(jobs)
+            .characterize_with(&workloads, &formats, &sizes, &cfg, &mut Instruments::none())
+            .unwrap();
+        prop_assert_eq!(&reference, &parallel, "rows diverged at jobs={}", jobs);
+        prop_assert_eq!(
+            json_bytes(&reference),
+            json_bytes(&parallel),
+            "serialized bytes diverged at jobs={}",
+            jobs
+        );
+    }
+
+    #[test]
+    fn traced_parallel_runs_keep_the_span_sum_invariant(
+        workloads in proptest::collection::vec(workload_strategy(), 1..=2),
+        formats in formats_strategy(),
+        sizes in sizes_strategy(),
+        jobs in jobs_strategy(),
+    ) {
+        let cfg = ExperimentConfig::quick();
+
+        let mut seq_sink = RecordingSink::new();
+        let mut seq_instruments = Instruments::none().with_sink(&mut seq_sink);
+        let seq = CampaignRunner::sequential()
+            .characterize_with(&workloads, &formats, &sizes, &cfg, &mut seq_instruments)
+            .unwrap();
+
+        let mut par_sink = RecordingSink::new();
+        let mut par_instruments = Instruments::none().with_sink(&mut par_sink);
+        let par = CampaignRunner::new(jobs)
+            .characterize_with(&workloads, &formats, &sizes, &cfg, &mut par_instruments)
+            .unwrap();
+        prop_assert_eq!(&seq, &par);
+
+        // Every run is announced and completed, and the recorded stage
+        // spans account exactly for the summed report totals.
+        prop_assert_eq!(par_sink.count("run_start"), par.len());
+        prop_assert_eq!(par_sink.count("run_complete"), par.len());
+        let totals = |f: fn(&copernicus_hls::RunReport) -> u64| -> u64 {
+            par.iter().map(|m| f(&m.report)).sum()
+        };
+        prop_assert_eq!(par_sink.stage_cycles(Stage::MemRead), totals(|r| r.total_mem_cycles));
+        prop_assert_eq!(par_sink.stage_cycles(Stage::Compute), totals(|r| r.total_compute_cycles));
+        prop_assert_eq!(par_sink.stage_cycles(Stage::Decompress), totals(|r| r.total_decomp_cycles));
+        prop_assert_eq!(
+            par_sink.stage_cycles(Stage::WriteBack),
+            totals(|r| r.total_writeback_cycles)
+        );
+
+        // And the event stream itself replays in grid order, byte for byte.
+        prop_assert_eq!(seq_sink.into_events(), par_sink.into_events());
+    }
+}

@@ -554,6 +554,10 @@ pub struct ParallelReport {
 
 impl ParallelReport {
     /// Speedup over the single-lane pipeline.
+    ///
+    /// An empty grid (no non-zero partitions) runs for zero cycles at any
+    /// lane count, so its speedup is pinned at the 1.0 neutral element
+    /// rather than dividing by zero.
     pub fn speedup(&self) -> f64 {
         if self.total_cycles == 0 {
             1.0
@@ -562,9 +566,22 @@ impl ParallelReport {
         }
     }
 
-    /// Parallel efficiency (`speedup / lanes`).
+    /// Lanes that can actually receive work: a grid with fewer partitions
+    /// than lanes leaves the surplus lanes permanently idle, and an empty
+    /// grid still counts as one lane so ratios stay finite.
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.min(self.single_lane.partitions).max(1)
+    }
+
+    /// Parallel efficiency (`speedup / effective_lanes`).
+    ///
+    /// Normalizing by [`ParallelReport::effective_lanes`] rather than the
+    /// configured lane count keeps the metric meaningful for degenerate
+    /// sweeps: 16 lanes over a 4-partition grid is judged on the 4 lanes
+    /// that could ever be busy, not penalized for the 12 that physically
+    /// cannot.
     pub fn efficiency(&self) -> f64 {
-        self.speedup() / self.lanes as f64
+        self.speedup() / self.effective_lanes() as f64
     }
 
     /// Whether the aggregated system is limited by the shared channel.
@@ -988,6 +1005,53 @@ mod tests {
         assert!(r4.total_cycles < r1.total_cycles);
         assert!(r4.speedup() > 1.5, "speedup {}", r4.speedup());
         assert!(r4.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn surplus_lanes_do_not_dilute_efficiency() {
+        // A single 16x16 partition can keep exactly one lane busy; with 8
+        // lanes configured, efficiency must be judged against that one
+        // usable lane (== speedup), not divided by the 7 idle ones.
+        let platform = Platform::default();
+        let mut m = Coo::new(16, 16);
+        m.push(3, 5, 1.0).unwrap();
+        m.push(7, 2, -2.0).unwrap();
+        let r = platform.run_parallel(&m, FormatKind::Csr, 8).unwrap();
+        assert_eq!(r.single_lane.partitions, 1);
+        assert_eq!(r.effective_lanes(), 1);
+        assert!(
+            (r.efficiency() - r.speedup()).abs() < 1e-12,
+            "efficiency {} vs speedup {}",
+            r.efficiency(),
+            r.speedup()
+        );
+    }
+
+    #[test]
+    fn effective_lanes_caps_at_partition_count() {
+        let platform = Platform::default();
+        let m = matrix(); // 64x64 at p=16 -> 4x4 grid, 16 partitions max
+        let r4 = platform.run_parallel(&m, FormatKind::Csr, 4).unwrap();
+        assert_eq!(r4.effective_lanes(), 4);
+        let r64 = platform.run_parallel(&m, FormatKind::Csr, 64).unwrap();
+        assert_eq!(r64.effective_lanes(), r64.single_lane.partitions);
+        assert!(r64.effective_lanes() < 64);
+        assert!(r64.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_grid_parallel_report_is_neutral() {
+        // Zero partitions -> zero cycles at any lane count: speedup pins to
+        // the neutral 1.0 and efficiency follows via effective_lanes == 1.
+        let platform = Platform::default();
+        let r = platform
+            .run_parallel(&Coo::new(32, 32), FormatKind::Csr, 4)
+            .unwrap();
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.effective_lanes(), 1);
+        assert_eq!(r.efficiency(), 1.0);
+        assert!(r.is_memory_bound());
     }
 
     #[test]

@@ -8,4 +8,6 @@ pub mod sink;
 pub use event::{PipelineEvent, Stage};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
-pub use sink::{ChromeTraceWriter, JsonlSink, NullSink, RecordingSink, TraceSink};
+pub use sink::{
+    merge_by_cycle, replay, ChromeTraceWriter, JsonlSink, NullSink, RecordingSink, TraceSink,
+};

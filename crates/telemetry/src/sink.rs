@@ -65,6 +65,48 @@ impl RecordingSink {
     pub fn count(&self, kind: &str) -> usize {
         self.events.iter().filter(|e| e.kind() == kind).count()
     }
+
+    /// Consumes the sink, returning the buffered events. The buffer is
+    /// `Send`, so workers can record privately and hand their events to a
+    /// coordinating thread for ordered replay (see [`replay`]).
+    pub fn into_events(self) -> Vec<PipelineEvent> {
+        self.events
+    }
+}
+
+/// Replays buffered events into `sink` in order — the second half of the
+/// buffer-then-merge pattern parallel campaigns use: each worker records
+/// into a private [`RecordingSink`], and the coordinator replays the
+/// buffers in grid order so the merged stream is byte-identical to a
+/// sequential run. No-op when the sink is disabled.
+pub fn replay<S: TraceSink + ?Sized>(events: &[PipelineEvent], sink: &mut S) {
+    if !sink.enabled() {
+        return;
+    }
+    for e in events {
+        sink.record(e);
+    }
+}
+
+/// Merges per-worker event buffers into one stream ordered by modeled-cycle
+/// timestamp (stable: ties keep buffer order, then emission order). Each
+/// run's events start at cycle 0, so this interleaves concurrent runs on
+/// one timeline — the view a trace UI wants. For byte-identity with a
+/// sequential run, replay the buffers in grid order instead (see
+/// [`replay`]); the campaign executor does exactly that.
+pub fn merge_by_cycle(buffers: Vec<Vec<PipelineEvent>>) -> Vec<PipelineEvent> {
+    let mut keyed: Vec<(u64, usize, usize, PipelineEvent)> = buffers
+        .into_iter()
+        .enumerate()
+        .flat_map(|(b, events)| {
+            events
+                .into_iter()
+                .enumerate()
+                .map(move |(i, e)| (e.cycle(), b, i, e))
+        })
+        .collect();
+    keyed.sort_by_key(|&(cycle, b, i, _)| (cycle, b, i));
+    keyed.into_iter().map(|(_, _, _, e)| e).collect()
 }
 
 impl TraceSink for RecordingSink {
@@ -346,6 +388,53 @@ mod tests {
             start_cycle: start,
             cycles,
         }
+    }
+
+    #[test]
+    fn event_buffers_are_send() {
+        // Parallel campaigns move per-worker buffers across threads; keep
+        // that a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<PipelineEvent>();
+        assert_send::<RecordingSink>();
+        assert_send::<Vec<PipelineEvent>>();
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_stream() {
+        let mut original = RecordingSink::new();
+        original.record(&span(Stage::MemRead, 0, None, 0, 10));
+        original.record(&span(Stage::Compute, 0, None, 10, 20));
+        original.record(&PipelineEvent::RunComplete { total_cycles: 30 });
+        let events = original.clone().into_events();
+        let mut target = RecordingSink::new();
+        replay(&events, &mut target);
+        assert_eq!(target, original);
+        // Disabled sinks swallow the replay without recording.
+        let mut null = NullSink;
+        replay(&events, &mut null);
+    }
+
+    #[test]
+    fn merge_by_cycle_orders_across_buffers_and_keeps_ties_stable() {
+        let a = vec![
+            span(Stage::MemRead, 0, Some(0), 0, 5),
+            span(Stage::Compute, 0, Some(0), 5, 9),
+        ];
+        let b = vec![
+            span(Stage::MemRead, 1, Some(1), 0, 3),
+            span(Stage::Compute, 1, Some(1), 3, 4),
+        ];
+        let merged = merge_by_cycle(vec![a.clone(), b.clone()]);
+        assert_eq!(merged.len(), 4);
+        // Nondecreasing timestamps, with buffer order breaking the tie at
+        // cycle 0.
+        let cycles: Vec<u64> = merged.iter().map(PipelineEvent::cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "{cycles:?}");
+        assert_eq!(merged[0], a[0]);
+        assert_eq!(merged[1], b[0]);
+        assert_eq!(merged[2], b[1]);
+        assert_eq!(merged[3], a[1]);
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum MtxError {
         /// Description of the problem.
         message: String,
     },
+    /// The number of entry lines does not match the nnz declared on the
+    /// size line (counted before symmetric expansion).
+    CountMismatch {
+        /// nnz declared on the size line.
+        declared: usize,
+        /// Entry lines actually present.
+        found: usize,
+    },
 }
 
 impl fmt::Display for MtxError {
@@ -40,6 +48,12 @@ impl fmt::Display for MtxError {
             MtxError::Unsupported(s) => write!(f, "unsupported MatrixMarket variant: {s}"),
             MtxError::BadLine { line, message } => {
                 write!(f, "line {line}: {message}")
+            }
+            MtxError::CountMismatch { declared, found } => {
+                write!(
+                    f,
+                    "size line declares {declared} entries but the file has {found}"
+                )
             }
         }
     }
@@ -117,6 +131,9 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f32>, MtxError> {
     // Size line: first non-comment, non-blank line.
     let mut size: Option<(usize, usize, usize)> = None;
     let mut coo: Option<Coo<f32>> = None;
+    // Entry lines seen so far, counted before symmetric expansion so it is
+    // directly comparable to the declared nnz.
+    let mut entries = 0usize;
     for (i, line) in lines {
         let line = line?;
         let line_no = i + 1;
@@ -173,6 +190,38 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f32>, MtxError> {
                         message: format!("bad value {:?}: {e}", fields[2]),
                     })?,
                 };
+                // Symmetric variants store the lower triangle only; an
+                // upper-triangle entry would silently double after
+                // expansion, and a skew-symmetric diagonal must be zero
+                // (and is therefore omitted by convention).
+                if symmetry != Symmetry::General && r < c {
+                    return Err(MtxError::BadLine {
+                        line: line_no,
+                        message: format!(
+                            "entry ({}, {}) is above the diagonal in a {} file, \
+                             which stores the lower triangle only",
+                            r + 1,
+                            c + 1,
+                            if symmetry == Symmetry::Symmetric {
+                                "symmetric"
+                            } else {
+                                "skew-symmetric"
+                            },
+                        ),
+                    });
+                }
+                if symmetry == Symmetry::SkewSymmetric && r == c {
+                    return Err(MtxError::BadLine {
+                        line: line_no,
+                        message: format!(
+                            "diagonal entry ({}, {}) in a skew-symmetric file \
+                             (the diagonal is identically zero and must be omitted)",
+                            r + 1,
+                            c + 1,
+                        ),
+                    });
+                }
+                entries += 1;
                 coo.push(r, c, v).map_err(|e| MtxError::BadLine {
                     line: line_no,
                     message: e.to_string(),
@@ -197,7 +246,15 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Coo<f32>, MtxError> {
             }
         }
     }
-    coo.ok_or_else(|| MtxError::BadHeader("file has no size line".into()))
+    let coo = coo.ok_or_else(|| MtxError::BadHeader("file has no size line".into()))?;
+    let declared = size.expect("size set alongside coo").2;
+    if entries != declared {
+        return Err(MtxError::CountMismatch {
+            declared,
+            found: entries,
+        });
+    }
+    Ok(coo)
 }
 
 /// Writes a matrix as `matrix coordinate real general`, 1-based, row-major.
@@ -336,6 +393,113 @@ mod tests {
             MtxError::BadLine { line, .. } => assert_eq!(line, 3),
             other => panic!("expected BadLine, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn truncated_file_reports_count_mismatch() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             3 3 3\n\
+             1 1 1.0\n\
+             2 2 2.0\n",
+        )
+        .unwrap_err();
+        match e {
+            MtxError::CountMismatch { declared, found } => {
+                assert_eq!(declared, 3);
+                assert_eq!(found, 2);
+            }
+            other => panic!("expected CountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surplus_entries_report_count_mismatch() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             3 3 1\n\
+             1 1 1.0\n\
+             2 2 2.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            MtxError::CountMismatch {
+                declared: 1,
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn count_is_checked_before_symmetric_expansion() {
+        // 2 stored entries expand to 3, but the declared nnz counts stored
+        // entries, so this parses cleanly.
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             3 3 2\n\
+             2 1 5.0\n\
+             3 3 1.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn symmetric_upper_triangle_entry_is_rejected() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             3 3 1\n\
+             1 2 5.0\n",
+        )
+        .unwrap_err();
+        match e {
+            MtxError::BadLine { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("above the diagonal"), "{message}");
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_symmetric_upper_triangle_entry_is_rejected() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             3 3 1\n\
+             1 3 5.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, MtxError::BadLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn skew_symmetric_diagonal_entry_is_rejected() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             2 2 1\n\
+             2 2 1.0\n",
+        )
+        .unwrap_err();
+        match e {
+            MtxError::BadLine { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("diagonal"), "{message}");
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetric_diagonal_entries_are_allowed() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             2 2 1\n\
+             1 1 4.0\n",
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.nnz(), 1);
     }
 
     #[test]

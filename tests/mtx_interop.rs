@@ -36,6 +36,49 @@ fn characterization_is_identical_for_loaded_matrices() {
     }
 }
 
+fn fixture(name: &str) -> std::io::BufReader<std::fs::File> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    std::io::BufReader::new(std::fs::File::open(&path).unwrap())
+}
+
+#[test]
+fn truncated_fixture_fails_with_count_mismatch() {
+    let e = mtx::read_mtx(fixture("invalid_truncated_nnz.mtx")).unwrap_err();
+    match e {
+        mtx::MtxError::CountMismatch { declared, found } => {
+            assert_eq!(declared, 4);
+            assert_eq!(found, 2);
+        }
+        other => panic!("expected CountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn symmetric_upper_triangle_fixture_fails_with_bad_line() {
+    let e = mtx::read_mtx(fixture("invalid_symmetric_upper.mtx")).unwrap_err();
+    match e {
+        mtx::MtxError::BadLine { line, message } => {
+            assert_eq!(line, 4);
+            assert!(message.contains("above the diagonal"), "{message}");
+        }
+        other => panic!("expected BadLine, got {other:?}"),
+    }
+}
+
+#[test]
+fn skew_symmetric_diagonal_fixture_fails_with_bad_line() {
+    let e = mtx::read_mtx(fixture("invalid_skew_diagonal.mtx")).unwrap_err();
+    match e {
+        mtx::MtxError::BadLine { line, message } => {
+            assert_eq!(line, 5);
+            assert!(message.contains("diagonal"), "{message}");
+        }
+        other => panic!("expected BadLine, got {other:?}"),
+    }
+}
+
 #[test]
 fn mtx_files_written_to_disk_are_readable() {
     let dir = std::env::temp_dir().join("copernicus_mtx_interop");
