@@ -3,28 +3,29 @@
 
 use copernicus::experiments::fig05;
 use copernicus::plot::BarChart;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig05::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig05 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig05::manifest(&cli.cfg));
-    emit(&cli, &fig05::render(&rows));
-    if cli.chart {
-        let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
-        densities.dedup();
-        for d in densities {
-            let mut c = BarChart::new(&format!("sigma at density {d} (| = dense baseline)"), 48);
-            c.reference(1.0);
-            for r in rows.iter().filter(|r| r.density == d) {
-                c.bar(r.format.label(), r.sigma);
+    match fig05::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => {
+            emit(&cli, &fig05::render(&rows));
+            if cli.chart {
+                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+                densities.dedup();
+                for d in densities {
+                    let mut c =
+                        BarChart::new(&format!("sigma at density {d} (| = dense baseline)"), 48);
+                    c.reference(1.0);
+                    for r in rows.iter().filter(|r| r.density == d) {
+                        c.bar(r.format.label(), r.sigma);
+                    }
+                    println!("\n{}", c.render());
+                }
             }
-            println!("\n{}", c.render());
         }
+        Err(e) => telemetry.record_error("fig05", &e),
     }
+    finish_and_exit(telemetry, fig05::manifest(&cli.cfg));
 }

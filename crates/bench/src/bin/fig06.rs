@@ -3,28 +3,29 @@
 
 use copernicus::experiments::fig06;
 use copernicus::plot::BarChart;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig06::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig06 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig06::manifest(&cli.cfg));
-    emit(&cli, &fig06::render(&rows));
-    if cli.chart {
-        let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();
-        widths.dedup();
-        for w in widths {
-            let mut c = BarChart::new(&format!("sigma at band width {w} (| = dense baseline)"), 48);
-            c.reference(1.0);
-            for r in rows.iter().filter(|r| r.width == w) {
-                c.bar(r.format.label(), r.sigma);
+    match fig06::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => {
+            emit(&cli, &fig06::render(&rows));
+            if cli.chart {
+                let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();
+                widths.dedup();
+                for w in widths {
+                    let mut c =
+                        BarChart::new(&format!("sigma at band width {w} (| = dense baseline)"), 48);
+                    c.reference(1.0);
+                    for r in rows.iter().filter(|r| r.width == w) {
+                        c.bar(r.format.label(), r.sigma);
+                    }
+                    println!("\n{}", c.render());
+                }
             }
-            println!("\n{}", c.render());
         }
+        Err(e) => telemetry.record_error("fig06", &e),
     }
+    finish_and_exit(telemetry, fig06::manifest(&cli.cfg));
 }

@@ -1,16 +1,14 @@
 //! Regenerates Fig. 07 of the paper. See `copernicus_bench::Cli` for flags.
 
 use copernicus::experiments::fig07;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig07::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig07 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig07::manifest(&cli.cfg));
-    emit(&cli, &fig07::render(&rows));
+    match fig07::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => emit(&cli, &fig07::render(&rows)),
+        Err(e) => telemetry.record_error("fig07", &e),
+    }
+    finish_and_exit(telemetry, fig07::manifest(&cli.cfg));
 }

@@ -5,33 +5,33 @@
 
 use copernicus::experiments::fig08;
 use copernicus::plot::ScatterPlot;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig08::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig08 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig08::manifest(&cli.cfg));
-    emit(&cli, &fig08::render(&rows));
-    if cli.chart {
-        let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();
-        classes.dedup();
-        for class in classes {
-            let mut p = ScatterPlot::new(
-                &format!("{class}: memory vs compute cycles (log-log)"),
-                64,
-                20,
-                true,
-            );
-            for r in rows.iter().filter(|r| r.class == class) {
-                let glyph = r.format.label().chars().next().unwrap_or('?');
-                p.point(r.mem_cycles as f64, r.compute_cycles as f64, glyph);
+    match fig08::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => {
+            emit(&cli, &fig08::render(&rows));
+            if cli.chart {
+                let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();
+                classes.dedup();
+                for class in classes {
+                    let mut p = ScatterPlot::new(
+                        &format!("{class}: memory vs compute cycles (log-log)"),
+                        64,
+                        20,
+                        true,
+                    );
+                    for r in rows.iter().filter(|r| r.class == class) {
+                        let glyph = r.format.label().chars().next().unwrap_or('?');
+                        p.point(r.mem_cycles as f64, r.compute_cycles as f64, glyph);
+                    }
+                    println!("\n{}", p.render());
+                }
             }
-            println!("\n{}", p.render());
         }
+        Err(e) => telemetry.record_error("fig08", &e),
     }
+    finish_and_exit(telemetry, fig08::manifest(&cli.cfg));
 }

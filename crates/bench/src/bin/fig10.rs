@@ -3,27 +3,27 @@
 
 use copernicus::experiments::fig10;
 use copernicus::plot::BarChart;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig10::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig10 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig10::manifest(&cli.cfg));
-    emit(&cli, &fig10::render(&rows));
-    if cli.chart {
-        let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
-        densities.dedup();
-        for d in densities {
-            let mut c = BarChart::new(&format!("bandwidth utilization at density {d}"), 48);
-            for r in rows.iter().filter(|r| r.density == d) {
-                c.bar(r.format.label(), r.bandwidth_utilization);
+    match fig10::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => {
+            emit(&cli, &fig10::render(&rows));
+            if cli.chart {
+                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+                densities.dedup();
+                for d in densities {
+                    let mut c = BarChart::new(&format!("bandwidth utilization at density {d}"), 48);
+                    for r in rows.iter().filter(|r| r.density == d) {
+                        c.bar(r.format.label(), r.bandwidth_utilization);
+                    }
+                    println!("\n{}", c.render());
+                }
             }
-            println!("\n{}", c.render());
         }
+        Err(e) => telemetry.record_error("fig10", &e),
     }
+    finish_and_exit(telemetry, fig10::manifest(&cli.cfg));
 }

@@ -1,16 +1,14 @@
 //! Regenerates Fig. 11 of the paper. See `copernicus_bench::Cli` for flags.
 
 use copernicus::experiments::fig11;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig11::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig11 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig11::manifest(&cli.cfg));
-    emit(&cli, &fig11::render(&rows));
+    match fig11::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => emit(&cli, &fig11::render(&rows)),
+        Err(e) => telemetry.record_error("fig11", &e),
+    }
+    finish_and_exit(telemetry, fig11::manifest(&cli.cfg));
 }

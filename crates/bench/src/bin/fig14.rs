@@ -2,16 +2,14 @@
 //! workload class).
 
 use copernicus::experiments::fig14;
-use copernicus_bench::{emit, Cli};
+use copernicus_bench::{emit, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows =
-        fig14::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()).unwrap_or_else(|e| {
-            eprintln!("fig14 failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(fig14::manifest(&cli.cfg));
-    emit(&cli, &fig14::render(&rows));
+    match fig14::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => emit(&cli, &fig14::render(&rows)),
+        Err(e) => telemetry.record_error("fig14", &e),
+    }
+    finish_and_exit(telemetry, fig14::manifest(&cli.cfg));
 }

@@ -2,16 +2,14 @@
 //! partitions beyond 8x8/16x16 hurt dense (NN-inference) workloads.
 
 use copernicus::experiments::ext_partition_sweep;
-use copernicus_bench::{emit_named, Cli};
+use copernicus_bench::{emit_named, finish_and_exit, Cli};
 
 fn main() {
     let cli = Cli::from_env();
     let mut telemetry = cli.telemetry();
-    let rows = ext_partition_sweep::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments())
-        .unwrap_or_else(|e| {
-            eprintln!("partition_sweep failed: {e}");
-            std::process::exit(1);
-        });
-    telemetry.finish(ext_partition_sweep::manifest(&cli.cfg));
-    emit_named(&cli, "partition_sweep", &ext_partition_sweep::render(&rows));
+    match ext_partition_sweep::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => emit_named(&cli, "partition_sweep", &ext_partition_sweep::render(&rows)),
+        Err(e) => telemetry.record_error("partition_sweep", &e),
+    }
+    finish_and_exit(telemetry, ext_partition_sweep::manifest(&cli.cfg));
 }

@@ -16,8 +16,21 @@
 //! * `--jobs N` — worker threads for the measurement grid (default: the
 //!   machine's available parallelism). Output is byte-identical at every
 //!   job count.
+//! * `--resume` — reload `<out>/checkpoint.jsonl` into the memo cache so an
+//!   interrupted campaign continues from where it died (requires `--out`).
+//!   Resumed runs emit byte-identical `measurements.json` and metrics TSVs.
+//! * `--keep-going` — record failed grid cells (manifest +
+//!   `measurements.json`) and keep measuring instead of aborting; the
+//!   binary still exits nonzero with a failure summary.
+//! * `--max-retries N` — retries granted to transient cell failures
+//!   (panics, timeouts), with bounded deterministic backoff. Default 0.
+//! * `--inject-faults SPEC` — deterministic fault harness for testing the
+//!   recovery paths, e.g. `panic:cell=12,err:cell=40:count=2`.
 
-use copernicus::{CampaignRunner, ExperimentConfig, Instruments};
+use copernicus::{
+    CampaignError, CampaignPolicy, CampaignRunner, CellFailure, ExperimentConfig, FaultPlan,
+    Instruments,
+};
 use copernicus_telemetry::{ChromeTraceWriter, MetricsRegistry, RunManifest};
 
 /// Parsed command line shared by all regeneration binaries.
@@ -40,6 +53,14 @@ pub struct Cli {
     pub progress: bool,
     /// Worker threads for the measurement grid.
     pub jobs: usize,
+    /// Reload `<out>/checkpoint.jsonl` before running.
+    pub resume: bool,
+    /// Record failed cells and keep measuring instead of aborting.
+    pub keep_going: bool,
+    /// Retries granted to transient cell failures.
+    pub max_retries: u32,
+    /// Fault-injection spec (validated at parse time), for testing.
+    pub inject_faults: Option<String>,
 }
 
 impl Cli {
@@ -57,6 +78,10 @@ impl Cli {
         let mut manifest = None;
         let mut progress = false;
         let mut jobs = copernicus::default_jobs();
+        let mut resume = false;
+        let mut keep_going = false;
+        let mut max_retries = 0u32;
+        let mut inject_faults = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -97,12 +122,33 @@ impl Cli {
                         return Err("--jobs must be at least 1".to_string());
                     }
                 }
+                "--resume" => resume = true,
+                "--keep-going" => keep_going = true,
+                "--max-retries" => {
+                    let v = args.next().ok_or("--max-retries needs a value")?;
+                    max_retries = v
+                        .parse()
+                        .map_err(|e| format!("bad --max-retries {v:?}: {e}"))?;
+                }
+                "--inject-faults" => {
+                    let v = args.next().ok_or(
+                        "--inject-faults needs a spec like panic:cell=12,err:cell=40:count=2",
+                    )?;
+                    FaultPlan::parse(&v)?;
+                    inject_faults = Some(v);
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
                     ));
                 }
             }
+        }
+        if resume && out_dir.is_none() {
+            return Err(
+                "--resume needs --out (the checkpoint lives under the output directory)"
+                    .to_string(),
+            );
         }
         Ok(Cli {
             cfg,
@@ -113,14 +159,52 @@ impl Cli {
             manifest,
             progress,
             jobs,
+            resume,
+            keep_going,
+            max_retries,
+            inject_faults,
         })
     }
 
-    /// A [`CampaignRunner`] honoring `--jobs`, to share across every
-    /// experiment a binary executes so overlapping grid cells are measured
-    /// exactly once.
+    /// A [`CampaignRunner`] honoring `--jobs` and the fault-tolerance
+    /// flags, to share across every experiment a binary executes so
+    /// overlapping grid cells are measured exactly once.
+    ///
+    /// With `--out` the runner checkpoints every freshly computed cell to
+    /// `<out>/checkpoint.jsonl`; with `--resume` an existing checkpoint is
+    /// reloaded first (otherwise a stale one is discarded so the file
+    /// always describes the current run).
     pub fn runner(&self) -> CampaignRunner {
-        CampaignRunner::new(self.jobs)
+        let mut policy = CampaignPolicy {
+            max_retries: self.max_retries,
+            keep_going: self.keep_going,
+            ..CampaignPolicy::default()
+        };
+        if let Some(spec) = &self.inject_faults {
+            // Validated at parse time; an unparsable spec arms nothing.
+            policy.faults = FaultPlan::parse(spec).ok();
+        }
+        let mut runner = CampaignRunner::new(self.jobs).with_policy(policy);
+        if let Some(dir) = &self.out_dir {
+            let path = dir.join("checkpoint.jsonl");
+            if self.resume {
+                match runner.resume_from(&path) {
+                    Ok(0) => {}
+                    Ok(n) => eprintln!("resumed {n} cell(s) from {}", path.display()),
+                    Err(e) => {
+                        eprintln!("warning: could not read checkpoint {}: {e}", path.display())
+                    }
+                }
+            } else {
+                let _ = std::fs::remove_file(&path);
+            }
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| runner.attach_checkpoint(&path))
+            {
+                eprintln!("warning: could not open checkpoint {}: {e}", path.display());
+            }
+        }
+        runner
     }
 
     /// The telemetry bundle requested by the flags; see [`Telemetry`].
@@ -132,6 +216,7 @@ impl Cli {
             progress: self.progress,
             writer: ChromeTraceWriter::new(),
             metrics: MetricsRegistry::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -230,6 +315,50 @@ mod tests {
     }
 
     #[test]
+    fn fault_tolerance_flags_are_parsed() {
+        let cli = parse(&[
+            "--out",
+            "/tmp/x",
+            "--resume",
+            "--keep-going",
+            "--max-retries",
+            "3",
+            "--inject-faults",
+            "panic:cell=12,err:cell=40:count=2",
+        ])
+        .unwrap();
+        assert!(cli.resume);
+        assert!(cli.keep_going);
+        assert_eq!(cli.max_retries, 3);
+        assert_eq!(
+            cli.inject_faults.as_deref(),
+            Some("panic:cell=12,err:cell=40:count=2")
+        );
+        let runner = cli.runner();
+        assert!(runner.policy().keep_going);
+        assert_eq!(runner.policy().max_retries, 3);
+        assert!(runner.policy().faults.is_some());
+    }
+
+    #[test]
+    fn fault_tolerance_flags_default_off() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.resume);
+        assert!(!cli.keep_going);
+        assert_eq!(cli.max_retries, 0);
+        assert_eq!(cli.inject_faults, None);
+    }
+
+    #[test]
+    fn resume_requires_out_and_fault_specs_are_validated() {
+        assert!(parse(&["--resume"]).is_err());
+        assert!(parse(&["--max-retries"]).is_err());
+        assert!(parse(&["--max-retries", "x"]).is_err());
+        assert!(parse(&["--inject-faults"]).is_err());
+        assert!(parse(&["--inject-faults", "explode:cell=1"]).is_err());
+    }
+
+    #[test]
     fn telemetry_defaults_to_no_artifacts() {
         let cli = parse(&[]).unwrap();
         assert_eq!(cli.trace, None);
@@ -273,6 +402,8 @@ pub struct Telemetry {
     pub writer: ChromeTraceWriter,
     /// Campaign-level counters and histograms.
     pub metrics: MetricsRegistry,
+    /// Failed grid cells accumulated across every step of the run.
+    pub failures: Vec<CellFailure>,
 }
 
 impl Telemetry {
@@ -291,8 +422,27 @@ impl Telemetry {
         instruments
     }
 
-    /// Writes every requested artifact. Call once, after the last run.
-    pub fn finish(self, manifest: RunManifest) {
+    /// Absorbs the failed cells of one campaign step into the bundle so
+    /// they reach the manifest and the end-of-run summary.
+    pub fn record_failures(&mut self, failures: &[CellFailure]) {
+        self.failures.extend_from_slice(failures);
+    }
+
+    /// Reports a failed step on stderr and absorbs its cell failures.
+    pub fn record_error(&mut self, step: &str, err: &CampaignError) {
+        eprintln!("error: {step}: {err}");
+        self.record_failures(err.failures());
+    }
+
+    /// Writes every requested artifact and returns the process exit code:
+    /// `0` on a fully successful run, `1` when any cell failed (after
+    /// printing a failure summary table to stderr). Call once, after the
+    /// last run.
+    #[must_use = "the exit code carries the run's failure status"]
+    pub fn finish(self, mut manifest: RunManifest) -> i32 {
+        for f in &self.failures {
+            manifest.failures.push(f.to_record());
+        }
         if let Some(path) = &self.trace_path {
             if let Err(e) = self.writer.save(path) {
                 eprintln!("warning: could not write trace {}: {e}", path.display());
@@ -312,7 +462,38 @@ impl Telemetry {
                 }
             }
         }
+        if self.failures.is_empty() {
+            0
+        } else {
+            eprintln!("\n{}", failure_summary(&self.failures));
+            eprintln!("{} grid cell(s) failed", self.failures.len());
+            1
+        }
     }
+}
+
+/// Renders the end-of-run failure summary as an aligned table.
+pub fn failure_summary(failures: &[CellFailure]) -> String {
+    let mut t = copernicus::table::TextTable::new(&[
+        "cell", "workload", "p", "format", "kind", "retries", "message",
+    ]);
+    for f in failures {
+        t.row(&[
+            f.cell.to_string(),
+            f.workload.clone(),
+            f.partition_size.to_string(),
+            f.format.to_string(),
+            f.kind.to_string(),
+            f.retries.to_string(),
+            f.message.clone(),
+        ]);
+    }
+    t.render()
+}
+
+/// [`Telemetry::finish`] + process exit, for the tail of a binary's `main`.
+pub fn finish_and_exit(telemetry: Telemetry, manifest: RunManifest) -> ! {
+    std::process::exit(telemetry.finish(manifest))
 }
 
 /// Converts an aligned table produced by the figure drivers into TSV:

@@ -47,7 +47,8 @@ fn run_tiny_campaign(dir: &std::path::Path) -> usize {
         &mut telemetry.instruments(),
     )
     .expect("campaign runs");
-    telemetry.finish(manifest_for(&cfg, &workloads, &formats, &[16]));
+    let code = telemetry.finish(manifest_for(&cfg, &workloads, &formats, &[16]));
+    assert_eq!(code, 0, "a clean campaign must exit 0");
     ms.len()
 }
 

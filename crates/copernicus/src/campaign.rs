@@ -41,16 +41,57 @@
 //! [`Measurement`] without re-running the platform (and therefore without
 //! re-emitting trace spans); hit/miss behavior depends only on the call
 //! sequence, never on `jobs`, so determinism is preserved.
+//!
+//! # Fault tolerance
+//!
+//! Campaigns survive partial failure instead of discarding completed work
+//! (see [`fault`](crate::fault) for the taxonomy and policy):
+//!
+//! * **Panic isolation** — each cell's computation runs under
+//!   [`std::panic::catch_unwind`], so one wedged worker cannot take down
+//!   the pool, and every lock in the runner recovers from poisoning (a
+//!   panicking thread must surface *its* failure, not a cascade of
+//!   `PoisonError`s).
+//! * **Retry with backoff** — transient failures (panics, injected
+//!   timeouts) retry up to [`CampaignPolicy::max_retries`] with bounded,
+//!   jitter-free exponential backoff; trace events from failed attempts
+//!   are rolled back so a retried cell emits exactly one span set.
+//! * **Checkpointing** — [`CampaignRunner::attach_checkpoint`] streams
+//!   each freshly computed cell to an append-only JSONL file;
+//!   [`CampaignRunner::resume_from`] reloads it into the memo cache, so a
+//!   killed campaign resumes from where it died. Resumed cells are cache
+//!   hits: the measurement vector and metrics are byte-identical to an
+//!   uninterrupted run (trace spans are not re-emitted for resumed cells,
+//!   matching ordinary cache-hit semantics).
+//! * **Keep-going** — with [`CampaignPolicy::keep_going`] the runner
+//!   finishes the whole grid, reporting failed cells in
+//!   [`CampaignOutcome::failures`] instead of aborting on the first one.
 
+use crate::fault::{
+    panic_message, CampaignError, CampaignPolicy, CellFailure, FailureKind, FaultKind,
+};
 use crate::{ExperimentConfig, Instruments, Measurement};
 use copernicus_hls::PlatformError;
 use copernicus_telemetry::{replay, PipelineEvent, RecordingSink, TraceSink};
 use copernicus_workloads::Workload;
 use sparsemat::{FormatKind, PartitionGrid};
 use std::collections::HashMap;
-use std::io::Write;
+use std::fs::File;
+use std::io::{BufRead, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data from a poisoned lock. The runner's
+/// shared state (cache, result slots, checkpoint writer) stays consistent
+/// under panics — each critical section either fully inserts a value or
+/// does not — so the poison flag carries no information here, and clearing
+/// it is what lets the *first real failure* surface instead of a
+/// `PoisonError` cascade from every thread that comes after.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Executes measurement grids across OS threads with a shared memoization
 /// cache. See the [module docs](self) for the threading and determinism
@@ -59,6 +100,13 @@ use std::sync::Mutex;
 pub struct CampaignRunner {
     jobs: usize,
     cache: Mutex<HashMap<String, Measurement>>,
+    policy: CampaignPolicy,
+    checkpoint: Option<Mutex<BufWriter<File>>>,
+    resumed: usize,
+    /// Global cell counter: campaigns claim `total` indices each, in issue
+    /// order, so every cell has a stable index across the runner's lifetime
+    /// (the coordinate the fault harness and checkpoint diagnostics use).
+    dispatched: AtomicUsize,
 }
 
 impl CampaignRunner {
@@ -66,7 +114,7 @@ impl CampaignRunner {
     pub fn new(jobs: usize) -> Self {
         CampaignRunner {
             jobs: jobs.max(1),
-            cache: Mutex::new(HashMap::new()),
+            ..CampaignRunner::default()
         }
     }
 
@@ -82,6 +130,17 @@ impl CampaignRunner {
         Self::new(default_jobs())
     }
 
+    /// Builder: replaces the fault-handling policy.
+    pub fn with_policy(mut self, policy: CampaignPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active fault-handling policy.
+    pub fn policy(&self) -> &CampaignPolicy {
+        &self.policy
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -89,7 +148,65 @@ impl CampaignRunner {
 
     /// Number of memoized cells accumulated so far.
     pub fn cached_cells(&self) -> usize {
-        self.cache.lock().expect("campaign cache").len()
+        lock_clean(&self.cache).len()
+    }
+
+    /// Streams every freshly computed cell to an append-only JSONL
+    /// checkpoint at `path` (one `{"key", "measurement"}` object per line,
+    /// flushed per cell so a killed process loses at most the cell in
+    /// flight). Cache hits are not re-written.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened for appending.
+    pub fn attach_checkpoint(&mut self, path: &Path) -> std::io::Result<()> {
+        let file = File::options().create(true).append(true).open(path)?;
+        self.checkpoint = Some(Mutex::new(BufWriter::new(file)));
+        Ok(())
+    }
+
+    /// Loads a checkpoint written by [`attach_checkpoint`]
+    /// (CampaignRunner::attach_checkpoint) into the memo cache and returns
+    /// the number of cells restored. A missing file restores zero cells
+    /// (a first run is just an empty resume); malformed lines — e.g. the
+    /// torn final line of a killed process — are skipped with a warning,
+    /// so the interrupted cell is simply recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors while reading an existing file.
+    pub fn resume_from(&mut self, path: &Path) -> std::io::Result<usize> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut restored = 0usize;
+        for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_checkpoint_line(&line) {
+                Some((key, m)) => {
+                    lock_clean(&self.cache).insert(key, m);
+                    restored += 1;
+                }
+                None => eprintln!(
+                    "warning: skipping malformed checkpoint line {} in {}",
+                    lineno + 1,
+                    path.display()
+                ),
+            }
+        }
+        self.resumed += restored;
+        Ok(restored)
+    }
+
+    /// Cells restored from checkpoints by [`resume_from`]
+    /// (CampaignRunner::resume_from).
+    pub fn resumed_cells(&self) -> usize {
+        self.resumed
     }
 
     /// Runs the full cross product `workloads × partition_sizes × formats`
@@ -98,17 +215,18 @@ impl CampaignRunner {
     ///
     /// # Errors
     ///
-    /// Propagates platform construction, encoding and
-    /// functional-verification failures; under parallelism the error of the
-    /// earliest failing grid unit (among those observed before the pool
-    /// drains) is returned.
+    /// Returns [`CampaignError::Cells`] when any grid cell fails after
+    /// exhausting its retries (even under
+    /// [`CampaignPolicy::keep_going`] — use
+    /// [`run_campaign`](CampaignRunner::run_campaign) to get the partial
+    /// grid alongside the failures).
     pub fn characterize(
         &self,
         workloads: &[Workload],
         formats: &[FormatKind],
         partition_sizes: &[usize],
         cfg: &ExperimentConfig,
-    ) -> Result<Vec<Measurement>, PlatformError> {
+    ) -> Result<Vec<Measurement>, CampaignError> {
         self.characterize_with(
             workloads,
             formats,
@@ -132,11 +250,34 @@ impl CampaignRunner {
         partition_sizes: &[usize],
         cfg: &ExperimentConfig,
         instruments: &mut Instruments<'_>,
-    ) -> Result<Vec<Measurement>, PlatformError> {
+    ) -> Result<Vec<Measurement>, CampaignError> {
+        self.run_campaign(workloads, formats, partition_sizes, cfg, instruments)?
+            .into_result()
+    }
+
+    /// The fault-aware campaign entry point: runs the grid and reports the
+    /// measurements *and* any failed cells, rather than collapsing both
+    /// into one `Result`. Under [`CampaignPolicy::keep_going`] the outcome
+    /// carries every failure alongside the cells that did succeed; without
+    /// it the first permanent failure aborts the campaign as an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Without `keep_going`: [`CampaignError::Cells`] carrying the earliest
+    /// observed cell failure.
+    pub fn run_campaign(
+        &self,
+        workloads: &[Workload],
+        formats: &[FormatKind],
+        partition_sizes: &[usize],
+        cfg: &ExperimentConfig,
+        instruments: &mut Instruments<'_>,
+    ) -> Result<CampaignOutcome, CampaignError> {
         let units: Vec<(usize, usize)> = (0..workloads.len())
             .flat_map(|wi| (0..partition_sizes.len()).map(move |pi| (wi, pi)))
             .collect();
         let total = workloads.len() * partition_sizes.len() * formats.len();
+        let cell_base = self.dispatched.fetch_add(total, Ordering::Relaxed);
         let progress = ProgressMeter {
             enabled: instruments.progress,
             total,
@@ -145,7 +286,7 @@ impl CampaignRunner {
         let trace = instruments.sink.as_deref().is_some_and(TraceSink::enabled);
         let metrics = instruments.metrics;
 
-        let unit_outputs = try_par_map_ordered(self.jobs, &units, |_, &(wi, pi)| {
+        let unit_outputs = try_par_map_ordered(self.jobs, &units, |ui, &(wi, pi)| {
             self.run_unit(
                 &workloads[wi],
                 partition_sizes[pi],
@@ -153,30 +294,64 @@ impl CampaignRunner {
                 cfg,
                 trace,
                 &progress,
+                cell_base + ui * formats.len(),
             )
+        })
+        .map_err(|failure| CampaignError::Cells {
+            failures: vec![failure],
+            total_cells: total,
         })?;
 
         // In-order replay: the merged trace, metrics accumulation and
         // output vector all follow grid-index order, independent of which
         // worker produced each unit.
-        let mut out = Vec::with_capacity(total);
+        let mut measurements = Vec::with_capacity(total);
+        let mut failures = Vec::new();
+        let mut retries: u64 = 0;
         for unit in unit_outputs {
             if let Some(sink) = instruments.sink.as_deref_mut() {
                 replay(&unit.events, sink);
             }
-            for m in unit.measurements {
-                if metrics.is_some() {
-                    instruments.record_measurement(&m);
+            retries += unit.retries;
+            for cell in unit.cells {
+                match cell {
+                    Ok(m) => {
+                        if metrics.is_some() {
+                            instruments.record_measurement(&m);
+                        }
+                        measurements.push(m);
+                    }
+                    Err(f) => failures.push(f),
                 }
-                out.push(m);
             }
         }
-        Ok(out)
+        if let Some(metrics) = metrics {
+            // Failure/retry counters are touched only on actual failures, so
+            // a clean campaign's metrics TSV is byte-identical to one from a
+            // resumed or pre-fault-tolerance run.
+            if retries > 0 {
+                metrics.incr("cell_retries", retries);
+            }
+            if !failures.is_empty() {
+                metrics.incr("cell_failures", failures.len() as u64);
+                for f in &failures {
+                    metrics.incr(&format!("failures.{}", f.kind.label()), 1);
+                }
+            }
+        }
+        Ok(CampaignOutcome {
+            measurements,
+            failures,
+            total_cells: total,
+        })
     }
 
     /// One `(workload, partition size)` unit: generate + tile once (and
     /// only when at least one cell misses the cache), then sweep formats in
-    /// order, buffering trace events locally.
+    /// order, buffering trace events locally. Returns `Err` only on a
+    /// failure the policy does not absorb (first failing cell, no
+    /// `keep_going`).
+    #[allow(clippy::too_many_arguments)]
     fn run_unit(
         &self,
         workload: &Workload,
@@ -185,63 +360,218 @@ impl CampaignRunner {
         cfg: &ExperimentConfig,
         trace: bool,
         progress: &ProgressMeter,
-    ) -> Result<UnitOutput, PlatformError> {
+        cell_base: usize,
+    ) -> Result<UnitOutput, CellFailure> {
         let mut sink = RecordingSink::new();
-        let mut measurements = Vec::with_capacity(formats.len());
-        let mut prepared: Option<(f64, PartitionGrid<f32>, copernicus_hls::Platform)> = None;
-        for &format in formats {
+        let mut cells = Vec::with_capacity(formats.len());
+        let mut retries: u64 = 0;
+        let mut prepared: Option<Prepared> = None;
+        for (fi, &format) in formats.iter().enumerate() {
             let key = cell_key(workload, p, format, cfg);
-            let cached = self
-                .cache
-                .lock()
-                .expect("campaign cache")
-                .get(&key)
-                .cloned();
+            let cached = lock_clean(&self.cache).get(&key).cloned();
             progress.tick(&workload.label(), p, format, cached.is_some());
-            let measurement = match cached {
-                Some(m) => m,
-                None => {
+            let outcome = match cached {
+                Some(m) => Ok(m),
+                None => self
+                    .compute_cell(
+                        workload,
+                        p,
+                        format,
+                        cfg,
+                        trace,
+                        cell_base + fi,
+                        &mut prepared,
+                        &mut sink,
+                        &mut retries,
+                    )
+                    .inspect(|m| {
+                        lock_clean(&self.cache).insert(key.clone(), m.clone());
+                        self.append_checkpoint(&key, m);
+                    }),
+            };
+            match outcome {
+                Ok(m) => cells.push(Ok(m)),
+                Err(f) if self.policy.keep_going => cells.push(Err(f)),
+                Err(f) => return Err(f),
+            }
+        }
+        Ok(UnitOutput {
+            cells,
+            events: sink.into_events(),
+            retries,
+        })
+    }
+
+    /// Computes one cell under panic isolation, firing any injected fault
+    /// and retrying transient failures per the policy. Trace events from
+    /// failed attempts are rolled back so a retried cell's span set is
+    /// byte-identical to a first-try success.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_cell(
+        &self,
+        workload: &Workload,
+        p: usize,
+        format: FormatKind,
+        cfg: &ExperimentConfig,
+        trace: bool,
+        cell: usize,
+        prepared: &mut Option<Prepared>,
+        sink: &mut RecordingSink,
+        retries: &mut u64,
+    ) -> Result<Measurement, CellFailure> {
+        let mut attempt: u32 = 0;
+        loop {
+            let mark = sink.events.len();
+            let injected = self.policy.faults.as_ref().and_then(|plan| plan.fire(cell));
+            let attempt_result =
+                catch_unwind(AssertUnwindSafe(|| -> Result<Measurement, AttemptError> {
+                    match injected {
+                        Some(FaultKind::Panic) => panic!("injected fault at cell {cell}"),
+                        Some(FaultKind::TransientError) => return Err(AttemptError::Injected),
+                        None => {}
+                    }
                     if prepared.is_none() {
                         let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
                         let density = sparsemat::Matrix::density(&matrix);
                         let grid = PartitionGrid::new(&matrix, p)?;
-                        prepared = Some((density, grid, cfg.platform(p)?));
+                        *prepared = Some((density, grid, cfg.platform(p)?));
                     }
-                    let (density, grid, platform) = prepared.as_ref().expect("just prepared");
+                    let Some((density, grid, platform)) = prepared.as_ref() else {
+                        // Unreachable: the branch above just filled it.
+                        return Err(AttemptError::Platform(PlatformError::Config(
+                            "unit preparation lost".to_string(),
+                        )));
+                    };
                     let report = if trace {
-                        platform.run_grid_with_sink(grid, format, &mut sink)?
+                        platform.run_grid_with_sink(grid, format, &mut *sink)?
                     } else {
                         platform.run_grid(grid, format)?
                     };
-                    let m = Measurement {
+                    Ok(Measurement {
                         workload: workload.label(),
                         class: workload.class(),
                         density: *density,
                         format,
                         partition_size: p,
                         report,
-                    };
-                    self.cache
-                        .lock()
-                        .expect("campaign cache")
-                        .insert(key, m.clone());
-                    m
+                    })
+                }));
+            let (kind, message) = match attempt_result {
+                Ok(Ok(m)) => {
+                    *retries += u64::from(attempt);
+                    return Ok(m);
                 }
+                Ok(Err(AttemptError::Injected)) => {
+                    (FailureKind::Timeout, "injected transient fault".to_string())
+                }
+                Ok(Err(AttemptError::Platform(e))) => {
+                    (FailureKind::of_platform_error(&e), e.to_string())
+                }
+                Err(payload) => (FailureKind::Panic, panic_message(&*payload)),
             };
-            measurements.push(measurement);
+            sink.events.truncate(mark);
+            if kind.is_transient() && attempt < self.policy.max_retries {
+                attempt += 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    self.policy.backoff_ms(attempt),
+                ));
+                continue;
+            }
+            return Err(CellFailure {
+                cell,
+                workload: workload.label(),
+                partition_size: p,
+                format,
+                kind,
+                message,
+                retries: attempt,
+            });
         }
-        Ok(UnitOutput {
-            measurements,
-            events: sink.into_events(),
-        })
+    }
+
+    /// Appends one cell to the checkpoint, if one is attached. Checkpoint
+    /// I/O failures degrade to a warning — they cost resumability, not
+    /// correctness of the in-flight campaign.
+    fn append_checkpoint(&self, key: &str, m: &Measurement) {
+        let Some(cp) = &self.checkpoint else { return };
+        let line = checkpoint_line(key, m);
+        let mut writer = lock_clean(cp);
+        if writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("warning: failed to append campaign checkpoint for cell {key}");
+        }
+    }
+}
+
+/// What one `(workload, partition size)` unit prepares once and shares
+/// across its format sweep.
+type Prepared = (f64, PartitionGrid<f32>, copernicus_hls::Platform);
+
+/// What a single computation attempt can fail with (before classification).
+enum AttemptError {
+    /// The fault harness injected a transient failure.
+    Injected,
+    /// The platform (or encoding) rejected the cell.
+    Platform(PlatformError),
+}
+
+impl From<PlatformError> for AttemptError {
+    fn from(e: PlatformError) -> Self {
+        AttemptError::Platform(e)
+    }
+}
+
+impl From<sparsemat::SparseError> for AttemptError {
+    fn from(e: sparsemat::SparseError) -> Self {
+        AttemptError::Platform(e.into())
+    }
+}
+
+/// Everything a completed campaign produced: the measurements that
+/// succeeded (in grid order) and the cells that did not.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Successful cells, in grid order.
+    pub measurements: Vec<Measurement>,
+    /// Cells that failed after exhausting retries, in grid order.
+    pub failures: Vec<CellFailure>,
+    /// Cells the campaign was asked to measure.
+    pub total_cells: usize,
+}
+
+impl CampaignOutcome {
+    /// Collapses the outcome into the strict full-grid contract: the
+    /// measurements when every cell succeeded, otherwise
+    /// [`CampaignError::Cells`] carrying all failures.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Cells`] when any cell failed.
+    pub fn into_result(self) -> Result<Vec<Measurement>, CampaignError> {
+        if self.failures.is_empty() {
+            Ok(self.measurements)
+        } else {
+            Err(CampaignError::Cells {
+                failures: self.failures,
+                total_cells: self.total_cells,
+            })
+        }
+    }
+
+    /// Whether every cell of the grid was measured.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
     }
 }
 
 /// Everything one grid unit produced, handed back to the coordinating
 /// thread for in-order emission.
 struct UnitOutput {
-    measurements: Vec<Measurement>,
+    cells: Vec<Result<Measurement, CellFailure>>,
     events: Vec<PipelineEvent>,
+    retries: u64,
 }
 
 /// The memoization key: every input that determines a cell's bytes. The
@@ -253,6 +583,26 @@ fn cell_key(workload: &Workload, p: usize, format: FormatKind, cfg: &ExperimentC
         "{workload:?}|seed={}|cap={}|p={p}|{format}|{hw}",
         cfg.seed, cfg.suite_max_dim
     )
+}
+
+/// Renders one checkpoint line: a compact JSON object binding the memo key
+/// to the measurement bytes. Floats round-trip exactly (the JSON writer
+/// uses shortest-representation formatting), which is what makes resumed
+/// artifacts byte-identical.
+fn checkpoint_line(key: &str, m: &Measurement) -> String {
+    serde::json::to_string(&serde::Value::Map(vec![
+        ("key".to_string(), serde::Value::Str(key.to_string())),
+        ("measurement".to_string(), serde::Serialize::serialize(m)),
+    ]))
+}
+
+/// Parses one checkpoint line back into `(memo key, measurement)`; `None`
+/// on any malformed input (the caller skips and recomputes).
+fn parse_checkpoint_line(line: &str) -> Option<(String, Measurement)> {
+    let value: serde::Value = serde::json::from_str(line).ok()?;
+    let key = value.get("key")?.as_str()?.to_string();
+    let m = serde::Deserialize::deserialize(value.get("measurement")?).ok()?;
+    Some((key, m))
 }
 
 /// The worker count [`CampaignRunner::auto`] and the bench `--jobs` default
@@ -295,6 +645,10 @@ impl ProgressMeter {
 /// those encountered is returned, so a failing grid reports the same cell
 /// at every job count in practice.
 ///
+/// A worker that panics in `f` does not poison the shared result slots for
+/// the others (locks recover from poisoning); the panic itself propagates
+/// once after the pool joins, per [`std::thread::scope`] semantics.
+///
 /// # Errors
 ///
 /// The first (lowest-index observed) error produced by `f`.
@@ -324,10 +678,10 @@ where
                     break;
                 }
                 match f(i, &items[i]) {
-                    Ok(r) => results.lock().expect("result slots").push((i, r)),
+                    Ok(r) => lock_clean(&results).push((i, r)),
                     Err(e) => {
                         abort.store(true, Ordering::Relaxed);
-                        let mut slot = error.lock().expect("error slot");
+                        let mut slot = lock_clean(&error);
                         if slot.as_ref().is_none_or(|&(j, _)| i < j) {
                             *slot = Some((i, e));
                         }
@@ -336,10 +690,10 @@ where
             });
         }
     });
-    if let Some((_, e)) = error.into_inner().expect("error slot") {
+    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(e);
     }
-    let mut pairs = results.into_inner().expect("result slots");
+    let mut pairs = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     pairs.sort_by_key(|&(i, _)| i);
     Ok(pairs.into_iter().map(|(_, r)| r).collect())
 }
@@ -362,6 +716,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use copernicus_telemetry::{MetricsRegistry, Stage};
 
     fn grid() -> (Vec<Workload>, Vec<FormatKind>, Vec<usize>, ExperimentConfig) {
@@ -381,6 +736,13 @@ mod tests {
             vec![8, 16],
             ExperimentConfig::quick(),
         )
+    }
+
+    fn scratch_dir(test: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copernicus-campaign-{}-{test}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
     }
 
     /// The straight-line reference the runner must reproduce byte-for-byte:
@@ -551,7 +913,7 @@ mod tests {
     }
 
     #[test]
-    fn platform_errors_propagate_from_workers() {
+    fn platform_errors_surface_as_typed_cell_failures() {
         let cfg = ExperimentConfig {
             hw: copernicus_hls::HwConfig {
                 bus_bytes_per_cycle: 0,
@@ -562,8 +924,166 @@ mod tests {
         let w = [Workload::Band { n: 32, width: 2 }];
         for jobs in [1, 4] {
             let r = CampaignRunner::new(jobs).characterize(&w, &[FormatKind::Csr], &[16], &cfg);
-            assert!(matches!(r, Err(PlatformError::Config(_))), "jobs={jobs}");
+            let err = r.expect_err("invalid hw config must fail the campaign");
+            let failure = err.first_failure().expect("a cell failure");
+            assert_eq!(failure.kind, FailureKind::Platform, "jobs={jobs}");
+            assert_eq!(failure.retries, 0, "permanent failures never retry");
+            assert!(failure.message.contains("invalid hardware config"));
         }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_the_runner_stays_usable() {
+        let (w, f, p, cfg) = grid();
+        let total = w.len() * p.len() * f.len();
+        let runner = CampaignRunner::new(4).with_policy(
+            CampaignPolicy::default()
+                .with_keep_going()
+                .with_faults(FaultPlan::single(FaultKind::Panic, 4, 1)),
+        );
+        let outcome = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .expect("keep-going campaigns complete");
+        assert_eq!(outcome.total_cells, total);
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.measurements.len(), total - 1);
+        assert!(!outcome.is_complete());
+        let failure = &outcome.failures[0];
+        assert_eq!(failure.cell, 4);
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(failure.message.contains("injected fault"), "{failure}");
+        // No poisoned-mutex cascade: the cache and a follow-up campaign
+        // still work (the failed cell was never cached, so it recomputes).
+        assert_eq!(runner.cached_cells(), total - 1);
+        let again = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .expect("fault is spent; second pass is clean");
+        assert!(again.is_complete());
+        assert_eq!(again.measurements, reference(&w, &f, &p, &cfg));
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_and_recover() {
+        let (w, f, p, cfg) = grid();
+        let runner = CampaignRunner::sequential().with_policy(
+            CampaignPolicy {
+                max_retries: 2,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 2,
+                ..CampaignPolicy::default()
+            }
+            .with_faults(FaultPlan::single(FaultKind::TransientError, 3, 2)),
+        );
+        let metrics = MetricsRegistry::new();
+        let mut instruments = Instruments::none().with_metrics(&metrics);
+        let ms = runner
+            .characterize_with(&w, &f, &p, &cfg, &mut instruments)
+            .expect("two injected failures, two retries allowed");
+        assert_eq!(ms, reference(&w, &f, &p, &cfg));
+        assert_eq!(metrics.counter("cell_retries"), 2);
+        assert_eq!(metrics.counter("cell_failures"), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_classify_as_timeout() {
+        let (w, f, p, cfg) = grid();
+        let runner = CampaignRunner::sequential().with_policy(CampaignPolicy {
+            max_retries: 1,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 1,
+            keep_going: true,
+            faults: Some(FaultPlan::single(FaultKind::TransientError, 0, 5)),
+        });
+        let outcome = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .unwrap();
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].kind, FailureKind::Timeout);
+        assert_eq!(outcome.failures[0].retries, 1);
+    }
+
+    #[test]
+    fn fault_cells_index_the_global_dispatch_order() {
+        let (w, f, p, cfg) = grid();
+        let total = w.len() * p.len() * f.len();
+        // Arm a fault in the *second* campaign's index range; the first
+        // campaign must run clean.
+        let runner = CampaignRunner::sequential().with_policy(
+            CampaignPolicy::default()
+                .with_keep_going()
+                .with_faults(FaultPlan::single(FaultKind::Panic, total, 1)),
+        );
+        let first = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .unwrap();
+        assert!(first.is_complete());
+        // Second campaign over a different seed recomputes every cell; its
+        // first cell carries global index `total` and trips the fault.
+        let cfg2 = ExperimentConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        let second = runner
+            .run_campaign(&w, &f, &p, &cfg2, &mut Instruments::none())
+            .unwrap();
+        assert_eq!(second.failures.len(), 1);
+        assert_eq!(second.failures[0].cell, total);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_resume() {
+        let (w, f, p, cfg) = grid();
+        let dir = scratch_dir("checkpoint-round-trip");
+        let path = dir.join("checkpoint.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut writer = CampaignRunner::new(2);
+        writer.attach_checkpoint(&path).expect("open checkpoint");
+        let full = writer.characterize(&w, &f, &p, &cfg).unwrap();
+
+        let mut reader = CampaignRunner::sequential();
+        let restored = reader.resume_from(&path).expect("read checkpoint");
+        assert_eq!(restored, full.len());
+        assert_eq!(reader.resumed_cells(), full.len());
+        assert_eq!(reader.cached_cells(), full.len());
+        // Every cell is a cache hit now: identical bytes, no trace spans.
+        let mut sink = RecordingSink::new();
+        let mut instruments = Instruments::none().with_sink(&mut sink);
+        let resumed = reader
+            .characterize_with(&w, &f, &p, &cfg, &mut instruments)
+            .unwrap();
+        assert_eq!(resumed, full);
+        assert!(sink.events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_torn_and_garbage_lines() {
+        let dir = scratch_dir("resume-torn-lines");
+        let path = dir.join("checkpoint.jsonl");
+        let (w, f, p, cfg) = grid();
+        let mut writer = CampaignRunner::sequential();
+        writer.attach_checkpoint(&path).unwrap();
+        writer.characterize(&w, &[f[0]], &[p[0]], &cfg).unwrap();
+        // Simulate a kill mid-write: append garbage and a torn JSON line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n{\"key\": \"torn");
+        std::fs::write(&path, text).unwrap();
+
+        let mut reader = CampaignRunner::sequential();
+        let restored = reader.resume_from(&path).unwrap();
+        assert_eq!(restored, w.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_a_missing_checkpoint_restores_nothing() {
+        let mut runner = CampaignRunner::sequential();
+        let restored = runner
+            .resume_from(Path::new("/nonexistent/checkpoint.jsonl"))
+            .expect("missing file is an empty resume");
+        assert_eq!(restored, 0);
+        assert_eq!(runner.resumed_cells(), 0);
     }
 
     #[test]

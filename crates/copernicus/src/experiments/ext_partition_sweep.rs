@@ -6,7 +6,7 @@
 
 use crate::measure::ExperimentConfig;
 use crate::table::{eng, f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
 
@@ -58,7 +58,7 @@ pub struct PartitionSweepRow {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<PartitionSweepRow>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<PartitionSweepRow>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -71,7 +71,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<PartitionSweepRow>, PlatformErr
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<PartitionSweepRow>, PlatformError> {
+) -> Result<Vec<PartitionSweepRow>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -87,7 +87,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<PartitionSweepRow>, PlatformError> {
+) -> Result<Vec<PartitionSweepRow>, CampaignError> {
     let ms = runner.characterize_with(
         &sweep_workloads(cfg),
         &SWEEP_FORMATS,

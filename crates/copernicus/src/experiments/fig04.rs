@@ -4,7 +4,7 @@
 
 use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
 
@@ -26,7 +26,7 @@ pub struct Fig04Row {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig04Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig04Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -39,7 +39,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig04Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig04Row>, PlatformError> {
+) -> Result<Vec<Fig04Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -55,7 +55,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig04Row>, PlatformError> {
+) -> Result<Vec<Fig04Row>, CampaignError> {
     let ms = runner.characterize_with(
         &Workload::paper_suite(),
         &super::FIGURE_FORMATS,

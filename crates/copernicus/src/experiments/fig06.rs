@@ -3,7 +3,7 @@
 
 use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
 
@@ -23,7 +23,7 @@ pub struct Fig06Row {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig06Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig06Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -36,7 +36,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig06Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig06Row>, PlatformError> {
+) -> Result<Vec<Fig06Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -52,7 +52,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig06Row>, PlatformError> {
+) -> Result<Vec<Fig06Row>, CampaignError> {
     let workloads = Workload::paper_band_sweep(cfg.sweep_dim);
     let ms = runner.characterize_with(
         &workloads,

@@ -3,7 +3,7 @@
 
 use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::{Workload, WorkloadClass};
 use sparsemat::FormatKind;
 
@@ -65,7 +65,7 @@ pub fn aggregate(ms: &[Measurement]) -> Vec<Fig07Row> {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig07Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig07Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -78,7 +78,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig07Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig07Row>, PlatformError> {
+) -> Result<Vec<Fig07Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -94,7 +94,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig07Row>, PlatformError> {
+) -> Result<Vec<Fig07Row>, CampaignError> {
     let ms = runner.characterize_with(
         &all_class_workloads(cfg),
         &super::FIGURE_FORMATS,

@@ -4,7 +4,7 @@
 
 use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::WorkloadClass;
 use sparsemat::FormatKind;
 
@@ -56,7 +56,7 @@ fn to_row(m: &Measurement) -> Fig08Row {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig08Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig08Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -69,7 +69,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig08Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig08Row>, PlatformError> {
+) -> Result<Vec<Fig08Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -85,7 +85,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig08Row>, PlatformError> {
+) -> Result<Vec<Fig08Row>, CampaignError> {
     let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,

@@ -4,7 +4,7 @@
 
 use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{eng, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
 
@@ -29,7 +29,7 @@ pub struct Fig09Row {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig09Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig09Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -42,7 +42,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig09Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig09Row>, PlatformError> {
+) -> Result<Vec<Fig09Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -58,7 +58,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig09Row>, PlatformError> {
+) -> Result<Vec<Fig09Row>, CampaignError> {
     let workloads = Workload::paper_random_sweep(cfg.sweep_dim);
     let ms = runner.characterize_with(
         &workloads,

@@ -3,7 +3,7 @@
 
 use crate::measure::{ExperimentConfig, Measurement};
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 use copernicus_workloads::WorkloadClass;
 use sparsemat::FormatKind;
 
@@ -55,7 +55,7 @@ pub fn aggregate(ms: &[Measurement]) -> Vec<Fig12Row> {
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig12Row>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig12Row>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -68,7 +68,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig12Row>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig12Row>, PlatformError> {
+) -> Result<Vec<Fig12Row>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -84,7 +84,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Fig12Row>, PlatformError> {
+) -> Result<Vec<Fig12Row>, CampaignError> {
     let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,

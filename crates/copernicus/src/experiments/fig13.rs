@@ -25,7 +25,11 @@ pub fn run(partition_sizes: &[usize]) -> Vec<Fig13Row> {
     let mut rows = Vec::new();
     for format in super::FIGURE_FORMATS {
         for &p in partition_sizes {
-            let b = power::breakdown(format, p).expect("characterized format");
+            // Every FIGURE_FORMATS entry carries a power model; a format
+            // without one simply contributes no bar.
+            let Some(b) = power::breakdown(format, p) else {
+                continue;
+            };
             rows.push(Fig13Row {
                 format,
                 partition_size: p,

@@ -4,14 +4,14 @@
 use crate::measure::ExperimentConfig;
 use crate::summary::{normalized_summary, MetricKind, SummaryRow};
 use crate::table::{f3, TextTable};
-use copernicus_hls::PlatformError;
+use crate::CampaignError;
 
 /// Runs the full campaign and normalizes into Fig.-14 rows.
 ///
 /// # Errors
 ///
 /// Propagates platform failures.
-pub fn run(cfg: &ExperimentConfig) -> Result<Vec<SummaryRow>, PlatformError> {
+pub fn run(cfg: &ExperimentConfig) -> Result<Vec<SummaryRow>, CampaignError> {
     run_with(cfg, &mut crate::Instruments::none())
 }
 
@@ -24,7 +24,7 @@ pub fn run(cfg: &ExperimentConfig) -> Result<Vec<SummaryRow>, PlatformError> {
 pub fn run_with(
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<SummaryRow>, PlatformError> {
+) -> Result<Vec<SummaryRow>, CampaignError> {
     run_on(&crate::CampaignRunner::sequential(), cfg, instruments)
 }
 
@@ -40,7 +40,7 @@ pub fn run_on(
     runner: &crate::CampaignRunner,
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<SummaryRow>, PlatformError> {
+) -> Result<Vec<SummaryRow>, CampaignError> {
     let ms = runner.characterize_with(
         &super::fig07::all_class_workloads(cfg),
         &super::FIGURE_FORMATS,

@@ -30,15 +30,23 @@ pub fn run(partition_sizes: &[usize]) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for format in super::FIGURE_FORMATS {
         for &p in partition_sizes {
-            let r = resources::estimate(format, p).expect("characterized format");
+            // Every FIGURE_FORMATS entry carries resource and power models;
+            // a format without them simply contributes no row.
+            let (Some(r), Some(dynamic_power_w), Some(static_power_w)) = (
+                resources::estimate(format, p),
+                power::dynamic_power(format, p),
+                power::static_power(format),
+            ) else {
+                continue;
+            };
             rows.push(Table2Row {
                 format,
                 partition_size: p,
                 bram_18k: r.bram_18k,
                 ff_k: r.ff_k,
                 lut_k: r.lut_k,
-                dynamic_power_w: power::dynamic_power(format, p).expect("characterized format"),
-                static_power_w: power::static_power(format).expect("characterized format"),
+                dynamic_power_w,
+                static_power_w,
             });
         }
     }
@@ -72,25 +80,29 @@ pub fn render(rows: &[Table2Row]) -> String {
         f
     };
     for format in formats {
-        let cell = |p: usize| -> &Table2Row {
+        // A cell absent from a partial grid renders as "-" instead of
+        // aborting the whole table.
+        let cell = |p: usize| -> Option<&Table2Row> {
             rows.iter()
                 .find(|r| r.format == format && r.partition_size == p)
-                .expect("complete grid")
+        };
+        let fmt_cell = |p: usize, f: &dyn Fn(&Table2Row) -> String| -> String {
+            cell(p).map_or_else(|| "-".to_string(), f)
         };
         let mut row: Vec<String> = vec![format.to_string()];
         for &p in &sizes {
-            row.push(format!("{:.0}", cell(p).bram_18k));
+            row.push(fmt_cell(p, &|c| format!("{:.0}", c.bram_18k)));
         }
         for &p in &sizes {
-            row.push(format!("{:.1}", cell(p).ff_k));
+            row.push(fmt_cell(p, &|c| format!("{:.1}", c.ff_k)));
         }
         for &p in &sizes {
-            row.push(format!("{:.1}", cell(p).lut_k));
+            row.push(fmt_cell(p, &|c| format!("{:.1}", c.lut_k)));
         }
         for &p in &sizes {
-            row.push(format!("{:.2}", cell(p).dynamic_power_w));
+            row.push(fmt_cell(p, &|c| format!("{:.2}", c.dynamic_power_w)));
         }
-        row.push(format!("{:.3}", cell(sizes[0]).static_power_w));
+        row.push(fmt_cell(sizes[0], &|c| format!("{:.3}", c.static_power_w)));
         t.row(&row);
     }
     let mut out = t.render();

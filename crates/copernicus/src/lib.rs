@@ -32,7 +32,7 @@
 //! use copernicus_workloads::Workload;
 //! use sparsemat::FormatKind;
 //!
-//! # fn main() -> Result<(), copernicus_hls::PlatformError> {
+//! # fn main() -> Result<(), copernicus::CampaignError> {
 //! let cfg = ExperimentConfig::quick();
 //! let workloads = [Workload::Random { n: 64, density: 0.05 }];
 //! let ms = characterize(&workloads, &[FormatKind::Csr, FormatKind::Coo], &[16], &cfg)?;
@@ -46,9 +46,14 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library paths must propagate typed errors, not die: panicking is reserved
+// for test code (see fault::FailureKind for how panics that do slip through
+// are contained). CI runs clippy with `-D warnings`, making this a gate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod campaign;
 pub mod experiments;
+pub mod fault;
 pub mod insights;
 pub mod instrument;
 pub mod measure;
@@ -57,7 +62,10 @@ pub mod recommend;
 pub mod summary;
 pub mod table;
 
-pub use campaign::{default_jobs, par_map_ordered, try_par_map_ordered, CampaignRunner};
+pub use campaign::{
+    default_jobs, par_map_ordered, try_par_map_ordered, CampaignOutcome, CampaignRunner,
+};
+pub use fault::{CampaignError, CampaignPolicy, CellFailure, FailureKind, FaultKind, FaultPlan};
 pub use insights::{verify as verify_insights, InsightCheck};
 pub use instrument::{manifest_for, Instruments};
 pub use measure::{characterize, characterize_with, ExperimentConfig, Measurement};

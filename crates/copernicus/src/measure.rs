@@ -141,13 +141,13 @@ impl Measurement {
 /// # Errors
 ///
 /// Propagates platform construction, encoding and functional-verification
-/// failures.
+/// failures as typed [`CampaignError`](crate::CampaignError) cell failures.
 pub fn characterize(
     workloads: &[Workload],
     formats: &[FormatKind],
     partition_sizes: &[usize],
     cfg: &ExperimentConfig,
-) -> Result<Vec<Measurement>, PlatformError> {
+) -> Result<Vec<Measurement>, crate::CampaignError> {
     characterize_with(
         workloads,
         formats,
@@ -180,7 +180,7 @@ pub fn characterize_with(
     partition_sizes: &[usize],
     cfg: &ExperimentConfig,
     instruments: &mut crate::Instruments<'_>,
-) -> Result<Vec<Measurement>, PlatformError> {
+) -> Result<Vec<Measurement>, crate::CampaignError> {
     crate::CampaignRunner::sequential().characterize_with(
         workloads,
         formats,

@@ -173,7 +173,7 @@ pub fn recommend_measured(
     matrix: &Coo<f32>,
     goal: Goal,
     cfg: &copernicus_hls::HwConfig,
-) -> Result<Recommendation, copernicus_hls::PlatformError> {
+) -> Result<Recommendation, crate::CampaignError> {
     let platform = copernicus_hls::Platform::new(cfg.clone())?;
     let mut best: Option<(FormatKind, f64)> = None;
     for format in FormatKind::CHARACTERIZED {
@@ -193,7 +193,12 @@ pub fn recommend_measured(
             best = Some((format, score));
         }
     }
-    let (format, score) = best.expect("at least one characterized format");
+    let Some((format, score)) = best else {
+        return Err(copernicus_hls::PlatformError::Config(
+            "no characterized formats to recommend from".to_string(),
+        )
+        .into());
+    };
     Ok(Recommendation {
         format,
         partition_size: cfg.partition_size,

@@ -70,11 +70,10 @@ pub struct SummaryRow {
 impl SummaryRow {
     /// The score for one metric.
     pub fn score(&self, metric: MetricKind) -> f64 {
-        let idx = MetricKind::ALL
+        MetricKind::ALL
             .iter()
             .position(|&m| m == metric)
-            .expect("metric in ALL");
-        self.scores[idx]
+            .map_or(f64::NAN, |idx| self.scores[idx])
     }
 
     /// Mean of the six scores — a crude overall "goodness" used by the

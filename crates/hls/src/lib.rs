@@ -45,6 +45,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library paths must propagate PlatformError, not die; CI runs clippy with
+// `-D warnings`, making this a gate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod decomp;

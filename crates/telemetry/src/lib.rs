@@ -6,7 +6,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use event::{PipelineEvent, Stage};
-pub use manifest::RunManifest;
+pub use manifest::{FailureRecord, RunManifest};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{
     merge_by_cycle, replay, ChromeTraceWriter, JsonlSink, NullSink, RecordingSink, TraceSink,

@@ -4,6 +4,29 @@
 
 use serde::{Deserialize, Serialize, Value};
 
+/// One grid cell that failed during the run — the manifest's audit record
+/// of incomplete coverage (kinds and semantics are defined by the
+/// producer's failure taxonomy; this crate stores them as plain strings so
+/// it does not depend on the campaign layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Global cell index within the producing runner's dispatch order.
+    pub cell: u64,
+    /// Workload label of the failed cell.
+    pub workload: String,
+    /// Partition size of the failed cell.
+    pub partition_size: usize,
+    /// Compression format label of the failed cell.
+    pub format: String,
+    /// Failure classification tag (e.g. `input`, `platform`, `panic`,
+    /// `timeout`).
+    pub kind: String,
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Retries spent before the cell was given up on.
+    pub retries: u64,
+}
+
 /// A self-describing record of one characterization run or campaign.
 ///
 /// The hardware configuration is stored as a generic [`Value`] tree so this
@@ -31,6 +54,9 @@ pub struct RunManifest {
     pub partition_sizes: Vec<usize>,
     /// Free-form notes (figure names, CLI invocation, preset).
     pub notes: Vec<String>,
+    /// Cells that failed during the run (empty for a fully successful
+    /// campaign).
+    pub failures: Vec<FailureRecord>,
 }
 
 impl RunManifest {
@@ -52,6 +78,7 @@ impl RunManifest {
             formats: Vec::new(),
             partition_sizes: Vec::new(),
             notes: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -129,6 +156,24 @@ mod tests {
         assert_eq!(back.tool, "copernicus-repro");
         assert_eq!(back.version, env!("CARGO_PKG_VERSION"));
         assert!(back.created_utc.ends_with('Z'));
+    }
+
+    #[test]
+    fn failure_records_round_trip_through_json() {
+        let mut m = RunManifest::new(7, Value::Null);
+        m.failures.push(FailureRecord {
+            cell: 40,
+            workload: "d=0.05".to_string(),
+            partition_size: 16,
+            format: "CSR".to_string(),
+            kind: "panic".to_string(),
+            message: "worker panic: injected fault at cell 40".to_string(),
+            retries: 2,
+        });
+        let back = RunManifest::from_json(&m.to_json()).expect("parse back");
+        assert_eq!(back, m);
+        assert_eq!(back.failures.len(), 1);
+        assert_eq!(back.failures[0].kind, "panic");
     }
 
     #[test]

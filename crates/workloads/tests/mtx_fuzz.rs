@@ -1,0 +1,161 @@
+//! Robustness contract for the MatrixMarket reader: whatever bytes come in
+//! — truncated files, garbage headers, mutated entries, wrong counts — the
+//! reader returns a typed [`MtxError`] and never panics. The fuzz loops use
+//! a fixed-seed PRNG so every run exercises the same corpus.
+
+use copernicus_workloads::mtx::{read_mtx, MtxError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const BASE: &str = "\
+%%MatrixMarket matrix coordinate real general
+% a comment line
+4 4 6
+1 1 1.5
+1 2 -2.0
+2 2 3.25
+3 1 4.0
+3 4 -0.5
+4 4 6.0
+";
+
+/// A tiny splitmix64 so the fuzz corpus is identical on every run.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Feeds `bytes` to the reader under a panic guard; a panic fails the test.
+fn parse(bytes: &[u8]) -> Result<(), MtxError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| read_mtx(bytes).map(|_| ())));
+    match outcome {
+        Ok(result) => result,
+        Err(_) => panic!(
+            "read_mtx panicked on input: {:?}",
+            String::from_utf8_lossy(bytes)
+        ),
+    }
+}
+
+#[test]
+fn the_base_document_parses() {
+    assert!(parse(BASE.as_bytes()).is_ok());
+}
+
+#[test]
+fn every_byte_truncation_yields_a_typed_error_or_parses() {
+    for len in 0..BASE.len() {
+        // Any prefix is either still a complete document or a typed error;
+        // the point is the guard inside `parse`: no prefix may panic.
+        let _ = parse(&BASE.as_bytes()[..len]);
+    }
+}
+
+#[test]
+fn truncated_entry_lists_report_a_count_mismatch() {
+    // Keep the header + size line + first three entries: 3 of 6 declared.
+    let doc: String = BASE.lines().take(6).map(|l| format!("{l}\n")).collect();
+    match parse(doc.as_bytes()) {
+        Err(MtxError::CountMismatch { declared, found }) => {
+            assert_eq!((declared, found), (6, 3));
+        }
+        other => panic!("expected CountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_headers_are_rejected_not_panicked() {
+    let cases: &[&str] = &[
+        "",
+        "\n",
+        "%%MatrixMarket\n1 1 0\n",
+        "%%MatrixMarket matrix array real general\n",
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+        "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+        "totally not a header\n1 1 1\n1 1 1\n",
+    ];
+    for case in cases {
+        assert!(
+            parse(case.as_bytes()).is_err(),
+            "accepted garbage header: {case:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_size_and_entry_lines_are_typed_errors() {
+    let cases: &[&str] = &[
+        // Size line with too few fields, non-numeric fields, and overflow.
+        "%%MatrixMarket matrix coordinate real general\n4 4\n",
+        "%%MatrixMarket matrix coordinate real general\nfour four six\n",
+        "%%MatrixMarket matrix coordinate real general\n1 1 99999999999999999999\n",
+        // Entries out of the declared shape, zero-based, or non-numeric.
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 not-a-number\n",
+        // More entries than declared.
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+    ];
+    for case in cases {
+        let err = parse(case.as_bytes()).expect_err("malformed input accepted");
+        assert!(
+            matches!(
+                err,
+                MtxError::BadLine { .. } | MtxError::CountMismatch { .. }
+            ),
+            "wrong error class for {case:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn random_byte_mutations_never_panic() {
+    let mut rng = Prng(0x5eed_0001);
+    for _ in 0..500 {
+        let mut doc = BASE.as_bytes().to_vec();
+        for _ in 0..=rng.below(4) {
+            let pos = rng.below(doc.len());
+            // Stay in printable ASCII so the mutation hits the parser, not
+            // just UTF-8 validation inside `lines()`.
+            doc[pos] = 0x20 + (rng.next() % 0x5f) as u8;
+        }
+        let _ = parse(&doc);
+    }
+}
+
+#[test]
+fn random_garbage_documents_never_panic() {
+    let mut rng = Prng(0x5eed_0002);
+    for _ in 0..500 {
+        let len = rng.below(256);
+        let doc: Vec<u8> = (0..len).map(|_| (rng.next() % 256) as u8).collect();
+        let _ = parse(&doc);
+    }
+}
+
+#[test]
+fn random_line_shuffles_never_panic_and_fail_typed() {
+    let mut rng = Prng(0x5eed_0003);
+    let lines: Vec<&str> = BASE.lines().collect();
+    for _ in 0..200 {
+        let mut order: Vec<usize> = (0..lines.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.below(i + 1));
+        }
+        let doc: String = order.iter().map(|&i| format!("{}\n", lines[i])).collect();
+        // A shuffle that happens to keep the document valid is fine; what
+        // is not fine is a panic, which `parse` turns into a test failure.
+        let _ = parse(doc.as_bytes());
+    }
+}
