@@ -3,7 +3,7 @@
 //! extrapolated 64×64 partition. Each variant streams the same matrix so
 //! the timing differences are attributable to the configuration knob.
 
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use copernicus_workloads::{random, seeded_rng};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsemat::{Coo, FormatKind};
@@ -13,8 +13,12 @@ fn matrix() -> Coo<f32> {
     random::uniform_square(256, 0.05, &mut seeded_rng(6))
 }
 
-fn run(platform: &Platform, m: &Coo<f32>, kind: FormatKind) -> u64 {
-    platform.run(m, kind).unwrap().total_cycles
+fn run(session: &mut Session, m: &Coo<f32>, kind: FormatKind) -> u64 {
+    session
+        .run(RunRequest::matrix(m, kind))
+        .unwrap()
+        .report
+        .total_cycles
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -32,9 +36,9 @@ fn bench_ablation(c: &mut Criterion) {
     for l in [1u64, 2, 4] {
         let mut hw = base();
         hw.bram_read_latency = l;
-        let platform = Platform::new(hw).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(l), &platform, |b, p| {
-            b.iter(|| black_box(run(p, &m, FormatKind::Csr)));
+        let mut session = Session::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(l), &m, |b, m| {
+            b.iter(|| black_box(run(&mut session, m, FormatKind::Csr)));
         });
     }
     group.finish();
@@ -46,9 +50,9 @@ fn bench_ablation(c: &mut Criterion) {
     for bus in [4usize, 8, 16] {
         let mut hw = base();
         hw.bus_bytes_per_cycle = bus;
-        let platform = Platform::new(hw).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(bus), &platform, |b, p| {
-            b.iter(|| black_box(run(p, &m, FormatKind::Coo)));
+        let mut session = Session::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bus), &m, |b, m| {
+            b.iter(|| black_box(run(&mut session, m, FormatKind::Coo)));
         });
     }
     group.finish();
@@ -60,9 +64,9 @@ fn bench_ablation(c: &mut Criterion) {
     for w in [4usize, 6, 8] {
         let mut hw = base();
         hw.ell_hw_width = w;
-        let platform = Platform::new(hw).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(w), &platform, |b, p| {
-            b.iter(|| black_box(run(p, &m, FormatKind::Ell)));
+        let mut session = Session::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &m, |b, m| {
+            b.iter(|| black_box(run(&mut session, m, FormatKind::Ell)));
         });
     }
     group.finish();
@@ -74,9 +78,9 @@ fn bench_ablation(c: &mut Criterion) {
     for blk in [2usize, 4, 8] {
         let mut hw = base();
         hw.bcsr_block = blk;
-        let platform = Platform::new(hw).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(blk), &platform, |b, p| {
-            b.iter(|| black_box(run(p, &m, FormatKind::Bcsr)));
+        let mut session = Session::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(blk), &m, |b, m| {
+            b.iter(|| black_box(run(&mut session, m, FormatKind::Bcsr)));
         });
     }
     group.finish();
@@ -88,9 +92,9 @@ fn bench_ablation(c: &mut Criterion) {
     for p in [16usize, 64] {
         let mut hw = base();
         hw.partition_size = p;
-        let platform = Platform::new(hw).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(p), &platform, |b, pf| {
-            b.iter(|| black_box(run(pf, &m, FormatKind::Lil)));
+        let mut session = Session::new(hw).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(p), &m, |b, m| {
+            b.iter(|| black_box(run(&mut session, m, FormatKind::Lil)));
         });
     }
     group.finish();

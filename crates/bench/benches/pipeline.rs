@@ -1,7 +1,7 @@
 //! End-to-end platform-model benchmarks: a 256×256 matrix streamed through
 //! the full encode → decompress → dot-product pipeline per format.
 
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use copernicus_workloads::{band, random, seeded_rng};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparsemat::FormatKind;
@@ -10,7 +10,6 @@ use std::hint::black_box;
 fn bench_pipeline(c: &mut Criterion) {
     let mut hw = HwConfig::with_partition_size(16);
     hw.verify_functional = false;
-    let platform = Platform::new(hw).unwrap();
     let workloads = [
         (
             "random",
@@ -24,8 +23,12 @@ fn bench_pipeline(c: &mut Criterion) {
         group.measurement_time(std::time::Duration::from_secs(2));
         group.sample_size(20);
         for kind in FormatKind::CHARACTERIZED {
+            // A warm session per format: the scratch pool stabilizes during
+            // warm-up, so the samples measure the allocation-free steady
+            // state a format sweep hits.
+            let mut session = Session::new(hw.clone()).unwrap();
             group.bench_with_input(BenchmarkId::from_parameter(kind), matrix, |b, m| {
-                b.iter(|| black_box(platform.run(m, kind).unwrap()));
+                b.iter(|| black_box(session.run(RunRequest::matrix(m, kind)).unwrap().report));
             });
         }
         group.finish();

@@ -1,144 +1,10 @@
-//! Ablation tables over the platform's design knobs: how σ, balance and
-//! throughput respond to BRAM latency, memory bus width, ELL engine width,
-//! BCSR block size, and partition sizes beyond the paper's 8/16/32.
-//!
-//! ```sh
-//! cargo run --release -p copernicus-bench --bin ablation
-//! ```
-
-use copernicus::table::{eng, f3, TextTable};
-use copernicus_bench::{emit, Cli};
-use copernicus_hls::{HwConfig, Platform};
-use copernicus_workloads::Workload;
-use sparsemat::{Coo, FormatKind};
-
-fn run_table(
-    title: &str,
-    cli: &Cli,
-    matrix: &Coo<f32>,
-    configs: &[(String, HwConfig)],
-    formats: &[FormatKind],
-) {
-    println!("\n=== {title} ===");
-    let mut t = TextTable::new(&["variant", "format", "sigma", "balance", "throughput"]);
-    for (label, hw) in configs {
-        let platform = Platform::new(hw.clone()).expect("valid config");
-        for &format in formats {
-            let r = platform.run(matrix, format).expect("run");
-            t.row(&[
-                label.clone(),
-                format.to_string(),
-                f3(r.sigma()),
-                f3(r.balance_ratio),
-                format!("{}B/s", eng(r.throughput_bytes_per_sec())),
-            ]);
-        }
-    }
-    emit(cli, &t.render());
-}
-
-fn base() -> HwConfig {
-    let mut hw = HwConfig::with_partition_size(16);
-    hw.verify_functional = false;
-    hw
-}
+//! Ablation tables over the platform's design knobs — a wrapper over `copernicus-bench ablation`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let dim = cli.cfg.sweep_dim.max(192);
-    let random = Workload::Random {
-        n: dim,
-        density: 0.05,
-    }
-    .generate(0, cli.cfg.seed);
-    let band = Workload::Band { n: dim, width: 16 }.generate(0, cli.cfg.seed);
-
-    // BRAM read latency: CSR pays one offsets read per row, LIL one per
-    // emitted row — both should track L_bram; COO barely moves.
-    let configs: Vec<(String, HwConfig)> = [1u64, 2, 4]
-        .iter()
-        .map(|&l| {
-            let mut hw = base();
-            hw.bram_read_latency = l;
-            (format!("L_bram={l}"), hw)
-        })
-        .collect();
-    run_table(
-        "BRAM read latency (random d=0.05)",
-        &cli,
-        &random,
-        &configs,
-        &[FormatKind::Csr, FormatKind::Lil, FormatKind::Coo],
-    );
-
-    // Memory bus width: balance ratios scale inversely; compute-bound
-    // formats barely change total time.
-    let configs: Vec<(String, HwConfig)> = [4usize, 8, 16]
-        .iter()
-        .map(|&b| {
-            let mut hw = base();
-            hw.bus_bytes_per_cycle = b;
-            (format!("bus={b}B/cyc"), hw)
-        })
-        .collect();
-    run_table(
-        "Memory bus width (random d=0.05)",
-        &cli,
-        &random,
-        &configs,
-        &[FormatKind::Dense, FormatKind::Coo, FormatKind::Csc],
-    );
-
-    // ELL engine width: the paper fixes 6; narrower engines shorten the
-    // adder tree (lower T_dot), wider ones deepen it.
-    let configs: Vec<(String, HwConfig)> = [4usize, 6, 8, 12]
-        .iter()
-        .map(|&w| {
-            let mut hw = base();
-            hw.ell_hw_width = w;
-            (format!("ell_w={w}"), hw)
-        })
-        .collect();
-    run_table(
-        "ELL engine width (band w=16)",
-        &cli,
-        &band,
-        &configs,
-        &[FormatKind::Ell],
-    );
-
-    // BCSR block size: the paper fixes 4x4; bigger blocks transfer more
-    // intra-block zeros but touch fewer offsets.
-    let configs: Vec<(String, HwConfig)> = [2usize, 4, 8]
-        .iter()
-        .map(|&blk| {
-            let mut hw = base();
-            hw.bcsr_block = blk;
-            (format!("block={blk}x{blk}"), hw)
-        })
-        .collect();
-    run_table(
-        "BCSR block size (random d=0.05)",
-        &cli,
-        &random,
-        &configs,
-        &[FormatKind::Bcsr],
-    );
-
-    // Partition sizes beyond the paper.
-    let configs: Vec<(String, HwConfig)> = [8usize, 16, 32, 64]
-        .iter()
-        .map(|&p| {
-            let mut hw = base();
-            hw.partition_size = p;
-            (format!("p={p}"), hw)
-        })
-        .collect();
-    run_table(
-        "Partition size extrapolation (band w=16)",
-        &cli,
-        &band,
-        &configs,
-        &[FormatKind::Dense, FormatKind::Ell, FormatKind::Dia],
-    );
+    std::process::exit(copernicus_bench::run(
+        "ablation",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,43 +1,10 @@
-//! Explains the per-format cost of processing one partition of a workload
-//! in the §5.2 vocabulary: which cost term dominates and which pipeline
-//! stage bounds the run.
-//!
-//! ```sh
-//! cargo run --release -p copernicus-bench --bin explain
-//! cargo run --release -p copernicus-bench --bin explain -- --dim 1000
-//! ```
-
-use copernicus_bench::Cli;
-use copernicus_hls::{explain, EncodedPartition, HwConfig};
-use copernicus_workloads::Workload;
-use sparsemat::{FormatKind, Matrix, PartitionGrid};
+//! Explains the per-format cost of processing one partition — a wrapper over `copernicus-bench explain`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let dim = cli.cfg.sweep_dim.max(128);
-    let matrix = Workload::Random {
-        n: dim,
-        density: 0.05,
-    }
-    .generate(0, cli.cfg.seed);
-    let cfg = HwConfig::with_partition_size(16);
-    let grid = PartitionGrid::new(&matrix, 16).expect("partitioning");
-
-    // Pick the densest partition — the interesting one.
-    let tile = grid
-        .partitions()
-        .iter()
-        .max_by_key(|p| p.nnz())
-        .expect("non-empty matrix")
-        .coo
-        .clone();
-    println!(
-        "densest 16x16 partition of a {dim}x{dim} random matrix (d=0.05): {} non-zeros, {} non-zero rows\n",
-        tile.nnz(),
-        tile.nonzero_rows()
-    );
-    for kind in FormatKind::CHARACTERIZED {
-        let part = EncodedPartition::encode(&tile, kind, &cfg).expect("characterized format");
-        println!("{}", explain(&part, &cfg).render());
-    }
+    std::process::exit(copernicus_bench::run(
+        "explain",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,13 +1,10 @@
-//! Regenerates Fig. 03 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig03;
-use copernicus_bench::{emit, Cli};
+//! Regenerates Fig. 3 of the paper (partition density and locality) — a wrapper over `copernicus-bench fig03`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let rows = fig03::run(&cli.cfg).unwrap_or_else(|e| {
-        eprintln!("fig03 failed: {e}");
-        std::process::exit(1);
-    });
-    emit(&cli, &fig03::render(&rows));
+    std::process::exit(copernicus_bench::run(
+        "fig03",
+        std::env::args().skip(1).collect(),
+    ));
 }

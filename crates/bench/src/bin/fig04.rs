@@ -1,14 +1,10 @@
-//! Regenerates Fig. 04 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig04;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 4 of the paper (sigma on SuiteSparse, p=16) — a wrapper over `copernicus-bench fig04`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig04::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig04::render(&rows)),
-        Err(e) => telemetry.record_error("fig04", &e),
-    }
-    finish_and_exit(telemetry, fig04::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig04",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,31 +1,10 @@
-//! Regenerates Fig. 5 of the paper (σ vs density, random matrices, p=16).
-//! Pass `--chart` to render one bar chart per density step.
-
-use copernicus::experiments::fig05;
-use copernicus::plot::BarChart;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 5 of the paper (sigma vs density, p=16) — a wrapper over `copernicus-bench fig05`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig05::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => {
-            emit(&cli, &fig05::render(&rows));
-            if cli.chart {
-                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
-                densities.dedup();
-                for d in densities {
-                    let mut c =
-                        BarChart::new(&format!("sigma at density {d} (| = dense baseline)"), 48);
-                    c.reference(1.0);
-                    for r in rows.iter().filter(|r| r.density == d) {
-                        c.bar(r.format.label(), r.sigma);
-                    }
-                    println!("\n{}", c.render());
-                }
-            }
-        }
-        Err(e) => telemetry.record_error("fig05", &e),
-    }
-    finish_and_exit(telemetry, fig05::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig05",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,31 +1,10 @@
-//! Regenerates Fig. 6 of the paper (σ vs band width, p=16).
-//! Pass `--chart` to render one bar chart per width.
-
-use copernicus::experiments::fig06;
-use copernicus::plot::BarChart;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 6 of the paper (sigma vs band width, p=16) — a wrapper over `copernicus-bench fig06`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig06::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => {
-            emit(&cli, &fig06::render(&rows));
-            if cli.chart {
-                let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();
-                widths.dedup();
-                for w in widths {
-                    let mut c =
-                        BarChart::new(&format!("sigma at band width {w} (| = dense baseline)"), 48);
-                    c.reference(1.0);
-                    for r in rows.iter().filter(|r| r.width == w) {
-                        c.bar(r.format.label(), r.sigma);
-                    }
-                    println!("\n{}", c.render());
-                }
-            }
-        }
-        Err(e) => telemetry.record_error("fig06", &e),
-    }
-    finish_and_exit(telemetry, fig06::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig06",
+        std::env::args().skip(1).collect(),
+    ));
 }

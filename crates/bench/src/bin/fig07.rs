@@ -1,14 +1,10 @@
-//! Regenerates Fig. 07 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig07;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 7 of the paper (mean sigma per class and partition size) — a wrapper over `copernicus-bench fig07`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig07::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig07::render(&rows)),
-        Err(e) => telemetry.record_error("fig07", &e),
-    }
-    finish_and_exit(telemetry, fig07::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig07",
+        std::env::args().skip(1).collect(),
+    ));
 }

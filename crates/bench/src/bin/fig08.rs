@@ -1,37 +1,10 @@
-//! Regenerates Fig. 8 of the paper (memory vs compute latency / balance
-//! ratio). Pass `--chart` to render a log-log scatter per workload class,
-//! with each format drawn as its initial letter and the dotted diagonal as
-//! the perfect-balance line.
-
-use copernicus::experiments::fig08;
-use copernicus::plot::ScatterPlot;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 8 of the paper (memory vs compute latency) — a wrapper over `copernicus-bench fig08`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig08::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => {
-            emit(&cli, &fig08::render(&rows));
-            if cli.chart {
-                let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();
-                classes.dedup();
-                for class in classes {
-                    let mut p = ScatterPlot::new(
-                        &format!("{class}: memory vs compute cycles (log-log)"),
-                        64,
-                        20,
-                        true,
-                    );
-                    for r in rows.iter().filter(|r| r.class == class) {
-                        let glyph = r.format.label().chars().next().unwrap_or('?');
-                        p.point(r.mem_cycles as f64, r.compute_cycles as f64, glyph);
-                    }
-                    println!("\n{}", p.render());
-                }
-            }
-        }
-        Err(e) => telemetry.record_error("fig08", &e),
-    }
-    finish_and_exit(telemetry, fig08::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig08",
+        std::env::args().skip(1).collect(),
+    ));
 }

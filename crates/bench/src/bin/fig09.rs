@@ -1,14 +1,10 @@
-//! Regenerates Fig. 09 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig09;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 9 of the paper (throughput vs latency) — a wrapper over `copernicus-bench fig09`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig09::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig09::render(&rows)),
-        Err(e) => telemetry.record_error("fig09", &e),
-    }
-    finish_and_exit(telemetry, fig09::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig09",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,29 +1,10 @@
-//! Regenerates Fig. 10 of the paper (bandwidth utilization vs density,
-//! p=16). Pass `--chart` to render one bar chart per density step.
-
-use copernicus::experiments::fig10;
-use copernicus::plot::BarChart;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 10 of the paper (bandwidth utilization vs density) — a wrapper over `copernicus-bench fig10`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig10::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => {
-            emit(&cli, &fig10::render(&rows));
-            if cli.chart {
-                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
-                densities.dedup();
-                for d in densities {
-                    let mut c = BarChart::new(&format!("bandwidth utilization at density {d}"), 48);
-                    for r in rows.iter().filter(|r| r.density == d) {
-                        c.bar(r.format.label(), r.bandwidth_utilization);
-                    }
-                    println!("\n{}", c.render());
-                }
-            }
-        }
-        Err(e) => telemetry.record_error("fig10", &e),
-    }
-    finish_and_exit(telemetry, fig10::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig10",
+        std::env::args().skip(1).collect(),
+    ));
 }

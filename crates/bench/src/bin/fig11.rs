@@ -1,14 +1,10 @@
-//! Regenerates Fig. 11 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig11;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 11 of the paper (bandwidth utilization vs band width) — a wrapper over `copernicus-bench fig11`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig11::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig11::render(&rows)),
-        Err(e) => telemetry.record_error("fig11", &e),
-    }
-    finish_and_exit(telemetry, fig11::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig11",
+        std::env::args().skip(1).collect(),
+    ));
 }

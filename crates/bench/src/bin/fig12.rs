@@ -1,14 +1,10 @@
-//! Regenerates Fig. 12 of the paper. See `copernicus_bench::Cli` for flags.
-
-use copernicus::experiments::fig12;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 12 of the paper (mean bandwidth utilization) — a wrapper over `copernicus-bench fig12`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig12::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig12::render(&rows)),
-        Err(e) => telemetry.record_error("fig12", &e),
-    }
-    finish_and_exit(telemetry, fig12::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig12",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,11 +1,10 @@
-//! Regenerates Fig. 13 of the paper (dynamic-power breakdown into logic,
-//! BRAM and signal components).
-
-use copernicus::experiments::fig13;
-use copernicus_bench::{emit, Cli};
+//! Regenerates Fig. 13 of the paper (dynamic-power breakdown) — a wrapper over `copernicus-bench fig13`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let rows = fig13::run(&[8, 16, 32]);
-    emit(&cli, &fig13::render(&rows));
+    std::process::exit(copernicus_bench::run(
+        "fig13",
+        std::env::args().skip(1).collect(),
+    ));
 }

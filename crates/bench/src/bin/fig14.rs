@@ -1,15 +1,10 @@
-//! Regenerates Fig. 14 of the paper (the normalized six-metric summary per
-//! workload class).
-
-use copernicus::experiments::fig14;
-use copernicus_bench::{emit, finish_and_exit, Cli};
+//! Regenerates Fig. 14 of the paper (normalized six-metric summary) — a wrapper over `copernicus-bench fig14`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match fig14::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit(&cli, &fig14::render(&rows)),
-        Err(e) => telemetry.record_error("fig14", &e),
-    }
-    finish_and_exit(telemetry, fig14::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "fig14",
+        std::env::args().skip(1).collect(),
+    ));
 }

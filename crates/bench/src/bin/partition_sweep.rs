@@ -1,15 +1,10 @@
-//! Beyond-paper partition-size sweep (4..64) validating §8's claim that
-//! partitions beyond 8x8/16x16 hurt dense (NN-inference) workloads.
-
-use copernicus::experiments::ext_partition_sweep;
-use copernicus_bench::{emit_named, finish_and_exit, Cli};
+//! Beyond-paper partition-size sweep (4..64) — a wrapper over `copernicus-bench partition_sweep`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    match ext_partition_sweep::run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
-        Ok(rows) => emit_named(&cli, "partition_sweep", &ext_partition_sweep::render(&rows)),
-        Err(e) => telemetry.record_error("partition_sweep", &e),
-    }
-    finish_and_exit(telemetry, ext_partition_sweep::manifest(&cli.cfg));
+    std::process::exit(copernicus_bench::run(
+        "partition_sweep",
+        std::env::args().skip(1).collect(),
+    ));
 }

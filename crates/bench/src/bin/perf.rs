@@ -1,0 +1,10 @@
+//! Hot-path benchmark harness timing the end-to-end `repro_all`
+//! reproduction — a wrapper over `copernicus-bench perf`; the driver lives
+//! in `copernicus_bench::drivers`.
+
+fn main() {
+    std::process::exit(copernicus_bench::run(
+        "perf",
+        std::env::args().skip(1).collect(),
+    ));
+}

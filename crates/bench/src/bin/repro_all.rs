@@ -1,213 +1,10 @@
-//! Regenerates every table and figure of the paper in one run, printing
-//! each with a heading — the one-command reproduction entry point.
-//!
-//! Fault tolerance: under `--keep-going` a failed figure is reported and
-//! skipped (and the shared campaign keeps its surviving cells for the
-//! aggregate figures); otherwise the first failure ends the run. Either
-//! way failed cells reach the manifest and the process exits nonzero.
-
-use copernicus::experiments as ex;
-use copernicus::{CampaignError, ExperimentConfig};
-use copernicus_bench::{emit_named, finish_and_exit, Cli};
-use copernicus_telemetry::RunManifest;
-
-fn section(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-fn manifest(cfg: &ExperimentConfig) -> RunManifest {
-    copernicus::manifest_for(
-        cfg,
-        &ex::fig07::all_class_workloads(cfg),
-        &ex::FIGURE_FORMATS,
-        &ex::FIGURE_PARTITION_SIZES,
-    )
-    .with_note("binary=repro_all (trace covers all figures)")
-}
+//! Regenerates every table and figure of the paper in one run — a wrapper over `copernicus-bench repro_all`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let mut telemetry = cli.telemetry();
-    let cfg = &cli.cfg;
-    // One runner for the whole reproduction: figures that revisit the same
-    // (workload, partition size, format) cell — e.g. the p=16 row shared by
-    // Figs 4-12 and the full campaign — are measured exactly once.
-    let runner = cli.runner();
-    let started = std::time::Instant::now();
-
-    // Runs one fallible figure step. A failure is recorded for the manifest
-    // and the end-of-run summary; without --keep-going it ends the run.
-    macro_rules! step {
-        ($name:expr, $result:expr) => {
-            match $result.map_err(CampaignError::from) {
-                Ok(v) => Some(v),
-                Err(e) => {
-                    telemetry.record_error($name, &e);
-                    if !cli.keep_going {
-                        finish_and_exit(telemetry, manifest(cfg));
-                    }
-                    None
-                }
-            }
-        };
-    }
-
-    section("Table 1: SuiteSparse workloads");
-    emit_named(&cli, "table1", &ex::table1::render());
-
-    section("Fig 3: partition density & locality");
-    if let Some(rows) = step!("fig03", ex::fig03::run(cfg)) {
-        emit_named(&cli, "fig03", &ex::fig03::render(&rows));
-    }
-
-    section("Fig 4: decompression overhead (SuiteSparse, p=16)");
-    if let Some(rows) = step!(
-        "fig04",
-        ex::fig04::run_on(&runner, cfg, &mut telemetry.instruments())
-    ) {
-        emit_named(&cli, "fig04", &ex::fig04::render(&rows));
-    }
-
-    section("Fig 5: decompression overhead vs density (random, p=16)");
-    if let Some(rows) = step!(
-        "fig05",
-        ex::fig05::run_on(&runner, cfg, &mut telemetry.instruments())
-    ) {
-        emit_named(&cli, "fig05", &ex::fig05::render(&rows));
-    }
-
-    section("Fig 6: decompression overhead vs band width (p=16)");
-    if let Some(rows) = step!(
-        "fig06",
-        ex::fig06::run_on(&runner, cfg, &mut telemetry.instruments())
-    ) {
-        emit_named(&cli, "fig06", &ex::fig06::render(&rows));
-    }
-
-    section("Fig 10: bandwidth utilization vs density (p=16)");
-    if let Some(rows) = step!(
-        "fig10",
-        ex::fig10::run_on(&runner, cfg, &mut telemetry.instruments())
-    ) {
-        emit_named(&cli, "fig10", &ex::fig10::render(&rows));
-    }
-
-    section("Fig 11: bandwidth utilization vs band width (p=16)");
-    if let Some(rows) = step!(
-        "fig11",
-        ex::fig11::run_on(&runner, cfg, &mut telemetry.instruments())
-    ) {
-        emit_named(&cli, "fig11", &ex::fig11::render(&rows));
-    }
-
-    // Figs 7, 8, 9, 12 and 14 all consume the same workload × format ×
-    // partition-size campaign; run it once and aggregate. The fault-aware
-    // entry point keeps the surviving cells under --keep-going, so the
-    // aggregates below still cover every cell that could be measured.
-    eprintln!("[repro_all] running the shared full campaign ...");
-    let outcome = step!(
-        "campaign",
-        runner.run_campaign(
-            &ex::fig07::all_class_workloads(cfg),
-            &ex::FIGURE_FORMATS,
-            &ex::FIGURE_PARTITION_SIZES,
-            cfg,
-            &mut telemetry.instruments(),
-        )
-    );
-    let campaign = match outcome {
-        Some(outcome) => {
-            telemetry.record_failures(&outcome.failures);
-            outcome.measurements
-        }
-        None => Vec::new(),
-    };
-
-    if let Some(dir) = &cli.out_dir {
-        // One object holding both halves of the outcome, so a clean run and
-        // an interrupted-then-resumed run produce byte-identical files.
-        let doc = serde::Value::Map(vec![
-            (
-                "measurements".to_string(),
-                serde::Serialize::serialize(&campaign),
-            ),
-            (
-                "failures".to_string(),
-                serde::Serialize::serialize(&telemetry.failures),
-            ),
-        ]);
-        let json = serde::json::to_string_pretty(&doc);
-        if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join("measurements.json"), json))
-        {
-            eprintln!("warning: could not write measurements.json: {e}");
-        }
-    }
-
-    section("Fig 7: mean decompression overhead per class and partition size");
-    emit_named(
-        &cli,
-        "fig07",
-        &ex::fig07::render(&ex::fig07::aggregate(&campaign)),
-    );
-
-    section("Fig 8: memory vs compute latency (balance ratio)");
-    emit_named(
-        &cli,
-        "fig08",
-        &ex::fig08::render(&ex::fig08::rows_from(&campaign)),
-    );
-
-    section("Fig 9: throughput vs latency");
-    emit_named(
-        &cli,
-        "fig09",
-        &ex::fig09::render(&ex::fig09::from_measurements(&campaign)),
-    );
-
-    section("Fig 12: mean bandwidth utilization per class and partition size");
-    emit_named(
-        &cli,
-        "fig12",
-        &ex::fig12::render(&ex::fig12::aggregate(&campaign)),
-    );
-
-    section("Table 2: FPGA resources & dynamic power");
-    emit_named(
-        &cli,
-        "table2",
-        &ex::table2::render(&ex::table2::run(&[8, 16, 32])),
-    );
-
-    section("Fig 13: dynamic power breakdown");
-    emit_named(
-        &cli,
-        "fig13",
-        &ex::fig13::render(&ex::fig13::run(&[8, 16, 32])),
-    );
-
-    section("Fig 14: normalized six-metric summary");
-    emit_named(
-        &cli,
-        "fig14",
-        &ex::fig14::render(&copernicus::normalized_summary(&campaign)),
-    );
-
-    section("Section 8 insights, verified against this campaign");
-    emit_named(
-        &cli,
-        "insights",
-        &copernicus::insights::render(&copernicus::insights::verify(&campaign)),
-    );
-
-    eprintln!(
-        "[repro_all] done in {:.2}s ({} jobs, {} memoized cells, {} resumed)",
-        started.elapsed().as_secs_f64(),
-        runner.jobs(),
-        runner.cached_cells(),
-        runner.resumed_cells(),
-    );
-    // One manifest covers the whole reproduction; the trace, metrics and
-    // failure records accumulate across every figure above.
-    finish_and_exit(telemetry, manifest(cfg));
+    std::process::exit(copernicus_bench::run(
+        "repro_all",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,62 +1,10 @@
-//! Coarse-grained parallelism sweep (§5.1: "Instances of this architecture
-//! can be aggregated"): how each format scales when 1–16 compute instances
-//! share one memory channel — the quantified version of §8's "the memory
-//! bandwidth is not always the bottleneck".
-//!
-//! ```sh
-//! cargo run --release -p copernicus-bench --bin scaling
-//! ```
-
-use copernicus::table::{f3, TextTable};
-use copernicus_bench::{emit, Cli};
-use copernicus_hls::{HwConfig, Platform};
-use copernicus_workloads::Workload;
-use sparsemat::FormatKind;
+//! Coarse-grained parallelism sweep (1-16 aggregated lanes) — a wrapper over `copernicus-bench scaling`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let dim = cli.cfg.sweep_dim.max(256);
-    let matrix = Workload::Random {
-        n: dim,
-        density: 0.05,
-    }
-    .generate(0, cli.cfg.seed);
-    let mut hw = HwConfig::with_partition_size(16);
-    hw.verify_functional = false;
-    let platform = Platform::new(hw).expect("valid config");
-
-    let mut t = TextTable::new(&[
-        "format",
-        "lanes",
-        "total_cycles",
-        "speedup",
-        "efficiency",
-        "bound",
-    ]);
-    // Every (format, lanes) point is independent; fan the sweep out over
-    // `--jobs` workers and collect rows back in sweep order.
-    let points: Vec<(FormatKind, usize)> = FormatKind::CHARACTERIZED
-        .into_iter()
-        .flat_map(|format| [1usize, 2, 4, 8, 16].map(|lanes| (format, lanes)))
-        .collect();
-    let rows = copernicus::par_map_ordered(cli.jobs, &points, |_, &(format, lanes)| {
-        let r = platform.run_parallel(&matrix, format, lanes).expect("run");
-        [
-            format.to_string(),
-            lanes.to_string(),
-            r.total_cycles.to_string(),
-            f3(r.speedup()),
-            f3(r.efficiency()),
-            if r.is_memory_bound() {
-                "memory"
-            } else {
-                "compute"
-            }
-            .to_string(),
-        ]
-    });
-    for row in &rows {
-        t.row(row);
-    }
-    emit(&cli, &t.render());
+    std::process::exit(copernicus_bench::run(
+        "scaling",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,10 +1,10 @@
-//! Regenerates Table 1 of the paper (the workload registry with the
-//! reproduction's stand-in families).
-
-use copernicus::experiments::table1;
-use copernicus_bench::{emit, Cli};
+//! Regenerates Table 1 of the paper (the workload registry) — a wrapper over `copernicus-bench table1`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    emit(&cli, &table1::render());
+    std::process::exit(copernicus_bench::run(
+        "table1",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,11 +1,10 @@
-//! Regenerates Table 2 of the paper (FPGA resources and dynamic power per
-//! format and partition size).
-
-use copernicus::experiments::table2;
-use copernicus_bench::{emit, Cli};
+//! Regenerates Table 2 of the paper (FPGA resources and dynamic power) — a wrapper over `copernicus-bench table2`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
 
 fn main() {
-    let cli = Cli::from_env();
-    let rows = table2::run(&[8, 16, 32]);
-    emit(&cli, &table2::render(&rows));
+    std::process::exit(copernicus_bench::run(
+        "table2",
+        std::env::args().skip(1).collect(),
+    ));
 }

@@ -1,0 +1,907 @@
+//! One driver function per regeneration command, behind a single
+//! dispatcher.
+//!
+//! Historically every figure/table had its own binary with a copy of the
+//! flag-parsing and telemetry boilerplate. All of that now lives here: the
+//! multi-call `copernicus-bench` binary dispatches its first argument
+//! through [`run`], and the per-figure binaries are one-line wrappers
+//! passing their own name. `copernicus-bench fig05 --tsv` and
+//! `cargo run --bin fig05 -- --tsv` are byte-identical.
+//!
+//! The `perf` command is the hot-path benchmark harness: it re-executes
+//! the current binary as `repro_all` (via the `COPERNICUS_BENCH_CMD`
+//! environment trampoline, so the re-exec works from any of the wrapper
+//! binaries too), times each repetition end to end, and writes the
+//! results as `BENCH_hotpath.json`.
+
+use crate::{emit, emit_named, Cli};
+use copernicus::experiments as ex;
+use copernicus::plot::{BarChart, ScatterPlot};
+use copernicus::table::{eng, f3, TextTable};
+use copernicus::{CampaignError, CampaignRunner, ExperimentConfig, Instruments};
+use copernicus_hls::{EncodedPartition, HwConfig, RunRequest, Session};
+use copernicus_telemetry::RunManifest;
+use copernicus_workloads::Workload;
+use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid};
+
+/// Every command [`run`] dispatches, in `--help` order.
+pub const COMMANDS: &[&str] = &[
+    "repro_all",
+    "table1",
+    "table2",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "partition_sweep",
+    "ablation",
+    "scaling",
+    "explain",
+    "perf",
+];
+
+/// Runs one regeneration command and returns the process exit code.
+///
+/// `cmd` is matched with `-`/`_` treated as equivalent. When the
+/// `COPERNICUS_BENCH_CMD` environment variable is set it overrides `cmd`
+/// — that is the re-exec trampoline the [`perf`] harness uses to turn any
+/// wrapper binary back into `repro_all`.
+pub fn run(cmd: &str, args: Vec<String>) -> i32 {
+    let forced = std::env::var("COPERNICUS_BENCH_CMD").ok();
+    let cmd = forced.as_deref().unwrap_or(cmd).replace('-', "_");
+    if cmd == "perf" {
+        return perf(args);
+    }
+    let cli = match Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    match cmd.as_str() {
+        "repro_all" => repro_all(&cli),
+        "table1" => {
+            emit(&cli, &ex::table1::render());
+            0
+        }
+        "table2" => {
+            emit(&cli, &ex::table2::render(&ex::table2::run(&[8, 16, 32])));
+            0
+        }
+        "fig03" => match ex::fig03::run(&cli.cfg) {
+            Ok(rows) => {
+                emit(&cli, &ex::fig03::render(&rows));
+                0
+            }
+            Err(e) => {
+                eprintln!("fig03 failed: {e}");
+                1
+            }
+        },
+        "fig04" => figure(
+            &cli,
+            "fig04",
+            ex::fig04::manifest(&cli.cfg),
+            ex::fig04::run_on,
+            ex::fig04::render,
+            |_| {},
+        ),
+        "fig05" => figure(
+            &cli,
+            "fig05",
+            ex::fig05::manifest(&cli.cfg),
+            ex::fig05::run_on,
+            ex::fig05::render,
+            |rows| {
+                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+                densities.dedup();
+                for d in densities {
+                    let mut c =
+                        BarChart::new(&format!("sigma at density {d} (| = dense baseline)"), 48);
+                    c.reference(1.0);
+                    for r in rows.iter().filter(|r| r.density == d) {
+                        c.bar(r.format.label(), r.sigma);
+                    }
+                    println!("\n{}", c.render());
+                }
+            },
+        ),
+        "fig06" => figure(
+            &cli,
+            "fig06",
+            ex::fig06::manifest(&cli.cfg),
+            ex::fig06::run_on,
+            ex::fig06::render,
+            |rows| {
+                let mut widths: Vec<usize> = rows.iter().map(|r| r.width).collect();
+                widths.dedup();
+                for w in widths {
+                    let mut c =
+                        BarChart::new(&format!("sigma at band width {w} (| = dense baseline)"), 48);
+                    c.reference(1.0);
+                    for r in rows.iter().filter(|r| r.width == w) {
+                        c.bar(r.format.label(), r.sigma);
+                    }
+                    println!("\n{}", c.render());
+                }
+            },
+        ),
+        "fig07" => figure(
+            &cli,
+            "fig07",
+            ex::fig07::manifest(&cli.cfg),
+            ex::fig07::run_on,
+            ex::fig07::render,
+            |_| {},
+        ),
+        "fig08" => figure(
+            &cli,
+            "fig08",
+            ex::fig08::manifest(&cli.cfg),
+            ex::fig08::run_on,
+            ex::fig08::render,
+            |rows| {
+                let mut classes: Vec<_> = rows.iter().map(|r| r.class).collect();
+                classes.dedup();
+                for class in classes {
+                    let mut p = ScatterPlot::new(
+                        &format!("{class}: memory vs compute cycles (log-log)"),
+                        64,
+                        20,
+                        true,
+                    );
+                    for r in rows.iter().filter(|r| r.class == class) {
+                        let glyph = r.format.label().chars().next().unwrap_or('?');
+                        p.point(r.mem_cycles as f64, r.compute_cycles as f64, glyph);
+                    }
+                    println!("\n{}", p.render());
+                }
+            },
+        ),
+        "fig09" => figure(
+            &cli,
+            "fig09",
+            ex::fig09::manifest(&cli.cfg),
+            ex::fig09::run_on,
+            ex::fig09::render,
+            |_| {},
+        ),
+        "fig10" => figure(
+            &cli,
+            "fig10",
+            ex::fig10::manifest(&cli.cfg),
+            ex::fig10::run_on,
+            ex::fig10::render,
+            |rows| {
+                let mut densities: Vec<f64> = rows.iter().map(|r| r.density).collect();
+                densities.dedup();
+                for d in densities {
+                    let mut c = BarChart::new(&format!("bandwidth utilization at density {d}"), 48);
+                    for r in rows.iter().filter(|r| r.density == d) {
+                        c.bar(r.format.label(), r.bandwidth_utilization);
+                    }
+                    println!("\n{}", c.render());
+                }
+            },
+        ),
+        "fig11" => figure(
+            &cli,
+            "fig11",
+            ex::fig11::manifest(&cli.cfg),
+            ex::fig11::run_on,
+            ex::fig11::render,
+            |_| {},
+        ),
+        "fig12" => figure(
+            &cli,
+            "fig12",
+            ex::fig12::manifest(&cli.cfg),
+            ex::fig12::run_on,
+            ex::fig12::render,
+            |_| {},
+        ),
+        "fig13" => {
+            emit(&cli, &ex::fig13::render(&ex::fig13::run(&[8, 16, 32])));
+            0
+        }
+        "fig14" => figure(
+            &cli,
+            "fig14",
+            ex::fig14::manifest(&cli.cfg),
+            ex::fig14::run_on,
+            ex::fig14::render,
+            |_| {},
+        ),
+        "partition_sweep" => {
+            let mut telemetry = cli.telemetry();
+            match ex::ext_partition_sweep::run_on(
+                &cli.runner(),
+                &cli.cfg,
+                &mut telemetry.instruments(),
+            ) {
+                Ok(rows) => emit_named(
+                    &cli,
+                    "partition_sweep",
+                    &ex::ext_partition_sweep::render(&rows),
+                ),
+                Err(e) => telemetry.record_error("partition_sweep", &e),
+            }
+            telemetry.finish(ex::ext_partition_sweep::manifest(&cli.cfg))
+        }
+        "ablation" => ablation(&cli),
+        "scaling" => scaling(&cli),
+        "explain" => explain(&cli),
+        other => {
+            eprintln!(
+                "unknown command {other:?}\nusage: copernicus-bench <command> [flags]\ncommands: {}",
+                COMMANDS.join(" ")
+            );
+            2
+        }
+    }
+}
+
+/// The common shape of the per-figure commands: run the experiment on a
+/// fresh runner, emit the table, optionally chart, write the telemetry.
+fn figure<R>(
+    cli: &Cli,
+    name: &str,
+    manifest: RunManifest,
+    run_on: impl FnOnce(
+        &CampaignRunner,
+        &ExperimentConfig,
+        &mut Instruments<'_>,
+    ) -> Result<Vec<R>, CampaignError>,
+    render: impl FnOnce(&[R]) -> String,
+    chart: impl FnOnce(&[R]),
+) -> i32 {
+    let mut telemetry = cli.telemetry();
+    match run_on(&cli.runner(), &cli.cfg, &mut telemetry.instruments()) {
+        Ok(rows) => {
+            emit(cli, &render(&rows));
+            if cli.chart {
+                chart(&rows);
+            }
+        }
+        Err(e) => telemetry.record_error(name, &e),
+    }
+    telemetry.finish(manifest)
+}
+
+/// `repro_all` — regenerates every table and figure of the paper in one
+/// run, printing each with a heading.
+///
+/// Fault tolerance: under `--keep-going` a failed figure is reported and
+/// skipped (and the shared campaign keeps its surviving cells for the
+/// aggregate figures); otherwise the first failure ends the run. Either
+/// way failed cells reach the manifest and the process exits nonzero.
+fn repro_all(cli: &Cli) -> i32 {
+    fn section(title: &str) {
+        println!("\n=== {title} ===");
+    }
+    fn manifest(cfg: &ExperimentConfig) -> RunManifest {
+        copernicus::manifest_for(
+            cfg,
+            &ex::fig07::all_class_workloads(cfg),
+            &ex::FIGURE_FORMATS,
+            &ex::FIGURE_PARTITION_SIZES,
+        )
+        .with_note("binary=repro_all (trace covers all figures)")
+    }
+
+    let mut telemetry = cli.telemetry();
+    let cfg = &cli.cfg;
+    // One runner for the whole reproduction: figures that revisit the same
+    // (workload, partition size, format) cell — e.g. the p=16 row shared by
+    // Figs 4-12 and the full campaign — are measured exactly once, and the
+    // runner's workload cache generates/tiles each suite matrix exactly
+    // once across all of them.
+    let runner = cli.runner();
+    let started = std::time::Instant::now();
+
+    // Runs one fallible figure step. A failure is recorded for the manifest
+    // and the end-of-run summary; without --keep-going it ends the run.
+    macro_rules! step {
+        ($name:expr, $result:expr) => {
+            match $result.map_err(CampaignError::from) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    telemetry.record_error($name, &e);
+                    if !cli.keep_going {
+                        return telemetry.finish(manifest(cfg));
+                    }
+                    None
+                }
+            }
+        };
+    }
+
+    section("Table 1: SuiteSparse workloads");
+    emit_named(cli, "table1", &ex::table1::render());
+
+    section("Fig 3: partition density & locality");
+    if let Some(rows) = step!("fig03", ex::fig03::run_on(&runner, cfg)) {
+        emit_named(cli, "fig03", &ex::fig03::render(&rows));
+    }
+
+    section("Fig 4: decompression overhead (SuiteSparse, p=16)");
+    if let Some(rows) = step!(
+        "fig04",
+        ex::fig04::run_on(&runner, cfg, &mut telemetry.instruments())
+    ) {
+        emit_named(cli, "fig04", &ex::fig04::render(&rows));
+    }
+
+    section("Fig 5: decompression overhead vs density (random, p=16)");
+    if let Some(rows) = step!(
+        "fig05",
+        ex::fig05::run_on(&runner, cfg, &mut telemetry.instruments())
+    ) {
+        emit_named(cli, "fig05", &ex::fig05::render(&rows));
+    }
+
+    section("Fig 6: decompression overhead vs band width (p=16)");
+    if let Some(rows) = step!(
+        "fig06",
+        ex::fig06::run_on(&runner, cfg, &mut telemetry.instruments())
+    ) {
+        emit_named(cli, "fig06", &ex::fig06::render(&rows));
+    }
+
+    section("Fig 10: bandwidth utilization vs density (p=16)");
+    if let Some(rows) = step!(
+        "fig10",
+        ex::fig10::run_on(&runner, cfg, &mut telemetry.instruments())
+    ) {
+        emit_named(cli, "fig10", &ex::fig10::render(&rows));
+    }
+
+    section("Fig 11: bandwidth utilization vs band width (p=16)");
+    if let Some(rows) = step!(
+        "fig11",
+        ex::fig11::run_on(&runner, cfg, &mut telemetry.instruments())
+    ) {
+        emit_named(cli, "fig11", &ex::fig11::render(&rows));
+    }
+
+    // Figs 7, 8, 9, 12 and 14 all consume the same workload × format ×
+    // partition-size campaign; run it once and aggregate. The fault-aware
+    // entry point keeps the surviving cells under --keep-going, so the
+    // aggregates below still cover every cell that could be measured.
+    eprintln!("[repro_all] running the shared full campaign ...");
+    let outcome = step!(
+        "campaign",
+        runner.run_campaign(
+            &ex::fig07::all_class_workloads(cfg),
+            &ex::FIGURE_FORMATS,
+            &ex::FIGURE_PARTITION_SIZES,
+            cfg,
+            &mut telemetry.instruments(),
+        )
+    );
+    let campaign = match outcome {
+        Some(outcome) => {
+            telemetry.record_failures(&outcome.failures);
+            outcome.measurements
+        }
+        None => Vec::new(),
+    };
+
+    if let Some(dir) = &cli.out_dir {
+        // One object holding both halves of the outcome, so a clean run and
+        // an interrupted-then-resumed run produce byte-identical files.
+        let doc = serde::Value::Map(vec![
+            (
+                "measurements".to_string(),
+                serde::Serialize::serialize(&campaign),
+            ),
+            (
+                "failures".to_string(),
+                serde::Serialize::serialize(&telemetry.failures),
+            ),
+        ]);
+        let json = serde::json::to_string_pretty(&doc);
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("measurements.json"), json))
+        {
+            eprintln!("warning: could not write measurements.json: {e}");
+        }
+    }
+
+    section("Fig 7: mean decompression overhead per class and partition size");
+    emit_named(
+        cli,
+        "fig07",
+        &ex::fig07::render(&ex::fig07::aggregate(&campaign)),
+    );
+
+    section("Fig 8: memory vs compute latency (balance ratio)");
+    emit_named(
+        cli,
+        "fig08",
+        &ex::fig08::render(&ex::fig08::rows_from(&campaign)),
+    );
+
+    section("Fig 9: throughput vs latency");
+    emit_named(
+        cli,
+        "fig09",
+        &ex::fig09::render(&ex::fig09::from_measurements(&campaign)),
+    );
+
+    section("Fig 12: mean bandwidth utilization per class and partition size");
+    emit_named(
+        cli,
+        "fig12",
+        &ex::fig12::render(&ex::fig12::aggregate(&campaign)),
+    );
+
+    section("Table 2: FPGA resources & dynamic power");
+    emit_named(
+        cli,
+        "table2",
+        &ex::table2::render(&ex::table2::run(&[8, 16, 32])),
+    );
+
+    section("Fig 13: dynamic power breakdown");
+    emit_named(
+        cli,
+        "fig13",
+        &ex::fig13::render(&ex::fig13::run(&[8, 16, 32])),
+    );
+
+    section("Fig 14: normalized six-metric summary");
+    emit_named(
+        cli,
+        "fig14",
+        &ex::fig14::render(&copernicus::normalized_summary(&campaign)),
+    );
+
+    section("Section 8 insights, verified against this campaign");
+    emit_named(
+        cli,
+        "insights",
+        &copernicus::insights::render(&copernicus::insights::verify(&campaign)),
+    );
+
+    eprintln!(
+        "[repro_all] done in {:.2}s ({} jobs, {} memoized cells, {} resumed)",
+        started.elapsed().as_secs_f64(),
+        runner.jobs(),
+        runner.cached_cells(),
+        runner.resumed_cells(),
+    );
+    // One manifest covers the whole reproduction; the trace, metrics and
+    // failure records accumulate across every figure above.
+    telemetry.finish(manifest(cfg))
+}
+
+/// `ablation` — tables over the platform's design knobs: how σ, balance
+/// and throughput respond to BRAM latency, memory bus width, ELL engine
+/// width, BCSR block size, and partition sizes beyond the paper's 8/16/32.
+fn ablation(cli: &Cli) -> i32 {
+    fn run_table(
+        title: &str,
+        cli: &Cli,
+        matrix: &Coo<f32>,
+        configs: &[(String, HwConfig)],
+        formats: &[FormatKind],
+    ) {
+        println!("\n=== {title} ===");
+        let mut t = TextTable::new(&["variant", "format", "sigma", "balance", "throughput"]);
+        for (label, hw) in configs {
+            let mut session = Session::new(hw.clone()).expect("valid config");
+            for &format in formats {
+                let r = session
+                    .run(RunRequest::matrix(matrix, format))
+                    .expect("run")
+                    .report;
+                t.row(&[
+                    label.clone(),
+                    format.to_string(),
+                    f3(r.sigma()),
+                    f3(r.balance_ratio),
+                    format!("{}B/s", eng(r.throughput_bytes_per_sec())),
+                ]);
+            }
+        }
+        emit(cli, &t.render());
+    }
+
+    fn base() -> HwConfig {
+        let mut hw = HwConfig::with_partition_size(16);
+        hw.verify_functional = false;
+        hw
+    }
+
+    let dim = cli.cfg.sweep_dim.max(192);
+    let random = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
+    let band = Workload::Band { n: dim, width: 16 }.generate(0, cli.cfg.seed);
+
+    // BRAM read latency: CSR pays one offsets read per row, LIL one per
+    // emitted row — both should track L_bram; COO barely moves.
+    let configs: Vec<(String, HwConfig)> = [1u64, 2, 4]
+        .iter()
+        .map(|&l| {
+            let mut hw = base();
+            hw.bram_read_latency = l;
+            (format!("L_bram={l}"), hw)
+        })
+        .collect();
+    run_table(
+        "BRAM read latency (random d=0.05)",
+        cli,
+        &random,
+        &configs,
+        &[FormatKind::Csr, FormatKind::Lil, FormatKind::Coo],
+    );
+
+    // Memory bus width: balance ratios scale inversely; compute-bound
+    // formats barely change total time.
+    let configs: Vec<(String, HwConfig)> = [4usize, 8, 16]
+        .iter()
+        .map(|&b| {
+            let mut hw = base();
+            hw.bus_bytes_per_cycle = b;
+            (format!("bus={b}B/cyc"), hw)
+        })
+        .collect();
+    run_table(
+        "Memory bus width (random d=0.05)",
+        cli,
+        &random,
+        &configs,
+        &[FormatKind::Dense, FormatKind::Coo, FormatKind::Csc],
+    );
+
+    // ELL engine width: the paper fixes 6; narrower engines shorten the
+    // adder tree (lower T_dot), wider ones deepen it.
+    let configs: Vec<(String, HwConfig)> = [4usize, 6, 8, 12]
+        .iter()
+        .map(|&w| {
+            let mut hw = base();
+            hw.ell_hw_width = w;
+            (format!("ell_w={w}"), hw)
+        })
+        .collect();
+    run_table(
+        "ELL engine width (band w=16)",
+        cli,
+        &band,
+        &configs,
+        &[FormatKind::Ell],
+    );
+
+    // BCSR block size: the paper fixes 4x4; bigger blocks transfer more
+    // intra-block zeros but touch fewer offsets.
+    let configs: Vec<(String, HwConfig)> = [2usize, 4, 8]
+        .iter()
+        .map(|&blk| {
+            let mut hw = base();
+            hw.bcsr_block = blk;
+            (format!("block={blk}x{blk}"), hw)
+        })
+        .collect();
+    run_table(
+        "BCSR block size (random d=0.05)",
+        cli,
+        &random,
+        &configs,
+        &[FormatKind::Bcsr],
+    );
+
+    // Partition sizes beyond the paper.
+    let configs: Vec<(String, HwConfig)> = [8usize, 16, 32, 64]
+        .iter()
+        .map(|&p| {
+            let mut hw = base();
+            hw.partition_size = p;
+            (format!("p={p}"), hw)
+        })
+        .collect();
+    run_table(
+        "Partition size extrapolation (band w=16)",
+        cli,
+        &band,
+        &configs,
+        &[FormatKind::Dense, FormatKind::Ell, FormatKind::Dia],
+    );
+    0
+}
+
+/// `scaling` — coarse-grained parallelism sweep (§5.1: "Instances of this
+/// architecture can be aggregated"): how each format scales when 1–16
+/// compute instances share one memory channel — the quantified version of
+/// §8's "the memory bandwidth is not always the bottleneck".
+fn scaling(cli: &Cli) -> i32 {
+    let dim = cli.cfg.sweep_dim.max(256);
+    let matrix = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
+    let mut hw = HwConfig::with_partition_size(16);
+    hw.verify_functional = false;
+
+    let mut t = TextTable::new(&[
+        "format",
+        "lanes",
+        "total_cycles",
+        "speedup",
+        "efficiency",
+        "bound",
+    ]);
+    // Every (format, lanes) point is independent; fan the sweep out over
+    // `--jobs` workers and collect rows back in sweep order. Sessions are
+    // not shared across threads, so each point runs on its own.
+    let points: Vec<(FormatKind, usize)> = FormatKind::CHARACTERIZED
+        .into_iter()
+        .flat_map(|format| [1usize, 2, 4, 8, 16].map(|lanes| (format, lanes)))
+        .collect();
+    let rows = copernicus::par_map_ordered(cli.jobs, &points, |_, &(format, lanes)| {
+        let mut session = Session::new(hw.clone()).expect("valid config");
+        let r = session
+            .run(RunRequest::matrix(&matrix, format).with_lanes(lanes))
+            .expect("run")
+            .parallel
+            .expect("a lanes request yields a parallel report");
+        [
+            format.to_string(),
+            lanes.to_string(),
+            r.total_cycles.to_string(),
+            f3(r.speedup()),
+            f3(r.efficiency()),
+            if r.is_memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            }
+            .to_string(),
+        ]
+    });
+    for row in &rows {
+        t.row(row);
+    }
+    emit(cli, &t.render());
+    0
+}
+
+/// `explain` — the per-format cost of processing one partition of a
+/// workload in the §5.2 vocabulary: which cost term dominates and which
+/// pipeline stage bounds the run.
+fn explain(cli: &Cli) -> i32 {
+    let dim = cli.cfg.sweep_dim.max(128);
+    let matrix = Workload::Random {
+        n: dim,
+        density: 0.05,
+    }
+    .generate(0, cli.cfg.seed);
+    let cfg = HwConfig::with_partition_size(16);
+    let grid = PartitionGrid::new(&matrix, 16).expect("partitioning");
+
+    // Pick the densest partition — the interesting one.
+    let tile = grid
+        .partitions()
+        .iter()
+        .max_by_key(|p| p.nnz())
+        .expect("non-empty matrix")
+        .coo
+        .clone();
+    println!(
+        "densest 16x16 partition of a {dim}x{dim} random matrix (d=0.05): {} non-zeros, {} non-zero rows\n",
+        tile.nnz(),
+        tile.nonzero_rows()
+    );
+    for kind in FormatKind::CHARACTERIZED {
+        let part = EncodedPartition::encode(&tile, kind, &cfg).expect("characterized format");
+        println!("{}", copernicus_hls::explain(&part, &cfg).render());
+    }
+    0
+}
+
+/// `perf` — times the end-to-end `repro_all` reproduction and writes the
+/// result as JSON, the evidence artifact for hot-path work.
+///
+/// Flags: `--quick` (default) / `--paper` pick the scale; `--iters N`
+/// repetitions (default 3, best-of is reported); `--jobs N` worker threads
+/// for each child (default 1); `--out FILE` output path (default
+/// `BENCH_hotpath.json`); `--baseline-secs X` a reference wall time to
+/// compute `improvement_pct` against.
+///
+/// Each repetition spawns the current executable again with
+/// `COPERNICUS_BENCH_CMD=repro_all` and discards the child's output, so
+/// the measurement covers exactly what a user-facing
+/// `copernicus-bench repro_all --jobs N` run computes.
+fn perf(args: Vec<String>) -> i32 {
+    let mut paper = false;
+    let mut iters = 3usize;
+    let mut jobs = 1usize;
+    let mut out = std::path::PathBuf::from("BENCH_hotpath.json");
+    let mut baseline: Option<f64> = None;
+    let usage =
+        "usage: perf [--quick|--paper] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X]";
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
+        let parsed = match arg.as_str() {
+            "--quick" => {
+                paper = false;
+                Ok(())
+            }
+            "--paper" => {
+                paper = true;
+                Ok(())
+            }
+            "--iters" => value("--iters").and_then(|v| {
+                iters = v.parse().map_err(|e| format!("bad --iters {v:?}: {e}"))?;
+                if iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+                Ok(())
+            }),
+            "--jobs" => value("--jobs").and_then(|v| {
+                jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                Ok(())
+            }),
+            "--out" => value("--out").map(|v| out = std::path::PathBuf::from(v)),
+            "--baseline-secs" => value("--baseline-secs").and_then(|v| {
+                baseline = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --baseline-secs {v:?}: {e}"))?,
+                );
+                Ok(())
+            }),
+            other => Err(format!("unknown flag {other:?}\n{usage}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return 2;
+        }
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("perf: cannot locate the current executable: {e}");
+            return 1;
+        }
+    };
+    let scale = if paper { "paper" } else { "quick" };
+    let mut child_args: Vec<String> = vec!["--jobs".into(), jobs.to_string()];
+    if paper {
+        child_args.push("--paper".into());
+    }
+    let mut runs: Vec<f64> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let started = std::time::Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(&child_args)
+            .env("COPERNICUS_BENCH_CMD", "repro_all")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("perf: repro_all child exited with {s}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("perf: could not spawn {}: {e}", exe.display());
+                return 1;
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        eprintln!(
+            "[perf] {scale} repro_all --jobs {jobs}, run {}/{iters}: {secs:.3}s",
+            i + 1
+        );
+        runs.push(secs);
+    }
+    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+
+    use serde::Value;
+    let mut doc = vec![
+        ("benchmark".to_string(), Value::Str("repro_all".to_string())),
+        ("scale".to_string(), Value::Str(scale.to_string())),
+        ("jobs".to_string(), Value::UInt(jobs as u64)),
+        ("iterations".to_string(), Value::UInt(iters as u64)),
+        (
+            "runs_secs".to_string(),
+            Value::Seq(runs.iter().map(|&s| Value::Float(s)).collect()),
+        ),
+        ("best_secs".to_string(), Value::Float(best)),
+        ("mean_secs".to_string(), Value::Float(mean)),
+    ];
+    if let Some(base) = baseline {
+        doc.push(("baseline_secs".to_string(), Value::Float(base)));
+        if base > 0.0 {
+            doc.push((
+                "improvement_pct".to_string(),
+                Value::Float((base - best) / base * 100.0),
+            ));
+        }
+    }
+    let json = serde::json::to_string_pretty(&Value::Map(doc));
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("perf: could not write {}: {e}", out.display());
+        return 1;
+    }
+    match baseline {
+        Some(base) => println!(
+            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            (base - best) / base * 100.0
+        ),
+        None => println!(
+            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
+        ),
+    }
+    println!("wrote {}", out.display());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_commands_and_bad_flags_are_usage_errors() {
+        assert_eq!(run("not_a_command", vec![]), 2);
+        assert_eq!(run("table1", vec!["--what".to_string()]), 2);
+        assert_eq!(run("perf", vec!["--what".to_string()]), 2);
+        assert_eq!(run("perf", vec!["--iters".to_string(), "0".to_string()]), 2);
+    }
+
+    #[test]
+    fn dashes_and_underscores_are_interchangeable() {
+        // `repro-all` must resolve to the same driver as `repro_all`; an
+        // unknown name stays unknown under both spellings.
+        assert_eq!(run("partition-sweep", vec!["--what".to_string()]), 2);
+        assert_eq!(run("no-such-thing", vec![]), 2);
+    }
+
+    #[test]
+    fn command_list_covers_every_wrapper_binary() {
+        for cmd in [
+            "repro_all",
+            "table1",
+            "table2",
+            "fig03",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "partition_sweep",
+            "ablation",
+            "scaling",
+            "explain",
+            "perf",
+        ] {
+            assert!(COMMANDS.contains(&cmd), "{cmd} missing from COMMANDS");
+        }
+    }
+}

@@ -1,6 +1,12 @@
 //! Shared plumbing for the figure/table regeneration binaries.
 //!
-//! Every binary accepts the same flags:
+//! The binaries are thin wrappers: each one calls [`run`] with its command
+//! name, and the multi-call `copernicus-bench` binary dispatches its first
+//! argument through the same function — `copernicus-bench fig05 --tsv` and
+//! `cargo run --bin fig05 -- --tsv` are identical. The drivers themselves
+//! live in [`drivers`].
+//!
+//! Every command accepts the same flags:
 //!
 //! * `--paper` — paper-scale matrices (8000×8000 sweeps, 4096-row suite
 //!   stand-ins). Default is the quick preset (seconds per figure).
@@ -32,6 +38,10 @@ use copernicus::{
     Instruments,
 };
 use copernicus_telemetry::{ChromeTraceWriter, MetricsRegistry, RunManifest};
+
+pub mod drivers;
+
+pub use drivers::{run, COMMANDS};
 
 /// Parsed command line shared by all regeneration binaries.
 #[derive(Debug, Clone, PartialEq)]

@@ -42,6 +42,13 @@
 //! re-emitting trace spans); hit/miss behavior depends only on the call
 //! sequence, never on `jobs`, so determinism is preserved.
 //!
+//! Below the cell memo sits the [`WorkloadCache`](crate::cache): cells that
+//! do run share one generated matrix per `(workload, seed, cap)` and one
+//! tiling per `(…, p)` — across the format sweep, across partition sizes,
+//! and across campaigns. See [`cache`](crate::cache) for the bounds and the
+//! jobs-invariance argument for its hit/miss counters, which are exported
+//! as `cache.*` metrics after each campaign.
+//!
 //! # Fault tolerance
 //!
 //! Campaigns survive partial failure instead of discarding completed work
@@ -67,21 +74,22 @@
 //!   finishes the whole grid, reporting failed cells in
 //!   [`CampaignOutcome::failures`] instead of aborting on the first one.
 
+use crate::cache::{CachedGrid, WorkloadCache};
 use crate::fault::{
     panic_message, CampaignError, CampaignPolicy, CellFailure, FailureKind, FaultKind,
 };
 use crate::{ExperimentConfig, Instruments, Measurement};
-use copernicus_hls::PlatformError;
+use copernicus_hls::{PlatformError, RunRequest, Session};
 use copernicus_telemetry::{replay, PipelineEvent, RecordingSink, TraceSink};
 use copernicus_workloads::Workload;
-use sparsemat::{FormatKind, PartitionGrid};
+use sparsemat::FormatKind;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Locks a mutex, recovering the data from a poisoned lock. The runner's
 /// shared state (cache, result slots, checkpoint writer) stays consistent
@@ -89,7 +97,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// does not — so the poison flag carries no information here, and clearing
 /// it is what lets the *first real failure* surface instead of a
 /// `PoisonError` cascade from every thread that comes after.
-fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -100,6 +108,7 @@ fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct CampaignRunner {
     jobs: usize,
     cache: Mutex<HashMap<String, Measurement>>,
+    workloads: WorkloadCache,
     policy: CampaignPolicy,
     checkpoint: Option<Mutex<BufWriter<File>>>,
     resumed: usize,
@@ -149,6 +158,14 @@ impl CampaignRunner {
     /// Number of memoized cells accumulated so far.
     pub fn cached_cells(&self) -> usize {
         lock_clean(&self.cache).len()
+    }
+
+    /// The runner's workload/grid cache. Figure drivers that need raw
+    /// matrices or tilings (e.g. Fig. 3's structural statistics) should
+    /// pull them from here so generation is shared with the measurement
+    /// campaigns.
+    pub fn workloads(&self) -> &WorkloadCache {
+        &self.workloads
     }
 
     /// Streams every freshly computed cell to an append-only JSONL
@@ -285,6 +302,9 @@ impl CampaignRunner {
         };
         let trace = instruments.sink.as_deref().is_some_and(TraceSink::enabled);
         let metrics = instruments.metrics;
+        // One memo-key ingredient is the hardware config's JSON form;
+        // serialize it once per campaign instead of once per cell.
+        let hw = hw_json(cfg);
 
         let unit_outputs = try_par_map_ordered(self.jobs, &units, |ui, &(wi, pi)| {
             self.run_unit(
@@ -292,6 +312,7 @@ impl CampaignRunner {
                 partition_sizes[pi],
                 formats,
                 cfg,
+                &hw,
                 trace,
                 &progress,
                 cell_base + ui * formats.len(),
@@ -326,19 +347,21 @@ impl CampaignRunner {
             }
         }
         if let Some(metrics) = metrics {
-            // Failure/retry counters are touched only on actual failures, so
+            // Failure/retry/cache counters are touched only when nonzero, so
             // a clean campaign's metrics TSV is byte-identical to one from a
             // resumed or pre-fault-tolerance run.
-            if retries > 0 {
-                metrics.incr("cell_retries", retries);
-            }
+            metrics.incr_nonzero("cell_retries", retries);
             if !failures.is_empty() {
                 metrics.incr("cell_failures", failures.len() as u64);
                 for f in &failures {
                     metrics.incr(&format!("failures.{}", f.kind.label()), 1);
                 }
             }
+            self.workloads.export(metrics);
         }
+        // Bound the resident cache between campaigns; on the coordinator
+        // thread after the pool joins, so eviction is deterministic.
+        self.workloads.prune();
         Ok(CampaignOutcome {
             measurements,
             failures,
@@ -346,11 +369,10 @@ impl CampaignRunner {
         })
     }
 
-    /// One `(workload, partition size)` unit: generate + tile once (and
-    /// only when at least one cell misses the cache), then sweep formats in
-    /// order, buffering trace events locally. Returns `Err` only on a
-    /// failure the policy does not absorb (first failing cell, no
-    /// `keep_going`).
+    /// One `(workload, partition size)` unit: look the shared tiling up
+    /// once, then sweep formats in order, buffering trace events locally.
+    /// Returns `Err` only on a failure the policy does not absorb (first
+    /// failing cell, no `keep_going`).
     #[allow(clippy::too_many_arguments)]
     fn run_unit(
         &self,
@@ -358,6 +380,7 @@ impl CampaignRunner {
         p: usize,
         formats: &[FormatKind],
         cfg: &ExperimentConfig,
+        hw: &str,
         trace: bool,
         progress: &ProgressMeter,
         cell_base: usize,
@@ -365,9 +388,21 @@ impl CampaignRunner {
         let mut sink = RecordingSink::new();
         let mut cells = Vec::with_capacity(formats.len());
         let mut retries: u64 = 0;
+        // Exactly one *counted* cache lookup per unit, performed whether or
+        // not the cells below are memoized or resumed from a checkpoint:
+        // the hit/miss counters then meter the campaign's unit list itself,
+        // which keeps metrics.tsv byte-identical across `--jobs` and across
+        // interrupted-then-resumed runs. A failure here is not the unit's
+        // failure — `compute_cell` repeats the lookup (uncounted) with full
+        // typed-failure handling per cell. Sessions stay lazy: a fully
+        // memoized unit never builds one.
+        let unit_grid = self
+            .workloads
+            .grid(workload, p, cfg.suite_max_dim, cfg.seed)
+            .ok();
         let mut prepared: Option<Prepared> = None;
         for (fi, &format) in formats.iter().enumerate() {
-            let key = cell_key(workload, p, format, cfg);
+            let key = cell_key(workload, p, format, cfg, hw);
             let cached = lock_clean(&self.cache).get(&key).cloned();
             progress.tick(&workload.label(), p, format, cached.is_some());
             let outcome = match cached {
@@ -380,6 +415,7 @@ impl CampaignRunner {
                         cfg,
                         trace,
                         cell_base + fi,
+                        unit_grid.as_ref(),
                         &mut prepared,
                         &mut sink,
                         &mut retries,
@@ -415,6 +451,7 @@ impl CampaignRunner {
         cfg: &ExperimentConfig,
         trace: bool,
         cell: usize,
+        unit_grid: Option<&Arc<CachedGrid>>,
         prepared: &mut Option<Prepared>,
         sink: &mut RecordingSink,
         retries: &mut u64,
@@ -431,26 +468,37 @@ impl CampaignRunner {
                         None => {}
                     }
                     if prepared.is_none() {
-                        let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
-                        let density = sparsemat::Matrix::density(&matrix);
-                        let grid = PartitionGrid::new(&matrix, p)?;
-                        *prepared = Some((density, grid, cfg.platform(p)?));
+                        // The unit-level lookup already metered this key
+                        // once; reuse its entry, or — after a unit-level
+                        // lookup error — repeat the lookup *uncounted*, so
+                        // neither retries nor error paths skew the counters.
+                        let entry = match unit_grid {
+                            Some(entry) => Arc::clone(entry),
+                            None => self.workloads.grid_uncounted(
+                                workload,
+                                p,
+                                cfg.suite_max_dim,
+                                cfg.seed,
+                            )?,
+                        };
+                        *prepared = Some((entry, cfg.session(p)?));
                     }
-                    let Some((density, grid, platform)) = prepared.as_ref() else {
+                    let Some((entry, session)) = prepared.as_mut() else {
                         // Unreachable: the branch above just filled it.
                         return Err(AttemptError::Platform(PlatformError::Config(
                             "unit preparation lost".to_string(),
                         )));
                     };
+                    let request = RunRequest::grid(&entry.grid, format);
                     let report = if trace {
-                        platform.run_grid_with_sink(grid, format, &mut *sink)?
+                        session.run(request.with_sink(&mut *sink))?.report
                     } else {
-                        platform.run_grid(grid, format)?
+                        session.run(request)?.report
                     };
                     Ok(Measurement {
                         workload: workload.label(),
                         class: workload.class(),
-                        density: *density,
+                        density: entry.density,
                         format,
                         partition_size: p,
                         report,
@@ -470,6 +518,10 @@ impl CampaignRunner {
                 Err(payload) => (FailureKind::Panic, panic_message(&*payload)),
             };
             sink.events.truncate(mark);
+            // A panic mid-run can leave the session's scratch buffers
+            // half-written; rebuild the unit state so a retry starts from a
+            // clean session (the grid itself comes back as a cache hit).
+            *prepared = None;
             if kind.is_transient() && attempt < self.policy.max_retries {
                 attempt += 1;
                 std::thread::sleep(std::time::Duration::from_millis(
@@ -506,8 +558,9 @@ impl CampaignRunner {
 }
 
 /// What one `(workload, partition size)` unit prepares once and shares
-/// across its format sweep.
-type Prepared = (f64, PartitionGrid<f32>, copernicus_hls::Platform);
+/// across its format sweep: the cached tiling (plus matrix density) and a
+/// [`Session`] whose scratch buffers the eight format runs reuse.
+type Prepared = (Arc<CachedGrid>, Session);
 
 /// What a single computation attempt can fail with (before classification).
 enum AttemptError {
@@ -574,15 +627,28 @@ struct UnitOutput {
     retries: u64,
 }
 
-/// The memoization key: every input that determines a cell's bytes. The
-/// workload's `Debug` form is used instead of its axis label because labels
-/// elide the dimension (`d=0.5` at two different `n` must not collide).
-fn cell_key(workload: &Workload, p: usize, format: FormatKind, cfg: &ExperimentConfig) -> String {
-    let hw = serde::json::to_string(&serde::Serialize::serialize(&cfg.hw));
+/// The memoization key: every input that determines a cell's bytes — the
+/// workload's canonical [`cache_key`](Workload::cache_key) (its `Debug`
+/// form plus seed and cap) extended with the cell axes and the hardware
+/// config's JSON form (`hw`, pre-serialized once per campaign). The bytes
+/// are identical to pre-cache checkpoints, so old checkpoint files resume
+/// cleanly.
+fn cell_key(
+    workload: &Workload,
+    p: usize,
+    format: FormatKind,
+    cfg: &ExperimentConfig,
+    hw: &str,
+) -> String {
     format!(
-        "{workload:?}|seed={}|cap={}|p={p}|{format}|{hw}",
-        cfg.seed, cfg.suite_max_dim
+        "{}|p={p}|{format}|{hw}",
+        workload.cache_key(cfg.suite_max_dim, cfg.seed)
     )
+}
+
+/// The hardware config's JSON form, shared by every cell key of a campaign.
+fn hw_json(cfg: &ExperimentConfig) -> String {
+    serde::json::to_string(&serde::Serialize::serialize(&cfg.hw))
 }
 
 /// Renders one checkpoint line: a compact JSON object binding the memo key
@@ -758,8 +824,8 @@ mod tests {
             let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
             let density = sparsemat::Matrix::density(&matrix);
             for &p in sizes {
-                let platform = cfg.platform(p).unwrap();
-                let grid = PartitionGrid::new(&matrix, p).unwrap();
+                let mut session = cfg.session(p).unwrap();
+                let grid = sparsemat::PartitionGrid::new(&matrix, p).unwrap();
                 for &format in formats {
                     out.push(Measurement {
                         workload: workload.label(),
@@ -767,7 +833,7 @@ mod tests {
                         density,
                         format,
                         partition_size: p,
-                        report: platform.run_grid(&grid, format).unwrap(),
+                        report: session.run(RunRequest::grid(&grid, format)).unwrap().report,
                     });
                 }
             }
@@ -854,9 +920,10 @@ mod tests {
             density: 0.1,
         };
         assert_eq!(a.label(), b.label());
+        let hw = hw_json(&cfg);
         assert_ne!(
-            cell_key(&a, 16, FormatKind::Csr, &cfg),
-            cell_key(&b, 16, FormatKind::Csr, &cfg)
+            cell_key(&a, 16, FormatKind::Csr, &cfg, &hw),
+            cell_key(&b, 16, FormatKind::Csr, &cfg, &hw)
         );
         let runner = CampaignRunner::new(2);
         let ms = runner

@@ -5,7 +5,6 @@
 use crate::measure::ExperimentConfig;
 use crate::table::{f3, TextTable};
 use copernicus_workloads::Workload;
-use sparsemat::PartitionGrid;
 
 /// One bar group of Fig. 3: a workload's statistics at one partition size.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -28,11 +27,27 @@ pub struct Fig03Row {
 ///
 /// Propagates partitioning failures.
 pub fn run(cfg: &ExperimentConfig) -> Result<Vec<Fig03Row>, sparsemat::SparseError> {
+    run_on(&crate::CampaignRunner::sequential(), cfg)
+}
+
+/// Like [`run`], served from `runner`'s workload cache: the suite matrices
+/// and tilings measured here are the same objects every later campaign on
+/// that runner sweeps, so `repro_all` generates each exactly once.
+///
+/// # Errors
+///
+/// Propagates partitioning failures.
+pub fn run_on(
+    runner: &crate::CampaignRunner,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Fig03Row>, sparsemat::SparseError> {
     let mut rows = Vec::new();
     for workload in Workload::paper_suite() {
-        let matrix = workload.generate(cfg.suite_max_dim, cfg.seed);
         for &p in &super::FIGURE_PARTITION_SIZES {
-            let stats = PartitionGrid::new(&matrix, p)?.stats();
+            let entry = runner
+                .workloads()
+                .grid(&workload, p, cfg.suite_max_dim, cfg.seed)?;
+            let stats = entry.grid.stats();
             rows.push(Fig03Row {
                 workload: workload.label(),
                 partition_size: p,
@@ -84,6 +99,20 @@ mod tests {
             assert!((0.0..=100.0).contains(&r.partition_density_pct), "{r:?}");
             assert!(r.row_density_pct >= r.partition_density_pct - 1e-9, "{r:?}");
         }
+    }
+
+    #[test]
+    fn run_on_matches_run_and_primes_the_cache() {
+        let cfg = ExperimentConfig::quick();
+        let runner = crate::CampaignRunner::sequential();
+        let cached = run_on(&runner, &cfg).unwrap();
+        assert_eq!(cached, run(&cfg).unwrap());
+        let stats = runner.workloads().stats();
+        assert_eq!(stats.grid_misses as usize, 20 * 3);
+        assert_eq!(stats.matrix_misses as usize, 20);
+        // A second pass is all hits.
+        run_on(&runner, &cfg).unwrap();
+        assert_eq!(runner.workloads().stats().grid_hits as usize, 20 * 3);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 // are contained). CI runs clippy with `-D warnings`, making this a gate.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod campaign;
 pub mod experiments;
 pub mod fault;
@@ -62,6 +63,7 @@ pub mod recommend;
 pub mod summary;
 pub mod table;
 
+pub use cache::{CacheStats, CachedGrid, WorkloadCache};
 pub use campaign::{
     default_jobs, par_map_ordered, try_par_map_ordered, CampaignOutcome, CampaignRunner,
 };

@@ -1,7 +1,7 @@
 //! The characterization runner: `workload × format × partition size` →
 //! [`Measurement`].
 
-use copernicus_hls::{HwConfig, Platform, PlatformError, RunReport};
+use copernicus_hls::{HwConfig, PlatformError, RunReport, Session};
 use copernicus_workloads::{Workload, WorkloadClass};
 use sparsemat::FormatKind;
 
@@ -57,11 +57,11 @@ impl ExperimentConfig {
         self
     }
 
-    /// The platform at a given partition size.
-    pub(crate) fn platform(&self, p: usize) -> Result<Platform, PlatformError> {
+    /// A measurement [`Session`] at a given partition size.
+    pub(crate) fn session(&self, p: usize) -> Result<Session, PlatformError> {
         let mut hw = self.hw.clone();
         hw.partition_size = p;
-        Platform::new(hw)
+        Session::new(hw)
     }
 }
 

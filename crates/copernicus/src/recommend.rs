@@ -174,10 +174,12 @@ pub fn recommend_measured(
     goal: Goal,
     cfg: &copernicus_hls::HwConfig,
 ) -> Result<Recommendation, crate::CampaignError> {
-    let platform = copernicus_hls::Platform::new(cfg.clone())?;
+    let mut session = copernicus_hls::Session::new(cfg.clone())?;
     let mut best: Option<(FormatKind, f64)> = None;
     for format in FormatKind::CHARACTERIZED {
-        let r = platform.run(matrix, format)?;
+        let r = session
+            .run(copernicus_hls::RunRequest::matrix(matrix, format))?
+            .report;
         // Higher score = better for the goal.
         let score = match goal {
             Goal::Latency => -(r.total_cycles as f64),

@@ -159,6 +159,10 @@ mod tests {
         assert_eq!(ceil_log2(8), 3);
         assert_eq!(ceil_log2(9), 4);
         assert_eq!(ceil_log2(32), 5);
+        // Extremes stay finite: no shift overflow at either end.
+        assert_eq!(ceil_log2(usize::MAX), usize::BITS as u64);
+        assert_eq!(HwConfig::default().dot_latency(0), 2);
+        assert_eq!(HwConfig::default().dot_latency(1), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * every data-dependent read of a non-partitioned array (CSR/BCSR
 //!   `offsets`, the LIL cursor row, …) pays [`HwConfig::bram_read_latency`].
 
-use crate::{EncodedPartition, HwConfig};
+use crate::{EncodeScratch, EncodedPartition, HwConfig};
 use sparsemat::ell::PAD;
 use sparsemat::{AnyMatrix, Dense, Matrix};
 
@@ -56,17 +56,31 @@ impl Decompression {
 
 /// Decompresses an encoded partition with the model matching its format.
 pub fn decompress(part: &EncodedPartition, cfg: &HwConfig) -> Decompression {
+    decompress_with(part, cfg, &mut EncodeScratch::default())
+}
+
+/// Like [`decompress`], but draws every row buffer and the contribution
+/// list from `scratch` instead of the allocator. Returning the result
+/// through [`EncodeScratch::recycle_decompression`] once its contributions
+/// are consumed makes the steady-state decompress path allocation-free.
+/// Cycle counts, BRAM accounting and emitted rows are bit-identical to
+/// [`decompress`] (recycled buffers are re-zeroed before reuse).
+pub fn decompress_with(
+    part: &EncodedPartition,
+    cfg: &HwConfig,
+    scratch: &mut EncodeScratch,
+) -> Decompression {
     match &part.matrix {
-        AnyMatrix::Dense(m) => dense(m, cfg),
-        AnyMatrix::Csr(m) => csr(m, cfg),
-        AnyMatrix::Csc(m) => csc(m, cfg),
-        AnyMatrix::Bcsr(m) => bcsr(m, cfg),
+        AnyMatrix::Dense(m) => dense(m, cfg, scratch),
+        AnyMatrix::Csr(m) => csr(m, cfg, scratch),
+        AnyMatrix::Csc(m) => csc(m, cfg, scratch),
+        AnyMatrix::Bcsr(m) => bcsr(m, cfg, scratch),
         // §5.2: "The same procedure is also applicable to DOK."
-        AnyMatrix::Coo(m) => coo(m, cfg),
-        AnyMatrix::Dok(m) => coo(&m.to_coo(), cfg),
-        AnyMatrix::Lil(m) => lil(m, cfg),
-        AnyMatrix::Ell(m) => ell(m, cfg),
-        AnyMatrix::Dia(m) => dia(m, cfg),
+        AnyMatrix::Coo(m) => coo(m, cfg, scratch),
+        AnyMatrix::Dok(m) => coo(&m.to_coo(), cfg, scratch),
+        AnyMatrix::Lil(m) => lil(m, cfg, scratch),
+        AnyMatrix::Ell(m) => ell(m, cfg, scratch),
+        AnyMatrix::Dia(m) => dia(m, cfg, scratch),
         AnyMatrix::Bcsc(_) | AnyMatrix::Sell(_) | AnyMatrix::Jds(_) => {
             unreachable!("EncodedPartition rejects uncharacterized formats")
         }
@@ -76,9 +90,15 @@ pub fn decompress(part: &EncodedPartition, cfg: &HwConfig) -> Decompression {
 /// Dense baseline: rows stream straight to the engine; `T_decomp = 0` and
 /// every row — zero or not — is a dot-product issue, which is what makes
 /// σ ≡ 1 for the dense format.
-fn dense(m: &Dense<f32>, cfg: &HwConfig) -> Decompression {
+fn dense(m: &Dense<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
-    let contributions = (0..p).map(|r| (r, m.row(r).to_vec())).collect();
+    let mut contributions = scratch.take_contribs();
+    for r in 0..p {
+        let src = m.row(r);
+        let mut row = scratch.row(src.len());
+        row.copy_from_slice(src);
+        contributions.push((r, row));
+    }
     Decompression {
         contributions,
         decomp_cycles: 0,
@@ -91,10 +111,10 @@ fn dense(m: &Dense<f32>, cfg: &HwConfig) -> Decompression {
 /// CSR (Listing 1): one extra `offsets` BRAM access per non-zero row, then
 /// a pipelined II=1 loop over that row's elements. Zero rows are skipped
 /// for free because the offset reads are pipelined with row creation.
-fn csr(m: &sparsemat::Csr<f32>, cfg: &HwConfig) -> Decompression {
+fn csr(m: &sparsemat::Csr<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: 0,
         dot_issues: 0,
         engine_width: p,
@@ -111,7 +131,7 @@ fn csr(m: &sparsemat::Csr<f32>, cfg: &HwConfig) -> Decompression {
         // for i = 0 to numVal (pipelined): drow[colInx[i]] = values[i]
         out.decomp_cycles += numval;
         out.bram_reads += numval;
-        let mut row = vec![0.0f32; p];
+        let mut row = scratch.row(p);
         for (c, v) in m.row_entries(r) {
             row[c] = v;
         }
@@ -125,11 +145,11 @@ fn csr(m: &sparsemat::Csr<f32>, cfg: &HwConfig) -> Decompression {
 /// decompressor rescans all stored tuples looking for matching row indices.
 /// The hardware cannot know a row is empty without scanning, so all `p`
 /// rows pay the scan; only non-empty rows issue a dot product.
-fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig) -> Decompression {
+fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let nnz = m.nnz() as u64;
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: 0,
         dot_issues: 0,
         engine_width: p,
@@ -139,7 +159,7 @@ fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig) -> Decompression {
         // while traversing all columns: II=1 over every stored tuple.
         out.decomp_cycles += nnz;
         out.bram_reads += nnz;
-        let mut row = vec![0.0f32; p];
+        let mut row = scratch.row(p);
         let mut any = false;
         for (c, slot) in row.iter_mut().enumerate() {
             for (rr, v) in m.col_entries(c) {
@@ -152,6 +172,8 @@ fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig) -> Decompression {
         if any {
             out.contributions.push((r, row));
             out.dot_issues += 1;
+        } else {
+            scratch.give_row(row);
         }
     }
     out
@@ -161,16 +183,17 @@ fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig) -> Decompression {
 /// cycle per block (the inner copy loop is fully unrolled over partitioned
 /// BRAMs). Every row of a non-zero block-row issues a dot product, zero
 /// rows included — the paper's second BCSR downside.
-fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig) -> Decompression {
+fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let b = m.block_size();
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: 0,
         dot_issues: 0,
         engine_width: p,
         bram_reads: 0,
     };
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(b);
     for br in 0..m.block_rows() {
         let nblocks = m.block_row_nnz(br) as u64;
         if nblocks == 0 {
@@ -181,7 +204,9 @@ fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig) -> Decompression {
         out.decomp_cycles += nblocks;
         out.bram_reads += nblocks;
         // Emit all b rows of this block-row at full partition width.
-        let mut rows = vec![vec![0.0f32; p]; b];
+        for _ in 0..b {
+            rows.push(scratch.row(p));
+        }
         for (first_col, vals) in m.block_row_entries(br) {
             for (lr, row) in rows.iter_mut().enumerate() {
                 for lc in 0..b {
@@ -192,11 +217,13 @@ fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig) -> Decompression {
                 }
             }
         }
-        for (lr, row) in rows.into_iter().enumerate() {
+        for (lr, row) in rows.drain(..).enumerate() {
             let gr = br * b + lr;
             if gr < p {
                 out.contributions.push((gr, row));
                 out.dot_issues += 1;
+            } else {
+                scratch.give_row(row);
             }
         }
     }
@@ -206,27 +233,28 @@ fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig) -> Decompression {
 /// COO (Listing 6): one pipelined II=1 pass over the tuple list scattering
 /// into row buffers. Row boundaries are unknown in advance, so the loop is
 /// pipelined, not unrolled; each completed non-zero row issues a dot.
-fn coo(m: &sparsemat::Coo<f32>, cfg: &HwConfig) -> Decompression {
+fn coo(m: &sparsemat::Coo<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let nnz = m.nnz() as u64;
-    let mut rows: Vec<Option<Vec<f32>>> = vec![None; p];
+    let mut rows = scratch.take_opt_rows(p);
     for t in m.iter() {
-        let row = rows[t.row].get_or_insert_with(|| vec![0.0f32; p]);
+        let row = rows[t.row].get_or_insert_with(|| scratch.row(p));
         row[t.col] += t.val;
     }
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: cfg.bram_read_latency + nnz,
         dot_issues: 0,
         engine_width: p,
         bram_reads: nnz,
     };
-    for (r, row) in rows.into_iter().enumerate() {
-        if let Some(row) = row {
+    for (r, slot) in rows.iter_mut().enumerate() {
+        if let Some(row) = slot.take() {
             out.contributions.push((r, row));
             out.dot_issues += 1;
         }
     }
+    scratch.give_opt_rows(rows);
     out
 }
 
@@ -234,13 +262,13 @@ fn coo(m: &sparsemat::Coo<f32>, cfg: &HwConfig) -> Decompression {
 /// column lists (they are array-partitioned) plus the min-scan/assign
 /// logic; one extra access recognizes the end of the non-zero rows. The
 /// number of emissions equals the number of non-zero rows.
-fn lil(m: &sparsemat::Lil<f32>, cfg: &HwConfig) -> Decompression {
+fn lil(m: &sparsemat::Lil<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     // Per-row emission cost: parallel BRAM read + min-compare + assign.
     const LIL_LOGIC_CYCLES: u64 = 2;
-    let mut cursors = vec![0usize; p];
+    let mut cursors = scratch.take_cursors(p);
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: 0,
         dot_issues: 0,
         engine_width: p,
@@ -254,7 +282,7 @@ fn lil(m: &sparsemat::Lil<f32>, cfg: &HwConfig) -> Decompression {
         let Some(min_row) = min_row else {
             break;
         };
-        let mut row = vec![0.0f32; p];
+        let mut row = scratch.row(p);
         for c in 0..p.min(m.num_lines()) {
             if let Some(&(r, v)) = m.line(c).get(cursors[c]) {
                 if r == min_row {
@@ -271,6 +299,7 @@ fn lil(m: &sparsemat::Lil<f32>, cfg: &HwConfig) -> Decompression {
     // One additional access recognizes the end of the non-zero rows (§5.2).
     out.decomp_cycles += cfg.bram_read_latency;
     out.bram_reads += p as u64;
+    scratch.give_cursors(cursors);
     out
 }
 
@@ -282,19 +311,19 @@ fn lil(m: &sparsemat::Lil<f32>, cfg: &HwConfig) -> Decompression {
 /// dot product runs on the dedicated narrow (width-6) compute path, which
 /// is why ELL's compute cost is exactly `p` issues independent of the
 /// sparsity pattern.
-fn ell(m: &sparsemat::Ell<f32>, cfg: &HwConfig) -> Decompression {
+fn ell(m: &sparsemat::Ell<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let w = m.width();
     let (indices, values) = m.raw_slots();
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: 0,
         dot_issues: 0,
         engine_width: cfg.ell_hw_width,
         bram_reads: 0,
     };
     for r in 0..p {
-        let mut row = vec![0.0f32; p];
+        let mut row = scratch.row(p);
         for s in 0..w {
             let c = indices[r * w + s];
             if c != PAD {
@@ -314,11 +343,11 @@ fn ell(m: &sparsemat::Ell<f32>, cfg: &HwConfig) -> Decompression {
 /// receive a value issue a dot product. "Such an overhead worsens when
 /// non-zero elements are scattered over multiple diagonals but do not
 /// completely fill them."
-fn dia(m: &sparsemat::Dia<f32>, cfg: &HwConfig) -> Decompression {
+fn dia(m: &sparsemat::Dia<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let ndiag = m.num_diagonals() as u64;
     let mut out = Decompression {
-        contributions: Vec::new(),
+        contributions: scratch.take_contribs(),
         decomp_cycles: cfg.bram_read_latency,
         dot_issues: 0,
         engine_width: p,
@@ -327,7 +356,7 @@ fn dia(m: &sparsemat::Dia<f32>, cfg: &HwConfig) -> Decompression {
     for r in 0..p {
         out.decomp_cycles += ndiag;
         out.bram_reads += ndiag;
-        let mut row = vec![0.0f32; p];
+        let mut row = scratch.row(p);
         let mut any = false;
         for (k, &d) in m.offsets().iter().enumerate() {
             let c = r as isize + d;
@@ -344,6 +373,8 @@ fn dia(m: &sparsemat::Dia<f32>, cfg: &HwConfig) -> Decompression {
         if any {
             out.contributions.push((r, row));
             out.dot_issues += 1;
+        } else {
+            scratch.give_row(row);
         }
     }
     out
@@ -556,5 +587,23 @@ mod tests {
         let ratio = csc.compute_cycles(&cfg) as f64 / dense.compute_cycles(&cfg) as f64;
         assert!(ratio > 20.0, "CSC/dense = {ratio}");
         assert_eq!(csc.assemble(16), coo.to_dense());
+    }
+
+    #[test]
+    fn warm_scratch_is_bit_identical_to_fresh_allocation() {
+        // Two passes so the second round runs entirely on recycled buffers.
+        let t = sample();
+        let cfg = cfg();
+        let mut scratch = EncodeScratch::new();
+        for _ in 0..2 {
+            for kind in FormatKind::CHARACTERIZED {
+                let part = EncodedPartition::encode_with(&t, kind, &cfg, &mut scratch).unwrap();
+                let fresh = decompress(&part, &cfg);
+                let pooled = decompress_with(&part, &cfg, &mut scratch);
+                assert_eq!(pooled, fresh, "{kind}");
+                scratch.recycle_decompression(pooled);
+                scratch.recycle_encoded(part);
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! utilization metric (§4.2: "the ratio of useful data over all transmitted
 //! data (i.e., useful data plus metadata)").
 
-use crate::HwConfig;
+use crate::{EncodeScratch, HwConfig};
 use sparsemat::{AnyMatrix, Bcsr, Coo, Dia, Ell, FormatKind, Lil, Matrix, SparseError};
 
 /// One named transfer stream of an encoded partition (values, indices,
@@ -49,135 +49,147 @@ impl EncodedPartition {
         format: FormatKind,
         cfg: &HwConfig,
     ) -> Result<Self, SparseError> {
+        Self::encode_into(tile, format, cfg, Vec::new())
+    }
+
+    /// Like [`EncodedPartition::encode`], but reuses the stream buffer held
+    /// by `scratch` instead of allocating one per tile. Returning the
+    /// finished partition through [`EncodeScratch::recycle_encoded`] keeps
+    /// the steady-state encode path allocation-free for the stream list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EncodedPartition::encode`].
+    pub fn encode_with(
+        tile: &Coo<f32>,
+        format: FormatKind,
+        cfg: &HwConfig,
+        scratch: &mut EncodeScratch,
+    ) -> Result<Self, SparseError> {
+        Self::encode_into(tile, format, cfg, scratch.take_streams())
+    }
+
+    fn encode_into(
+        tile: &Coo<f32>,
+        format: FormatKind,
+        cfg: &HwConfig,
+        mut streams: Vec<Stream>,
+    ) -> Result<Self, SparseError> {
         let vb = cfg.value_bytes as u64;
         let ib = cfg.index_bytes as u64;
         let p = cfg.partition_size as u64;
         let nnz = tile.nnz() as u64;
+        debug_assert!(streams.is_empty());
 
-        let (matrix, streams) = match format {
+        let matrix = match format {
             FormatKind::Dense => {
-                let m = AnyMatrix::Dense(tile.to_dense());
                 // The dense baseline streams every cell, zeros included.
-                (
-                    m,
-                    vec![Stream {
-                        name: "values",
-                        bytes: p * p * vb,
-                    }],
-                )
+                streams.push(Stream {
+                    name: "values",
+                    bytes: p * p * vb,
+                });
+                AnyMatrix::Dense(tile.to_dense())
             }
             FormatKind::Csr => {
                 let csr = sparsemat::Csr::from(tile);
                 // Duplicate COO coordinates merge during encoding, so the
                 // streamed entry count is the *encoded* structure's.
                 let stored = csr.nnz() as u64;
-                let streams = vec![
-                    Stream {
-                        name: "offsets",
-                        bytes: (p + 1) * ib,
-                    },
-                    Stream {
-                        name: "colInx",
-                        bytes: stored * ib,
-                    },
-                    Stream {
-                        name: "values",
-                        bytes: stored * vb,
-                    },
-                ];
-                (AnyMatrix::Csr(csr), streams)
+                streams.push(Stream {
+                    name: "offsets",
+                    bytes: (p + 1) * ib,
+                });
+                streams.push(Stream {
+                    name: "colInx",
+                    bytes: stored * ib,
+                });
+                streams.push(Stream {
+                    name: "values",
+                    bytes: stored * vb,
+                });
+                AnyMatrix::Csr(csr)
             }
             FormatKind::Csc => {
                 let csc = sparsemat::Csc::from(tile);
                 let stored = csc.nnz() as u64;
-                let streams = vec![
-                    Stream {
-                        name: "offsets",
-                        bytes: (p + 1) * ib,
-                    },
-                    Stream {
-                        name: "rowInx",
-                        bytes: stored * ib,
-                    },
-                    Stream {
-                        name: "values",
-                        bytes: stored * vb,
-                    },
-                ];
-                (AnyMatrix::Csc(csc), streams)
+                streams.push(Stream {
+                    name: "offsets",
+                    bytes: (p + 1) * ib,
+                });
+                streams.push(Stream {
+                    name: "rowInx",
+                    bytes: stored * ib,
+                });
+                streams.push(Stream {
+                    name: "values",
+                    bytes: stored * vb,
+                });
+                AnyMatrix::Csc(csc)
             }
             FormatKind::Bcsr => {
                 let bcsr = Bcsr::from_coo(tile, cfg.bcsr_block)?;
                 let block_rows = bcsr.block_rows() as u64;
                 let nblk = bcsr.num_blocks() as u64;
                 let b2 = (cfg.bcsr_block * cfg.bcsr_block) as u64;
-                let streams = vec![
-                    Stream {
-                        name: "offsets",
-                        bytes: (block_rows + 1) * ib,
-                    },
-                    Stream {
-                        name: "colInx",
-                        bytes: nblk * ib,
-                    },
-                    // The whole block is streamed, intra-block zeros too —
-                    // the paper's first BCSR downside.
-                    Stream {
-                        name: "values",
-                        bytes: nblk * b2 * vb,
-                    },
-                ];
-                (AnyMatrix::Bcsr(bcsr), streams)
+                streams.push(Stream {
+                    name: "offsets",
+                    bytes: (block_rows + 1) * ib,
+                });
+                streams.push(Stream {
+                    name: "colInx",
+                    bytes: nblk * ib,
+                });
+                // The whole block is streamed, intra-block zeros too —
+                // the paper's first BCSR downside.
+                streams.push(Stream {
+                    name: "values",
+                    bytes: nblk * b2 * vb,
+                });
+                AnyMatrix::Bcsr(bcsr)
             }
             FormatKind::Coo | FormatKind::Dok => {
                 // (row, col, value) per entry; DOK streams identically.
-                let streams = vec![
-                    Stream {
-                        name: "rowInx",
-                        bytes: nnz * ib,
-                    },
-                    Stream {
-                        name: "colInx",
-                        bytes: nnz * ib,
-                    },
-                    Stream {
-                        name: "values",
-                        bytes: nnz * vb,
-                    },
-                ];
-                (AnyMatrix::Coo(tile.clone()), streams)
+                streams.push(Stream {
+                    name: "rowInx",
+                    bytes: nnz * ib,
+                });
+                streams.push(Stream {
+                    name: "colInx",
+                    bytes: nnz * ib,
+                });
+                streams.push(Stream {
+                    name: "values",
+                    bytes: nnz * vb,
+                });
+                AnyMatrix::Coo(tile.clone())
             }
             FormatKind::Lil => {
                 let lil = Lil::from_coo_columns(tile);
                 // values[HEIGHT][WIDTH] + Inx[HEIGHT][WIDTH] where HEIGHT is
                 // the longest column plus the end-marker row §5.2 describes.
                 let height = lil.max_line_len() as u64 + 1;
-                let streams = vec![
-                    Stream {
-                        name: "Inx",
-                        bytes: height * p * ib,
-                    },
-                    Stream {
-                        name: "values",
-                        bytes: height * p * vb,
-                    },
-                ];
-                (AnyMatrix::Lil(lil), streams)
+                streams.push(Stream {
+                    name: "Inx",
+                    bytes: height * p * ib,
+                });
+                streams.push(Stream {
+                    name: "values",
+                    bytes: height * p * vb,
+                });
+                AnyMatrix::Lil(lil)
             }
             FormatKind::Ell => {
                 let ell = Ell::from_coo_natural(tile);
                 let w = ell.width() as u64;
-                let streams = vec![
-                    Stream {
-                        name: "colInx",
-                        bytes: w * p * ib,
-                    },
-                    Stream {
-                        name: "values",
-                        bytes: w * p * vb,
-                    },
-                ];
-                (AnyMatrix::Ell(ell), streams)
+                streams.push(Stream {
+                    name: "colInx",
+                    bytes: w * p * ib,
+                });
+                streams.push(Stream {
+                    name: "values",
+                    bytes: w * p * vb,
+                });
+                AnyMatrix::Ell(ell)
             }
             FormatKind::Dia => {
                 let dia = Dia::from_coo(tile);
@@ -188,14 +200,11 @@ impl EncodedPartition {
                 // exactly why §6.3 finds DIA's bandwidth utilization on
                 // non-diagonal band matrices no better than the generic
                 // formats.
-                let bytes: u64 = dia.num_diagonals() as u64 * (p + 1) * vb;
-                (
-                    AnyMatrix::Dia(dia),
-                    vec![Stream {
-                        name: "diags",
-                        bytes,
-                    }],
-                )
+                streams.push(Stream {
+                    name: "diags",
+                    bytes: dia.num_diagonals() as u64 * (p + 1) * vb,
+                });
+                AnyMatrix::Dia(dia)
             }
             other @ (FormatKind::Bcsc | FormatKind::Sell | FormatKind::Jds) => {
                 return Err(SparseError::UnknownFormat(format!(

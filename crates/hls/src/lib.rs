@@ -26,8 +26,12 @@
 //!
 //! # Example
 //!
+//! All runs go through one [`Session`], which owns the reusable encode /
+//! decompress scratch buffers and accepts a [`RunRequest`] describing the
+//! input, format and options (trace sink, SpMV consume, lane count):
+//!
 //! ```
-//! use copernicus_hls::{HwConfig, Platform};
+//! use copernicus_hls::{HwConfig, RunRequest, Session};
 //! use sparsemat::{Coo, FormatKind};
 //!
 //! # fn main() -> Result<(), copernicus_hls::PlatformError> {
@@ -36,8 +40,8 @@
 //! for i in (0..32).step_by(4) {
 //!     a.push(i, i, 2.0)?;
 //! }
-//! let platform = Platform::new(HwConfig::with_partition_size(16))?;
-//! let report = platform.run(&a, FormatKind::Csr)?;
+//! let mut session = Session::new(HwConfig::with_partition_size(16))?;
+//! let report = session.run(RunRequest::matrix(&a, FormatKind::Csr))?.report;
 //! assert!(report.sigma() < 1.0); // CSR skips the zero rows, dense cannot
 //! # Ok(())
 //! # }
@@ -56,11 +60,15 @@ pub mod explain;
 pub mod pipeline;
 pub mod power;
 pub mod resources;
+pub mod scratch;
+pub mod session;
 
 pub use config::{ceil_log2, HwConfig};
-pub use decomp::{decompress, Decompression};
+pub use decomp::{decompress, decompress_with, Decompression};
 pub use encode::{EncodedPartition, Stream};
 pub use explain::{explain, CostBreakdown, CostTerm};
 pub use pipeline::{ParallelReport, PartitionTiming, Platform, PlatformError, RunReport};
 pub use power::PowerBreakdown;
 pub use resources::Resources;
+pub use scratch::EncodeScratch;
+pub use session::{Input, RunOutcome, RunRequest, Session};

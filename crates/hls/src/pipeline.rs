@@ -1,7 +1,7 @@
 //! The three-stage streaming platform of Fig. 2: memory-read → compute
 //! (decompress + dot-product) → memory-write, pipelined across partitions.
 
-use crate::{decompress, Decompression, EncodedPartition, HwConfig};
+use crate::{decompress_with, Decompression, EncodeScratch, EncodedPartition, HwConfig};
 use copernicus_telemetry::{NullSink, PipelineEvent, Stage, TraceSink};
 use sparsemat::{Coo, FormatKind, Matrix, Partition, PartitionGrid, SparseError};
 
@@ -122,18 +122,30 @@ impl RunReport {
     }
 
     /// Wall-clock seconds of the pipelined run at the configured clock.
+    ///
+    /// A non-positive or non-finite clock (possible only on hand-built
+    /// reports — [`HwConfig::validate`] rejects such configs) yields 0.0
+    /// rather than a NaN/Inf that would poison downstream aggregates.
     pub fn total_seconds(&self) -> f64 {
-        self.total_cycles as f64 / (self.clock_mhz * 1e6)
+        let hz = self.clock_mhz * 1e6;
+        if hz > 0.0 && hz.is_finite() {
+            self.total_cycles as f64 / hz
+        } else {
+            0.0
+        }
     }
 
     /// Throughput in bytes processed per second (§4.2: "bytes processed per
     /// second, which reflects the bubbles in the streaming pipeline").
+    ///
+    /// An empty run (zero cycles, hence zero seconds) or a degenerate clock
+    /// reports 0.0 — never NaN/Inf.
     pub fn throughput_bytes_per_sec(&self) -> f64 {
         let t = self.total_seconds();
-        if t == 0.0 {
-            0.0
-        } else {
+        if t > 0.0 && t.is_finite() {
             self.total_bytes as f64 / t
+        } else {
+            0.0
         }
     }
 
@@ -280,8 +292,19 @@ impl Platform {
     ///
     /// Propagates partitioning/encoding failures and functional mismatches
     /// (when [`HwConfig::verify_functional`] is set).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...)`"
+    )]
     pub fn run(&self, matrix: &Coo<f32>, format: FormatKind) -> Result<RunReport, PlatformError> {
-        self.run_with_sink(matrix, format, &mut NullSink)
+        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
+        self.run_grid_scratch(
+            &grid,
+            format,
+            &mut NullSink,
+            |_, _| {},
+            &mut EncodeScratch::new(),
+        )
     }
 
     /// Like [`Platform::run`], emitting pipeline events into `sink` at
@@ -290,6 +313,10 @@ impl Platform {
     /// # Errors
     ///
     /// See [`Platform::run`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...).with_sink(...)`"
+    )]
     pub fn run_with_sink<S: TraceSink + ?Sized>(
         &self,
         matrix: &Coo<f32>,
@@ -297,7 +324,7 @@ impl Platform {
         sink: &mut S,
     ) -> Result<RunReport, PlatformError> {
         let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_grid_with_sink(&grid, format, sink)
+        self.run_grid_scratch(&grid, format, sink, |_, _| {}, &mut EncodeScratch::new())
     }
 
     /// Like [`Platform::run`] for a matrix that is already tiled (lets one
@@ -306,12 +333,22 @@ impl Platform {
     /// # Errors
     ///
     /// See [`Platform::run`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::grid(...)`"
+    )]
     pub fn run_grid(
         &self,
         grid: &PartitionGrid<f32>,
         format: FormatKind,
     ) -> Result<RunReport, PlatformError> {
-        self.run_grid_with_sink(grid, format, &mut NullSink)
+        self.run_grid_scratch(
+            grid,
+            format,
+            &mut NullSink,
+            |_, _| {},
+            &mut EncodeScratch::new(),
+        )
     }
 
     /// Like [`Platform::run_grid`], emitting pipeline events into `sink`.
@@ -324,24 +361,30 @@ impl Platform {
     /// # Errors
     ///
     /// See [`Platform::run`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::grid(...).with_sink(...)`"
+    )]
     pub fn run_grid_with_sink<S: TraceSink + ?Sized>(
         &self,
         grid: &PartitionGrid<f32>,
         format: FormatKind,
         sink: &mut S,
     ) -> Result<RunReport, PlatformError> {
-        self.run_grid_inner(grid, format, sink, |_, _| {})
+        self.run_grid_scratch(grid, format, sink, |_, _| {}, &mut EncodeScratch::new())
     }
 
     /// The single shared partition loop: processes each tile exactly once,
     /// hands its decompression to `consume` (the SpMV path applies the row
-    /// contributions there), emits trace events, and aggregates the report.
-    fn run_grid_inner<S, F>(
+    /// contributions there), emits trace events, aggregates the report, and
+    /// recycles every per-tile buffer into `scratch`.
+    pub(crate) fn run_grid_scratch<S, F>(
         &self,
         grid: &PartitionGrid<f32>,
         format: FormatKind,
         sink: &mut S,
         mut consume: F,
+        scratch: &mut EncodeScratch,
     ) -> Result<RunReport, PlatformError>
     where
         S: TraceSink + ?Sized,
@@ -363,8 +406,10 @@ impl Platform {
                 (part.grid_row, part.grid_col),
                 sink,
                 idx,
+                scratch,
             )?;
             consume(part, &d);
+            scratch.recycle_decompression(d);
             if sink.enabled() {
                 let (mem_start, compute_start, writeback_start) = schedule.place(&timing);
                 sink.record(&PipelineEvent::PartitionStart {
@@ -400,7 +445,8 @@ impl Platform {
     }
 
     /// Encode → decompress → (optional) functional verification for one
-    /// tile; the one place real per-partition work happens.
+    /// tile; the one place real per-partition work happens. All buffers
+    /// come from (and the encoded structure returns to) `scratch`.
     fn process_partition<S: TraceSink + ?Sized>(
         &self,
         tile: &Coo<f32>,
@@ -408,10 +454,11 @@ impl Platform {
         grid_pos: (usize, usize),
         sink: &mut S,
         idx: usize,
+        scratch: &mut EncodeScratch,
     ) -> Result<(PartitionTiming, Decompression), PlatformError> {
-        let encoded = EncodedPartition::encode(tile, format, &self.cfg)?;
-        let d = decompress(&encoded, &self.cfg);
-        if self.cfg.verify_functional && d.assemble(self.cfg.partition_size) != tile.to_dense() {
+        let encoded = EncodedPartition::encode_with(tile, format, &self.cfg, scratch)?;
+        let d = decompress_with(&encoded, &self.cfg, scratch);
+        if self.cfg.verify_functional && !scratch.verify_tile(&d, tile, self.cfg.partition_size) {
             if sink.enabled() {
                 sink.record(&PipelineEvent::FunctionalMismatch {
                     partition: idx,
@@ -438,6 +485,7 @@ impl Platform {
             useful_bytes: encoded.useful_bytes,
             bram_reads: d.bram_reads,
         };
+        scratch.recycle_encoded(encoded);
         Ok((timing, d))
     }
 
@@ -453,8 +501,15 @@ impl Platform {
         format: FormatKind,
         grid_pos: (usize, usize),
     ) -> Result<PartitionTiming, PlatformError> {
-        self.process_partition(&tile, format, grid_pos, &mut NullSink, 0)
-            .map(|(timing, _)| timing)
+        self.process_partition(
+            &tile,
+            format,
+            grid_pos,
+            &mut NullSink,
+            0,
+            &mut EncodeScratch::new(),
+        )
+        .map(|(timing, _)| timing)
     }
 
     /// Executes a full SpMV `y = A·x` through the modeled datapath — every
@@ -465,13 +520,17 @@ impl Platform {
     ///
     /// Returns [`PlatformError::Sparse`] when `x.len() != A.ncols()`, plus
     /// everything [`Platform::run`] can return.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...).consume_spmv(x)`"
+    )]
     pub fn run_spmv(
         &self,
         matrix: &Coo<f32>,
         x: &[f32],
         format: FormatKind,
     ) -> Result<(Vec<f32>, RunReport), PlatformError> {
-        self.run_spmv_with_sink(matrix, x, format, &mut NullSink)
+        self.spmv_engine(matrix, x, format, &mut NullSink, &mut EncodeScratch::new())
     }
 
     /// Like [`Platform::run_spmv`], emitting pipeline events into `sink`.
@@ -482,12 +541,27 @@ impl Platform {
     /// # Errors
     ///
     /// See [`Platform::run_spmv`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...).consume_spmv(x).with_sink(...)`"
+    )]
     pub fn run_spmv_with_sink<S: TraceSink + ?Sized>(
         &self,
         matrix: &Coo<f32>,
         x: &[f32],
         format: FormatKind,
         sink: &mut S,
+    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
+        self.spmv_engine(matrix, x, format, sink, &mut EncodeScratch::new())
+    }
+
+    fn spmv_engine<S: TraceSink + ?Sized>(
+        &self,
+        matrix: &Coo<f32>,
+        x: &[f32],
+        format: FormatKind,
+        sink: &mut S,
+        scratch: &mut EncodeScratch,
     ) -> Result<(Vec<f32>, RunReport), PlatformError> {
         if x.len() != matrix.ncols() {
             return Err(PlatformError::Sparse(SparseError::ShapeMismatch {
@@ -497,34 +571,50 @@ impl Platform {
         }
         let p = self.cfg.partition_size;
         let grid = PartitionGrid::new(matrix, p)?;
-        let nrows = matrix.nrows();
-        let mut y = vec![0.0f32; nrows];
-        let report = self.run_grid_inner(&grid, format, sink, |part, d| {
-            let row0 = part.grid_row * p;
-            let col0 = part.grid_col * p;
-            for (lr, row) in &d.contributions {
-                let gr = row0 + lr;
-                if gr >= nrows {
-                    continue;
-                }
-                // The engine: element-wise multiply against the operand
-                // slice, then the balanced adder tree (here a sum).
-                let dot: f32 = row
-                    .iter()
-                    .enumerate()
-                    .map(|(lc, &v)| {
-                        let gc = col0 + lc;
-                        if gc < x.len() {
-                            v * x[gc]
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum();
-                y[gr] += dot;
-            }
-        })?;
+        let mut y = vec![0.0f32; matrix.nrows()];
+        let report = self.run_grid_scratch(
+            &grid,
+            format,
+            sink,
+            |part, d| apply_contributions(part, d, p, x, &mut y),
+            scratch,
+        )?;
         Ok((y, report))
+    }
+}
+
+/// The dot-product engine consuming one decompressed partition during SpMV:
+/// element-wise multiply of each contributed row against the operand slice,
+/// then the balanced adder tree (here a sum), accumulated into `y`. Rows or
+/// columns hanging past the true matrix shape (edge tiles are padded to
+/// `p×p`) are ignored.
+pub(crate) fn apply_contributions(
+    part: &Partition<f32>,
+    d: &Decompression,
+    p: usize,
+    x: &[f32],
+    y: &mut [f32],
+) {
+    let row0 = part.grid_row * p;
+    let col0 = part.grid_col * p;
+    for (lr, row) in &d.contributions {
+        let gr = row0 + lr;
+        if gr >= y.len() {
+            continue;
+        }
+        let dot: f32 = row
+            .iter()
+            .enumerate()
+            .map(|(lc, &v)| {
+                let gc = col0 + lc;
+                if gc < x.len() {
+                    v * x[gc]
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        y[gr] += dot;
     }
 }
 
@@ -598,13 +688,24 @@ impl Platform {
     ///
     /// Returns [`PlatformError::Config`] when `lanes == 0`, plus everything
     /// [`Platform::run`] can return.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...).with_lanes(n)`"
+    )]
     pub fn run_parallel(
         &self,
         matrix: &Coo<f32>,
         format: FormatKind,
         lanes: usize,
     ) -> Result<ParallelReport, PlatformError> {
-        self.run_parallel_with_sink(matrix, format, lanes, &mut NullSink)
+        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
+        self.run_parallel_grid_scratch(
+            &grid,
+            format,
+            lanes,
+            &mut NullSink,
+            &mut EncodeScratch::new(),
+        )
     }
 
     /// Like [`Platform::run_parallel`], emitting pipeline events into
@@ -617,6 +718,10 @@ impl Platform {
     /// # Errors
     ///
     /// See [`Platform::run_parallel`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::run` with `RunRequest::matrix(...).with_lanes(n).with_sink(...)`"
+    )]
     pub fn run_parallel_with_sink<S: TraceSink + ?Sized>(
         &self,
         matrix: &Coo<f32>,
@@ -624,10 +729,23 @@ impl Platform {
         lanes: usize,
         sink: &mut S,
     ) -> Result<ParallelReport, PlatformError> {
+        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
+        self.run_parallel_grid_scratch(&grid, format, lanes, sink, &mut EncodeScratch::new())
+    }
+
+    /// The aggregated-lanes engine over a pre-built grid: one shared memory
+    /// channel, `lanes` decompress+dot pipelines, online-LPT dealing.
+    pub(crate) fn run_parallel_grid_scratch<S: TraceSink + ?Sized>(
+        &self,
+        grid: &PartitionGrid<f32>,
+        format: FormatKind,
+        lanes: usize,
+        sink: &mut S,
+        scratch: &mut EncodeScratch,
+    ) -> Result<ParallelReport, PlatformError> {
         if lanes == 0 {
             return Err(PlatformError::Config("lane count must be positive".into()));
         }
-        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
         if sink.enabled() {
             sink.record(&PipelineEvent::RunStart {
                 format: format.to_string(),
@@ -638,13 +756,15 @@ impl Platform {
         let mut builder = ReportBuilder::new(format, &self.cfg);
         let mut timings = Vec::with_capacity(grid.partitions().len());
         for (idx, part) in grid.partitions().iter().enumerate() {
-            let (timing, _) = self.process_partition(
+            let (timing, d) = self.process_partition(
                 &part.coo,
                 format,
                 (part.grid_row, part.grid_col),
                 sink,
                 idx,
+                scratch,
             )?;
+            scratch.recycle_decompression(d);
             builder.push(&timing);
             timings.push(timing);
         }
@@ -718,6 +838,7 @@ impl Default for Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{RunRequest, Session};
     use sparsemat::Coo;
 
     fn matrix() -> Coo<f32> {
@@ -734,18 +855,37 @@ mod tests {
         coo
     }
 
+    fn session() -> Session {
+        Session::from_platform(Platform::default())
+    }
+
+    fn run(s: &mut Session, m: &Coo<f32>, kind: FormatKind) -> RunReport {
+        s.run(RunRequest::matrix(m, kind)).unwrap().report
+    }
+
+    fn run_parallel(
+        s: &mut Session,
+        m: &Coo<f32>,
+        kind: FormatKind,
+        lanes: usize,
+    ) -> ParallelReport {
+        s.run(RunRequest::matrix(m, kind).with_lanes(lanes))
+            .unwrap()
+            .parallel
+            .unwrap()
+    }
+
     #[test]
     fn dense_sigma_is_exactly_one() {
-        let platform = Platform::default();
-        let report = platform.run(&matrix(), FormatKind::Dense).unwrap();
+        let report = run(&mut session(), &matrix(), FormatKind::Dense);
         assert_eq!(report.sigma(), 1.0);
     }
 
     #[test]
     fn all_formats_run_and_verify() {
-        let platform = Platform::default();
+        let mut s = session();
         for kind in FormatKind::CHARACTERIZED {
-            let report = platform.run(&matrix(), kind).unwrap();
+            let report = run(&mut s, &matrix(), kind);
             assert!(report.partitions > 0, "{kind}");
             assert!(report.total_cycles > 0, "{kind}");
             assert!(report.sigma() > 0.0, "{kind}");
@@ -757,18 +897,22 @@ mod tests {
         let m = matrix();
         let x: Vec<f32> = (0..64).map(|i| ((i % 7) as f32) - 3.0).collect();
         let expect = m.spmv(&x).unwrap();
-        let platform = Platform::default();
+        let mut s = session();
         for kind in FormatKind::CHARACTERIZED {
-            let (y, _) = platform.run_spmv(&m, &x, kind).unwrap();
+            let y = s
+                .run(RunRequest::matrix(&m, kind).consume_spmv(&x))
+                .unwrap()
+                .y
+                .unwrap();
             assert_eq!(y, expect, "{kind}");
         }
     }
 
     #[test]
     fn spmv_rejects_wrong_operand() {
-        let platform = Platform::default();
+        let mut s = session();
         assert!(matches!(
-            platform.run_spmv(&matrix(), &[1.0; 3], FormatKind::Csr),
+            s.run(RunRequest::matrix(&matrix(), FormatKind::Csr).consume_spmv(&[1.0; 3])),
             Err(PlatformError::Sparse(_))
         ));
     }
@@ -777,14 +921,14 @@ mod tests {
     fn csc_is_the_slowest_compute() {
         // §6.1: "The worst-case scenario of decompression occurs with the
         // CSC format."
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
-        let csc = platform.run(&m, FormatKind::Csc).unwrap();
+        let csc = run(&mut s, &m, FormatKind::Csc);
         for kind in FormatKind::CHARACTERIZED {
             if kind == FormatKind::Csc {
                 continue;
             }
-            let other = platform.run(&m, kind).unwrap();
+            let other = run(&mut s, &m, kind);
             assert!(
                 csc.total_compute_cycles >= other.total_compute_cycles,
                 "CSC should beat {kind} at being slow"
@@ -796,9 +940,9 @@ mod tests {
     fn sparse_formats_move_fewer_bytes_than_dense() {
         // §6.2: "the latency to transmit data and metadata for all sparse
         // formats is much lower than that for the dense format."
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
-        let dense = platform.run(&m, FormatKind::Dense).unwrap();
+        let dense = run(&mut s, &m, FormatKind::Dense);
         for kind in [
             FormatKind::Csr,
             FormatKind::Coo,
@@ -806,7 +950,7 @@ mod tests {
             FormatKind::Ell,
             FormatKind::Dia,
         ] {
-            let r = platform.run(&m, kind).unwrap();
+            let r = run(&mut s, &m, kind);
             assert!(
                 r.total_bytes < dense.total_bytes,
                 "{kind} moved {} >= dense {}",
@@ -818,8 +962,7 @@ mod tests {
 
     #[test]
     fn pipelined_total_is_at_least_the_bottleneck_sum() {
-        let platform = Platform::default();
-        let r = platform.run(&matrix(), FormatKind::Csr).unwrap();
+        let r = run(&mut session(), &matrix(), FormatKind::Csr);
         assert!(r.total_cycles >= r.total_mem_cycles.max(r.total_compute_cycles));
         assert!(
             r.total_cycles
@@ -838,16 +981,17 @@ mod tests {
 
     #[test]
     fn reports_are_deterministic() {
-        let platform = Platform::default();
-        let a = platform.run(&matrix(), FormatKind::Lil).unwrap();
-        let b = platform.run(&matrix(), FormatKind::Lil).unwrap();
+        let mut s = session();
+        let a = run(&mut s, &matrix(), FormatKind::Lil);
+        let b = run(&mut s, &matrix(), FormatKind::Lil);
         assert_eq!(a, b);
         // Attaching a sink must not perturb the report: instrumented and
         // uninstrumented runs are bit-identical.
         let mut sink = copernicus_telemetry::RecordingSink::new();
-        let c = platform
-            .run_with_sink(&matrix(), FormatKind::Lil, &mut sink)
-            .unwrap();
+        let c = s
+            .run(RunRequest::matrix(&matrix(), FormatKind::Lil).with_sink(&mut sink))
+            .unwrap()
+            .report;
         assert_eq!(a, c);
         assert!(!sink.events.is_empty());
     }
@@ -856,11 +1000,14 @@ mod tests {
     fn trace_spans_sum_exactly_to_report_totals() {
         // The defining invariant of the telemetry layer: for every format,
         // the emitted stage spans account for each report total exactly.
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
         for kind in FormatKind::CHARACTERIZED {
             let mut sink = copernicus_telemetry::RecordingSink::new();
-            let report = platform.run_with_sink(&m, kind, &mut sink).unwrap();
+            let report = s
+                .run(RunRequest::matrix(&m, kind).with_sink(&mut sink))
+                .unwrap()
+                .report;
             assert_eq!(
                 sink.stage_cycles(Stage::MemRead),
                 report.total_mem_cycles,
@@ -895,10 +1042,9 @@ mod tests {
 
     #[test]
     fn trace_spans_form_a_consistent_schedule() {
-        let platform = Platform::default();
+        let mut s = session();
         let mut sink = copernicus_telemetry::RecordingSink::new();
-        platform
-            .run_with_sink(&matrix(), FormatKind::Csr, &mut sink)
+        s.run(RunRequest::matrix(&matrix(), FormatKind::Csr).with_sink(&mut sink))
             .unwrap();
         // Memory bursts serialize back-to-back on the channel; compute
         // never starts before its operands have arrived; decompression is a
@@ -941,18 +1087,23 @@ mod tests {
 
     #[test]
     fn spmv_processes_each_partition_once_and_report_is_unchanged() {
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
         let x: Vec<f32> = (0..64).map(|i| ((i % 5) as f32) - 2.0).collect();
         for kind in FormatKind::CHARACTERIZED {
             let mut sink = copernicus_telemetry::RecordingSink::new();
-            let (y, report) = platform
-                .run_spmv_with_sink(&m, &x, kind, &mut sink)
+            let outcome = s
+                .run(
+                    RunRequest::matrix(&m, kind)
+                        .consume_spmv(&x)
+                        .with_sink(&mut sink),
+                )
                 .unwrap();
+            let report = outcome.report;
             // Identical to the timing-only run: the SpMV path reuses the
             // same single encode+decompress pass per tile.
-            assert_eq!(report, platform.run(&m, kind).unwrap(), "{kind}");
-            assert_eq!(y, m.spmv(&x).unwrap(), "{kind}");
+            assert_eq!(report, run(&mut s, &m, kind), "{kind}");
+            assert_eq!(outcome.y.unwrap(), m.spmv(&x).unwrap(), "{kind}");
             // Exactly one span set per partition — a second encode pass
             // would double this.
             assert_eq!(sink.count("stage_span"), 4 * report.partitions, "{kind}");
@@ -961,12 +1112,18 @@ mod tests {
 
     #[test]
     fn parallel_trace_lands_on_lane_tracks() {
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
         let lanes = 3;
         let mut sink = copernicus_telemetry::RecordingSink::new();
-        let report = platform
-            .run_parallel_with_sink(&m, FormatKind::Csc, lanes, &mut sink)
+        let report = s
+            .run(
+                RunRequest::matrix(&m, FormatKind::Csc)
+                    .with_lanes(lanes)
+                    .with_sink(&mut sink),
+            )
+            .unwrap()
+            .parallel
             .unwrap();
         let mut lane_compute = vec![0u64; lanes];
         let mut mem_total = 0u64;
@@ -1002,10 +1159,10 @@ mod tests {
     fn parallel_lanes_speed_up_compute_bound_formats() {
         // CSC is deeply compute-bound: aggregating instances must help
         // nearly linearly until the shared channel saturates.
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
-        let r1 = platform.run_parallel(&m, FormatKind::Csc, 1).unwrap();
-        let r4 = platform.run_parallel(&m, FormatKind::Csc, 4).unwrap();
+        let r1 = run_parallel(&mut s, &m, FormatKind::Csc, 1);
+        let r4 = run_parallel(&mut s, &m, FormatKind::Csc, 4);
         assert!(r4.total_cycles < r1.total_cycles);
         assert!(r4.speedup() > 1.5, "speedup {}", r4.speedup());
         assert!(r4.efficiency() <= 1.0 + 1e-9);
@@ -1016,11 +1173,11 @@ mod tests {
         // A single 16x16 partition can keep exactly one lane busy; with 8
         // lanes configured, efficiency must be judged against that one
         // usable lane (== speedup), not divided by the 7 idle ones.
-        let platform = Platform::default();
+        let mut s = session();
         let mut m = Coo::new(16, 16);
         m.push(3, 5, 1.0).unwrap();
         m.push(7, 2, -2.0).unwrap();
-        let r = platform.run_parallel(&m, FormatKind::Csr, 8).unwrap();
+        let r = run_parallel(&mut s, &m, FormatKind::Csr, 8);
         assert_eq!(r.single_lane.partitions, 1);
         assert_eq!(r.effective_lanes(), 1);
         assert!(
@@ -1033,11 +1190,11 @@ mod tests {
 
     #[test]
     fn effective_lanes_caps_at_partition_count() {
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix(); // 64x64 at p=16 -> 4x4 grid, 16 partitions max
-        let r4 = platform.run_parallel(&m, FormatKind::Csr, 4).unwrap();
+        let r4 = run_parallel(&mut s, &m, FormatKind::Csr, 4);
         assert_eq!(r4.effective_lanes(), 4);
-        let r64 = platform.run_parallel(&m, FormatKind::Csr, 64).unwrap();
+        let r64 = run_parallel(&mut s, &m, FormatKind::Csr, 64);
         assert_eq!(r64.effective_lanes(), r64.single_lane.partitions);
         assert!(r64.effective_lanes() < 64);
         assert!(r64.efficiency() <= 1.0 + 1e-9);
@@ -1047,10 +1204,7 @@ mod tests {
     fn empty_grid_parallel_report_is_neutral() {
         // Zero partitions -> zero cycles at any lane count: speedup pins to
         // the neutral 1.0 and efficiency follows via effective_lanes == 1.
-        let platform = Platform::default();
-        let r = platform
-            .run_parallel(&Coo::new(32, 32), FormatKind::Csr, 4)
-            .unwrap();
+        let r = run_parallel(&mut session(), &Coo::new(32, 32), FormatKind::Csr, 4);
         assert_eq!(r.total_cycles, 0);
         assert_eq!(r.speedup(), 1.0);
         assert_eq!(r.effective_lanes(), 1);
@@ -1062,27 +1216,27 @@ mod tests {
     fn parallel_lanes_cannot_beat_the_shared_channel() {
         // The dense format is already memory-heavy; lanes saturate fast and
         // the run ends memory-bound at the channel's serialized time.
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
-        let r8 = platform.run_parallel(&m, FormatKind::Dense, 8).unwrap();
+        let r8 = run_parallel(&mut s, &m, FormatKind::Dense, 8);
         assert!(r8.is_memory_bound());
         assert_eq!(r8.total_cycles, r8.shared_mem_cycles);
     }
 
     #[test]
     fn zero_lanes_is_rejected() {
-        let platform = Platform::default();
+        let mut s = session();
         assert!(matches!(
-            platform.run_parallel(&matrix(), FormatKind::Coo, 0),
+            s.run(RunRequest::matrix(&matrix(), FormatKind::Coo).with_lanes(0)),
             Err(PlatformError::Config(_))
         ));
     }
 
     #[test]
     fn one_lane_matches_the_unpipelined_bound() {
-        let platform = Platform::default();
+        let mut s = session();
         let m = matrix();
-        let r = platform.run_parallel(&m, FormatKind::Csr, 1).unwrap();
+        let r = run_parallel(&mut s, &m, FormatKind::Csr, 1);
         // One lane = max(all mem, all compute), which can only be <= the
         // pipelined single-lane total (that adds fill and per-partition
         // bottlenecks).
@@ -1092,11 +1246,87 @@ mod tests {
 
     #[test]
     fn empty_matrix_produces_empty_report() {
-        let platform = Platform::default();
-        let r = platform.run(&Coo::new(32, 32), FormatKind::Csr).unwrap();
+        let r = run(&mut session(), &Coo::new(32, 32), FormatKind::Csr);
         assert_eq!(r.partitions, 0);
         assert_eq!(r.total_cycles, 0);
         assert_eq!(r.sigma(), 0.0);
         assert_eq!(r.throughput_bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_report_metrics_stay_finite() {
+        // The empty run pins the zero edges ...
+        let r = run(&mut session(), &Coo::new(32, 32), FormatKind::Csr);
+        assert_eq!(r.total_seconds(), 0.0);
+        assert_eq!(r.throughput_bytes_per_sec(), 0.0);
+        assert_eq!(r.bandwidth_utilization(), 0.0);
+        // ... and a hand-built report with a broken clock (HwConfig::validate
+        // would reject it, but serialized reports can carry anything) must
+        // yield 0.0, never NaN/Inf.
+        let mut broken = r.clone();
+        broken.total_cycles = 100;
+        broken.total_bytes = 64;
+        for clock in [0.0, -250.0, f64::NAN, f64::INFINITY] {
+            broken.clock_mhz = clock;
+            assert_eq!(broken.total_seconds(), 0.0, "clock={clock}");
+            assert_eq!(broken.throughput_bytes_per_sec(), 0.0, "clock={clock}");
+        }
+        broken.clock_mhz = 250.0;
+        assert!(broken.total_seconds() > 0.0);
+        assert!(broken.throughput_bytes_per_sec().is_finite());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_session_api() {
+        // Every pre-Session entry point must keep producing exactly what
+        // the Session produces, until the shims are removed.
+        let platform = Platform::default();
+        let m = matrix();
+        let x: Vec<f32> = (0..64).map(|i| ((i % 3) as f32) - 1.0).collect();
+        let grid = PartitionGrid::new(&m, platform.config().partition_size).unwrap();
+        let mut s = Session::from_platform(platform.clone());
+        let want = run(&mut s, &m, FormatKind::Csr);
+        let spmv_want = s
+            .run(RunRequest::matrix(&m, FormatKind::Csr).consume_spmv(&x))
+            .unwrap();
+        let par_want = run_parallel(&mut s, &m, FormatKind::Csr, 3);
+
+        assert_eq!(platform.run(&m, FormatKind::Csr).unwrap(), want);
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        assert_eq!(
+            platform
+                .run_with_sink(&m, FormatKind::Csr, &mut sink)
+                .unwrap(),
+            want
+        );
+        assert_eq!(platform.run_grid(&grid, FormatKind::Csr).unwrap(), want);
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        assert_eq!(
+            platform
+                .run_grid_with_sink(&grid, FormatKind::Csr, &mut sink)
+                .unwrap(),
+            want
+        );
+        let (y, report) = platform.run_spmv(&m, &x, FormatKind::Csr).unwrap();
+        assert_eq!(y, spmv_want.y.clone().unwrap());
+        assert_eq!(report, spmv_want.report);
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        let (y, report) = platform
+            .run_spmv_with_sink(&m, &x, FormatKind::Csr, &mut sink)
+            .unwrap();
+        assert_eq!(y, spmv_want.y.clone().unwrap());
+        assert_eq!(report, spmv_want.report);
+        assert_eq!(
+            platform.run_parallel(&m, FormatKind::Csr, 3).unwrap(),
+            par_want
+        );
+        let mut sink = copernicus_telemetry::RecordingSink::new();
+        assert_eq!(
+            platform
+                .run_parallel_with_sink(&m, FormatKind::Csr, 3, &mut sink)
+                .unwrap(),
+            par_want
+        );
     }
 }

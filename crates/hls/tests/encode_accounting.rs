@@ -1,0 +1,144 @@
+//! Property tests pinning `EncodedPartition::encode` stream-byte accounting
+//! to the *actual* lengths of the encoded `sparsemat` structures — for
+//! every characterized format, including tiles with duplicate coordinates
+//! (which CSR/CSC/LIL/ELL/DIA merge during encoding while COO/DOK stream
+//! verbatim).
+
+use copernicus_hls::{EncodedPartition, HwConfig, Stream};
+use proptest::prelude::*;
+use sparsemat::{AnyMatrix, Coo, FormatKind, Matrix, Triplet};
+
+const P: usize = 16;
+
+/// A tile that may contain repeated coordinates (values accumulate).
+fn dup_tile_strategy() -> impl Strategy<Value = Coo<f32>> {
+    let cells = P * P;
+    proptest::collection::vec((0..cells, prop_oneof![-9i32..0, 1i32..=9]), 1..=cells / 2).prop_map(
+        |pairs| {
+            let triplets = pairs
+                .into_iter()
+                .map(|(cell, v)| Triplet::new(cell / P, cell % P, v as f32))
+                .collect();
+            Coo::from_triplets(P, P, triplets).expect("in range")
+        },
+    )
+}
+
+fn stream_bytes(streams: &[Stream], name: &str) -> u64 {
+    streams
+        .iter()
+        .find(|s| s.name == name)
+        .map_or(0, |s| s.bytes)
+}
+
+proptest! {
+    #[test]
+    fn stream_bytes_match_the_encoded_structures(tile in dup_tile_strategy()) {
+        let cfg = HwConfig::with_partition_size(P);
+        let vb = cfg.value_bytes as u64;
+        let ib = cfg.index_bytes as u64;
+        let p = P as u64;
+        let raw_nnz = tile.nnz() as u64;
+
+        for kind in FormatKind::CHARACTERIZED {
+            let e = EncodedPartition::encode(&tile, kind, &cfg).unwrap();
+            // Universal identities: the total is exactly the stream sum and
+            // the useful payload is the encoded structure's entry count.
+            prop_assert_eq!(
+                e.total_bytes(),
+                e.streams.iter().map(|s| s.bytes).sum::<u64>(),
+                "{}", kind
+            );
+            prop_assert_eq!(e.useful_bytes, e.matrix.nnz() as u64 * vb, "{}", kind);
+
+            match (&e.matrix, kind) {
+                (AnyMatrix::Dense(_), FormatKind::Dense) => {
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), p * p * vb);
+                }
+                (AnyMatrix::Csr(m), FormatKind::Csr) => {
+                    let stored = m.nnz() as u64;
+                    prop_assert!(stored <= raw_nnz, "CSR must merge duplicates");
+                    prop_assert_eq!(stream_bytes(&e.streams, "offsets"), (p + 1) * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "colInx"), stored * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), stored * vb);
+                }
+                (AnyMatrix::Csc(m), FormatKind::Csc) => {
+                    let stored = m.nnz() as u64;
+                    prop_assert!(stored <= raw_nnz, "CSC must merge duplicates");
+                    prop_assert_eq!(stream_bytes(&e.streams, "offsets"), (p + 1) * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "rowInx"), stored * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), stored * vb);
+                }
+                (AnyMatrix::Bcsr(m), FormatKind::Bcsr) => {
+                    let b2 = (m.block_size() * m.block_size()) as u64;
+                    prop_assert_eq!(
+                        stream_bytes(&e.streams, "offsets"),
+                        (m.block_rows() as u64 + 1) * ib
+                    );
+                    prop_assert_eq!(
+                        stream_bytes(&e.streams, "colInx"),
+                        m.num_blocks() as u64 * ib
+                    );
+                    prop_assert_eq!(
+                        stream_bytes(&e.streams, "values"),
+                        m.num_blocks() as u64 * b2 * vb
+                    );
+                }
+                (AnyMatrix::Coo(m), FormatKind::Coo | FormatKind::Dok) => {
+                    // COO/DOK stream the tuple list verbatim — duplicates
+                    // travel as separate (row, col, value) entries.
+                    prop_assert_eq!(m.nnz() as u64, raw_nnz);
+                    prop_assert_eq!(stream_bytes(&e.streams, "rowInx"), raw_nnz * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "colInx"), raw_nnz * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), raw_nnz * vb);
+                }
+                (AnyMatrix::Lil(m), FormatKind::Lil) => {
+                    let height = m.max_line_len() as u64 + 1;
+                    prop_assert_eq!(stream_bytes(&e.streams, "Inx"), height * p * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), height * p * vb);
+                }
+                (AnyMatrix::Ell(m), FormatKind::Ell) => {
+                    let w = m.width() as u64;
+                    prop_assert_eq!(stream_bytes(&e.streams, "colInx"), w * p * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), w * p * vb);
+                }
+                (AnyMatrix::Dia(m), FormatKind::Dia) => {
+                    prop_assert_eq!(
+                        stream_bytes(&e.streams, "diags"),
+                        m.num_diagonals() as u64 * (p + 1) * vb
+                    );
+                }
+                (other, kind) => {
+                    prop_assert!(
+                        false,
+                        "{} encoded into unexpected structure {:?}",
+                        kind,
+                        other.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_merge_shrinks_merging_formats_only(tile in dup_tile_strategy()) {
+        // Re-encoding from the merged CSR view must cost COO strictly less
+        // whenever the tile actually contained duplicates, while CSR's own
+        // byte count is invariant under pre-merging.
+        let cfg = HwConfig::with_partition_size(P);
+        let merged_coo = sparsemat::Csr::from(&tile).to_coo();
+        let had_duplicates = merged_coo.nnz() < tile.nnz();
+
+        let coo_raw = EncodedPartition::encode(&tile, FormatKind::Coo, &cfg).unwrap();
+        let coo_merged = EncodedPartition::encode(&merged_coo, FormatKind::Coo, &cfg).unwrap();
+        prop_assert_eq!(
+            coo_raw.total_bytes() > coo_merged.total_bytes(),
+            had_duplicates
+        );
+
+        let csr_raw = EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap();
+        let csr_merged = EncodedPartition::encode(&merged_coo, FormatKind::Csr, &cfg).unwrap();
+        prop_assert_eq!(csr_raw.total_bytes(), csr_merged.total_bytes());
+        prop_assert_eq!(csr_raw.useful_bytes, csr_merged.useful_bytes);
+    }
+}

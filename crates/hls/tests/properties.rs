@@ -1,7 +1,7 @@
 //! Property-based tests of the platform model: functional correctness of
 //! every decompressor, closed-form cycle identities, and metric invariants.
 
-use copernicus_hls::{decompress, EncodedPartition, HwConfig, Platform};
+use copernicus_hls::{decompress, EncodedPartition, HwConfig, RunRequest, Session};
 use proptest::prelude::*;
 use sparsemat::{Coo, Dia, FormatKind, Lil, Matrix, Triplet};
 
@@ -119,22 +119,22 @@ proptest! {
         })
     ) {
         let expect = m.spmv(&x).unwrap();
-        let platform = Platform::default();
+        let mut session = Session::new(HwConfig::default()).unwrap();
         for kind in FormatKind::CHARACTERIZED {
-            let (y, report) = platform.run_spmv(&m, &x, kind).unwrap();
-            prop_assert_eq!(&y, &expect, "{} diverged", kind);
-            prop_assert_eq!(report.partitions > 0, m.nnz() > 0);
+            let outcome = session.run(RunRequest::matrix(&m, kind).consume_spmv(&x)).unwrap();
+            prop_assert_eq!(&outcome.y.unwrap(), &expect, "{} diverged", kind);
+            prop_assert_eq!(outcome.report.partitions > 0, m.nnz() > 0);
         }
     }
 
     #[test]
     fn dense_sigma_is_one_and_others_positive(m in matrix_strategy()) {
         prop_assume!(m.nnz() > 0);
-        let platform = Platform::default();
-        let dense = platform.run(&m, FormatKind::Dense).unwrap();
+        let mut session = Session::new(HwConfig::default()).unwrap();
+        let dense = session.run(RunRequest::matrix(&m, FormatKind::Dense)).unwrap().report;
         prop_assert!((dense.sigma() - 1.0).abs() < 1e-12);
         for kind in FormatKind::CHARACTERIZED {
-            let r = platform.run(&m, kind).unwrap();
+            let r = session.run(RunRequest::matrix(&m, kind)).unwrap().report;
             prop_assert!(r.sigma() > 0.0, "{kind}");
             prop_assert!(r.balance_ratio > 0.0, "{kind}");
             prop_assert!(r.total_cycles >= r.total_mem_cycles.max(r.total_compute_cycles), "{kind}");
@@ -144,10 +144,14 @@ proptest! {
     #[test]
     fn partition_size_sweep_preserves_functionality(m in matrix_strategy(), p in 4usize..=32) {
         prop_assume!(m.nnz() > 0);
-        let platform = Platform::new(HwConfig::with_partition_size(p)).unwrap();
+        let mut session = Session::new(HwConfig::with_partition_size(p)).unwrap();
         let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 5) as f32 - 2.0).collect();
         let expect = m.spmv(&x).unwrap();
-        let (y, _) = platform.run_spmv(&m, &x, FormatKind::Bcsr).unwrap();
+        let y = session
+            .run(RunRequest::matrix(&m, FormatKind::Bcsr).consume_spmv(&x))
+            .unwrap()
+            .y
+            .unwrap();
         prop_assert_eq!(y, expect);
     }
 
@@ -165,11 +169,14 @@ proptest! {
         // The telemetry layer's defining invariant, over random matrices:
         // recorded stage spans account for every report total exactly, and
         // the instrumented report is bit-identical to the plain one.
-        let platform = Platform::default();
+        let mut session = Session::new(HwConfig::default()).unwrap();
         for kind in FormatKind::CHARACTERIZED {
             let mut sink = copernicus_telemetry::RecordingSink::new();
-            let traced = platform.run_with_sink(&m, kind, &mut sink).unwrap();
-            let plain = platform.run(&m, kind).unwrap();
+            let traced = session
+                .run(RunRequest::matrix(&m, kind).with_sink(&mut sink))
+                .unwrap()
+                .report;
+            let plain = session.run(RunRequest::matrix(&m, kind)).unwrap().report;
             prop_assert_eq!(&traced, &plain, "{} report changed under tracing", kind);
             use copernicus_telemetry::Stage;
             prop_assert_eq!(sink.stage_cycles(Stage::MemRead), traced.total_mem_cycles, "{}", kind);

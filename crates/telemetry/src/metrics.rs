@@ -188,6 +188,16 @@ impl MetricsRegistry {
             .fetch_add(by, Ordering::Relaxed);
     }
 
+    /// Adds `by` to the counter `name` unless `by` is zero. Zero deltas do
+    /// not create the counter, so exporters of occasional events (cache
+    /// deltas, retries, failures) keep a quiet run's TSV/JSON byte-identical
+    /// to one where the subsystem never reported at all.
+    pub fn incr_nonzero(&self, name: &str, by: u64) {
+        if by > 0 {
+            self.incr(name, by);
+        }
+    }
+
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         self.histograms
@@ -299,6 +309,17 @@ mod tests {
         assert_eq!(m.counter("x"), 7);
         assert_eq!(m.counter("y"), 1);
         assert_eq!(m.counter_names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn incr_nonzero_skips_zero_deltas() {
+        let m = MetricsRegistry::new();
+        m.incr_nonzero("quiet", 0);
+        assert!(m.counter_names().is_empty(), "zero delta must not register");
+        m.incr_nonzero("loud", 3);
+        m.incr_nonzero("loud", 0);
+        assert_eq!(m.counter("loud"), 3);
+        assert_eq!(m.counter_names(), vec!["loud".to_string()]);
     }
 
     #[test]

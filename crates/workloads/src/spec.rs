@@ -67,6 +67,16 @@ impl Workload {
         }
     }
 
+    /// Canonical memoization key for the generated matrix:
+    /// [`generate`](Workload::generate) is a pure function of
+    /// `(spec, max_dim, seed)`, so this key captures every input that
+    /// determines the matrix bytes. The `Debug` form is used instead of
+    /// [`label`](Workload::label) because labels elide the dimension
+    /// (`d=0.5` at two different `n` must not collide).
+    pub fn cache_key(&self, max_dim: usize, seed: u64) -> String {
+        format!("{self:?}|seed={seed}|cap={max_dim}")
+    }
+
     /// Generates the matrix. `max_dim` caps the dimension of suite
     /// stand-ins; random and band workloads always use their own `n`.
     pub fn generate(&self, max_dim: usize, seed: u64) -> Coo<f32> {
@@ -145,6 +155,22 @@ mod tests {
 
         let b = Workload::Band { n: 32, width: 4 }.generate(0, 1);
         assert_eq!(b.nnz(), crate::band::band_nnz(32, 4));
+    }
+
+    #[test]
+    fn cache_keys_separate_what_labels_collapse() {
+        let a = Workload::Random {
+            n: 32,
+            density: 0.5,
+        };
+        let b = Workload::Random {
+            n: 64,
+            density: 0.5,
+        };
+        assert_eq!(a.label(), b.label());
+        assert_ne!(a.cache_key(0, 42), b.cache_key(0, 42));
+        assert_ne!(a.cache_key(0, 42), a.cache_key(0, 43));
+        assert_ne!(a.cache_key(0, 42), a.cache_key(1, 42));
     }
 
     #[test]

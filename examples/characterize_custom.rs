@@ -8,7 +8,7 @@
 //! ```
 
 use copernicus::table::{eng, f3, TextTable};
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use copernicus_workloads::{mtx, seeded_rng};
 use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid};
 use std::fs::File;
@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("characterization (σ, balance, bandwidth utilization, throughput):");
     let mut table = TextTable::new(&["format", "p", "sigma", "balance", "bw_util", "throughput"]);
     for p in [8usize, 16, 32] {
-        let platform = Platform::new(HwConfig::with_partition_size(p))?;
+        let mut session = Session::new(HwConfig::with_partition_size(p))?;
         for kind in FormatKind::CHARACTERIZED {
-            let r = platform.run(&matrix, kind)?;
+            let r = session.run(RunRequest::matrix(&matrix, kind))?.report;
             table.row(&[
                 kind.to_string(),
                 p.to_string(),

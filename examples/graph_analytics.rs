@@ -11,7 +11,7 @@
 //! cargo run --example graph_analytics
 //! ```
 
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use copernicus_workloads::rmat::{rmat, RmatParams};
 use copernicus_workloads::seeded_rng;
 use sparsemat::{Coo, FormatKind, Matrix};
@@ -34,7 +34,7 @@ fn transition_matrix(graph: &Coo<f32>) -> Coo<f32> {
 
 /// One PageRank sweep: `r' = (1-d)/n + d · (M·r + dangling_mass/n)`.
 fn pagerank(
-    platform: &Platform,
+    session: &mut Session,
     m: &Coo<f32>,
     outdeg_zero: &[bool],
     format: FormatKind,
@@ -45,7 +45,8 @@ fn pagerank(
     let mut rank = vec![1.0 / n as f32; n];
     let mut total_cycles = 0u64;
     for _ in 0..iters {
-        let (mut next, report) = platform.run_spmv(m, &rank, format)?;
+        let outcome = session.run(RunRequest::matrix(m, format).consume_spmv(&rank))?;
+        let (mut next, report) = (outcome.y.unwrap_or_default(), outcome.report);
         total_cycles += report.total_cycles;
         let dangling: f32 = rank
             .iter()
@@ -73,11 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outdeg_zero[t.row] = false;
     }
 
-    let platform = Platform::new(HwConfig::with_partition_size(16))?;
+    let mut session = Session::new(HwConfig::with_partition_size(16))?;
     let iters = 20;
 
-    let (rank_coo, cycles_coo) = pagerank(&platform, &m, &outdeg_zero, FormatKind::Coo, iters)?;
-    let (rank_csc, cycles_csc) = pagerank(&platform, &m, &outdeg_zero, FormatKind::Csc, iters)?;
+    let (rank_coo, cycles_coo) = pagerank(&mut session, &m, &outdeg_zero, FormatKind::Coo, iters)?;
+    let (rank_csc, cycles_csc) = pagerank(&mut session, &m, &outdeg_zero, FormatKind::Csc, iters)?;
 
     // Same algorithm, same answer.
     assert_eq!(rank_coo, rank_csc);

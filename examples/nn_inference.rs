@@ -12,7 +12,7 @@
 //! ```
 
 use copernicus::table::{f3, TextTable};
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use copernicus_solvers::{sparse_mlp_forward, SparseLayer};
 use copernicus_workloads::{ml, seeded_rng};
 use sparsemat::{Coo, FormatKind, Matrix, PartitionGrid};
@@ -37,7 +37,7 @@ fn build_mlp(structured: bool, seed: u64) -> Vec<(String, Coo<f32>)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform = Platform::new(HwConfig::with_partition_size(8))?;
+    let mut session = Session::new(HwConfig::with_partition_size(8))?;
     let input: Vec<f32> = (0..DIMS[0]).map(|i| ((i % 11) as f32) / 11.0).collect();
 
     for (name, structured) in [("unstructured", false), ("block-structured", true)] {
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (lname, w) in &weights {
             let tiles = PartitionGrid::new(w, 8)?.nonzero_tiles();
             for format in [FormatKind::Bcsr, FormatKind::Csr, FormatKind::Coo] {
-                let r = platform.run(w, format)?;
+                let r = session.run(RunRequest::matrix(w, format))?.report;
                 t.row(&[
                     lname.clone(),
                     w.nnz().to_string(),

@@ -12,7 +12,7 @@
 //! cargo run --example pde_solver
 //! ```
 
-use copernicus_hls::{HwConfig, Platform, PlatformError};
+use copernicus_hls::{HwConfig, PlatformError, RunRequest, Session};
 use copernicus_workloads::stencil::laplacian_2d;
 use sparsemat::ops::{axpy, dot, norm2};
 use sparsemat::{Coo, FormatKind, Matrix};
@@ -20,7 +20,7 @@ use sparsemat::{Coo, FormatKind, Matrix};
 /// Conjugate gradient with the SpMV running on the modeled accelerator.
 /// Returns `(solution, iterations, total accelerator cycles)`.
 fn conjugate_gradient(
-    platform: &Platform,
+    session: &mut Session,
     a: &Coo<f32>,
     b: &[f32],
     format: FormatKind,
@@ -37,7 +37,8 @@ fn conjugate_gradient(
         if norm2(&r) < tol {
             return Ok((x, k, cycles));
         }
-        let (ap, report) = platform.run_spmv(a, &p, format)?;
+        let outcome = session.run(RunRequest::matrix(a, format).consume_spmv(&p))?;
+        let (ap, report) = (outcome.y.unwrap_or_default(), outcome.report);
         cycles += report.total_cycles;
         let alpha = rr / dot(&p, &ap);
         axpy(alpha, &p, &mut x);
@@ -73,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let platform = Platform::new(HwConfig::with_partition_size(16))?;
+    let mut session = Session::new(HwConfig::with_partition_size(16))?;
 
     println!("\nCG on the accelerator model, per operator format:");
     println!(
@@ -87,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FormatKind::Coo,
         FormatKind::Bcsr,
     ] {
-        let (u, iters, cycles) = conjugate_gradient(&platform, &a, &b, format, 1e-4, 2000)?;
+        let (u, iters, cycles) = conjugate_gradient(&mut session, &a, &b, format, 1e-4, 2000)?;
         // Residual check: ||b - A·u||.
         let au = a.spmv(&u)?;
         let res: Vec<f32> = b.iter().zip(&au).map(|(bi, ai)| bi - ai).collect();

@@ -7,7 +7,7 @@
 
 use copernicus::table::{f3, TextTable};
 use copernicus::{recommend, Goal};
-use copernicus_hls::{HwConfig, Platform};
+use copernicus_hls::{HwConfig, RunRequest, Session};
 use sparsemat::{Coo, FormatKind, Matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,19 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The platform of the paper: 250 MHz, 16x16 partitions, 4x4 BCSR
     // blocks, width-6 ELL compute path.
-    let platform = Platform::new(HwConfig::with_partition_size(16))?;
+    let mut session = Session::new(HwConfig::with_partition_size(16))?;
 
     // One SpMV through the modeled datapath, verified against the software
     // kernel.
     let x = vec![1.0f32; 64];
-    let (y, _) = platform.run_spmv(&a, &x, FormatKind::Csr)?;
-    assert_eq!(y, a.spmv(&x)?);
+    let outcome = session.run(RunRequest::matrix(&a, FormatKind::Csr).consume_spmv(&x))?;
+    assert_eq!(outcome.y.unwrap_or_default(), a.spmv(&x)?);
     println!("accelerator SpMV matches the software kernel ✓\n");
 
     // Characterize every format the paper studies.
     let mut table = TextTable::new(&["format", "sigma", "balance", "bw_util", "total_cycles"]);
     for kind in FormatKind::CHARACTERIZED {
-        let r = platform.run(&a, kind)?;
+        let r = session.run(RunRequest::matrix(&a, kind))?.report;
         table.row(&[
             kind.to_string(),
             f3(r.sigma()),

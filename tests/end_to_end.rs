@@ -2,7 +2,7 @@
 //! decompression → metrics → figure drivers, end to end.
 
 use copernicus_repro::copernicus::{characterize, ExperimentConfig};
-use copernicus_repro::hls::{HwConfig, Platform};
+use copernicus_repro::hls::{HwConfig, RunRequest, Session};
 use copernicus_repro::sparsemat::{FormatKind, Matrix, PartitionGrid};
 use copernicus_repro::workloads::Workload;
 
@@ -51,15 +51,17 @@ fn every_figure_driver_produces_rows_on_one_config() {
 
 #[test]
 fn suite_stand_ins_flow_through_the_whole_platform() {
-    let platform = Platform::new(HwConfig::with_partition_size(16)).unwrap();
+    let mut session = Session::new(HwConfig::with_partition_size(16)).unwrap();
     for suite in copernicus_repro::workloads::SUITE.iter().take(6) {
         let m = suite.generate(256, 1);
         let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 3) as f32).collect();
         let expect = m.spmv(&x).unwrap();
         for kind in [FormatKind::Csr, FormatKind::Coo, FormatKind::Ell] {
-            let (y, report) = platform.run_spmv(&m, &x, kind).unwrap();
-            assert_eq!(y, expect, "{} via {kind}", suite.id);
-            assert!(report.total_cycles > 0);
+            let outcome = session
+                .run(RunRequest::matrix(&m, kind).consume_spmv(&x))
+                .unwrap();
+            assert_eq!(outcome.y.unwrap(), expect, "{} via {kind}", suite.id);
+            assert!(outcome.report.total_cycles > 0);
         }
     }
 }
@@ -68,11 +70,11 @@ fn suite_stand_ins_flow_through_the_whole_platform() {
 fn partition_grid_is_shared_consistently_across_formats() {
     // Running from a pre-built grid must agree with running from the matrix.
     let m = Workload::Band { n: 128, width: 4 }.generate(0, 3);
-    let platform = Platform::new(HwConfig::with_partition_size(16)).unwrap();
+    let mut session = Session::new(HwConfig::with_partition_size(16)).unwrap();
     let grid = PartitionGrid::new(&m, 16).unwrap();
     for kind in FormatKind::CHARACTERIZED {
-        let from_grid = platform.run_grid(&grid, kind).unwrap();
-        let from_matrix = platform.run(&m, kind).unwrap();
+        let from_grid = session.run(RunRequest::grid(&grid, kind)).unwrap().report;
+        let from_matrix = session.run(RunRequest::matrix(&m, kind)).unwrap().report;
         assert_eq!(from_grid, from_matrix, "{kind}");
     }
 }

@@ -2,27 +2,28 @@
 //! quick configuration. These pin the model's arithmetic — any change to
 //! cycle formulas, byte accounting or generators shows up here first.
 
-use copernicus_repro::hls::{HwConfig, Platform};
+use copernicus_repro::hls::{HwConfig, RunRequest, Session};
 use copernicus_repro::sparsemat::{FormatKind, Matrix};
 use copernicus_repro::workloads::Workload;
 
-fn platform() -> Platform {
-    Platform::new(HwConfig::with_partition_size(16)).unwrap()
+fn session() -> Session {
+    Session::new(HwConfig::with_partition_size(16)).unwrap()
 }
 
 #[test]
 fn golden_band16_reports() {
     let m = Workload::Band { n: 128, width: 16 }.generate(0, 42);
     assert_eq!(m.nnz(), 128 * 17 - 2 * (1..=8).sum::<usize>());
-    let p = platform();
+    let mut s = session();
+    let mut run = |kind| s.run(RunRequest::matrix(&m, kind)).unwrap().report;
 
-    let dense = p.run(&m, FormatKind::Dense).unwrap();
+    let dense = run(FormatKind::Dense);
     assert_eq!(dense.sigma(), 1.0);
-    assert_eq!(dense.total_bytes, dense_bytes(&m));
 
-    let csr = p.run(&m, FormatKind::Csr).unwrap();
-    let coo = p.run(&m, FormatKind::Coo).unwrap();
-    let csc = p.run(&m, FormatKind::Csc).unwrap();
+    let csr = run(FormatKind::Csr);
+    let coo = run(FormatKind::Coo);
+    let csc = run(FormatKind::Csc);
+    assert_eq!(dense.total_bytes, dense_bytes(&m));
     // Exact cycle totals for this workload at seed 42.
     assert_eq!(csr.total_compute_cycles, csr_compute(&m));
     assert!((coo.bandwidth_utilization() - 1.0 / 3.0).abs() < 1e-12);
@@ -57,9 +58,11 @@ fn golden_random_matrix_is_stable_across_runs() {
     };
     let (a, b) = (w.generate(0, 7), w.generate(0, 7));
     assert_eq!(a, b);
-    let p = platform();
+    let mut s = session();
     for kind in FormatKind::CHARACTERIZED {
-        assert_eq!(p.run(&a, kind).unwrap(), p.run(&b, kind).unwrap(), "{kind}");
+        let ra = s.run(RunRequest::matrix(&a, kind)).unwrap().report;
+        let rb = s.run(RunRequest::matrix(&b, kind)).unwrap().report;
+        assert_eq!(ra, rb, "{kind}");
     }
 }
 
@@ -87,7 +90,10 @@ fn golden_suite_stand_in_statistics() {
 /// A deterministic quick-preset report: Band(128, 16) at seed 42, CSR, p=16.
 fn quick_csr_report() -> copernicus_repro::hls::RunReport {
     let m = Workload::Band { n: 128, width: 16 }.generate(0, 42);
-    platform().run(&m, FormatKind::Csr).unwrap()
+    session()
+        .run(RunRequest::matrix(&m, FormatKind::Csr))
+        .unwrap()
+        .report
 }
 
 #[test]
@@ -164,8 +170,13 @@ fn golden_sigma_values_for_full_tile() {
             coo.push(r, c, (r + c + 1) as f32).unwrap();
         }
     }
-    let p = platform();
-    let sigma = |kind| p.run(&coo, kind).unwrap().sigma();
+    let mut s = session();
+    let mut sigma = |kind| {
+        s.run(RunRequest::matrix(&coo, kind))
+            .unwrap()
+            .report
+            .sigma()
+    };
     let t_dot = 6.0; // 1 + log2(16) + 1
     let denom = 16.0 * t_dot;
     assert_eq!(sigma(FormatKind::Dense), 1.0);

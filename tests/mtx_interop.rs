@@ -1,7 +1,7 @@
 //! MatrixMarket interop: matrices survive a disk round trip and feed the
 //! characterization identically to their in-memory originals.
 
-use copernicus_repro::hls::{HwConfig, Platform};
+use copernicus_repro::hls::{HwConfig, RunRequest, Session};
 use copernicus_repro::sparsemat::{FormatKind, Matrix};
 use copernicus_repro::workloads::{mtx, seeded_rng, Workload, SUITE};
 use std::io::Cursor;
@@ -28,10 +28,13 @@ fn characterization_is_identical_for_loaded_matrices() {
     mtx::write_mtx(&mut buf, &m).unwrap();
     let loaded = mtx::read_mtx(Cursor::new(&buf)).unwrap();
 
-    let platform = Platform::new(HwConfig::with_partition_size(16)).unwrap();
+    let mut session = Session::new(HwConfig::with_partition_size(16)).unwrap();
     for kind in FormatKind::CHARACTERIZED {
-        let a = platform.run(&m, kind).unwrap();
-        let b = platform.run(&loaded, kind).unwrap();
+        let a = session.run(RunRequest::matrix(&m, kind)).unwrap().report;
+        let b = session
+            .run(RunRequest::matrix(&loaded, kind))
+            .unwrap()
+            .report;
         assert_eq!(a, b, "{kind} report changed after mtx round trip");
     }
 }
