@@ -8,11 +8,10 @@
 //! passing their own name. `copernicus-bench fig05 --tsv` and
 //! `cargo run --bin fig05 -- --tsv` are byte-identical.
 //!
-//! The `perf` command is the hot-path benchmark harness: it re-executes
-//! the current binary as `repro_all` (via the `COPERNICUS_BENCH_CMD`
-//! environment trampoline, so the re-exec works from any of the wrapper
-//! binaries too), times each repetition end to end, and writes the
-//! results as `BENCH_hotpath.json`.
+//! Two commands parse their own flags instead of [`Cli`] and live in
+//! sibling modules: [`crate::perf`] (the hot-path benchmark harness and
+//! trajectory regression gate) and [`crate::report`] (the offline run-dir
+//! summarizer). Both are dispatched here before `Cli::parse`.
 
 use crate::{emit, emit_named, Cli};
 use copernicus::experiments as ex;
@@ -46,19 +45,23 @@ pub const COMMANDS: &[&str] = &[
     "scaling",
     "explain",
     "perf",
+    "report",
 ];
 
 /// Runs one regeneration command and returns the process exit code.
 ///
 /// `cmd` is matched with `-`/`_` treated as equivalent. When the
 /// `COPERNICUS_BENCH_CMD` environment variable is set it overrides `cmd`
-/// — that is the re-exec trampoline the [`perf`] harness uses to turn any
-/// wrapper binary back into `repro_all`.
+/// — that is the re-exec trampoline the [`crate::perf`] harness uses to
+/// turn any wrapper binary back into `repro_all`.
 pub fn run(cmd: &str, args: Vec<String>) -> i32 {
     let forced = std::env::var("COPERNICUS_BENCH_CMD").ok();
     let cmd = forced.as_deref().unwrap_or(cmd).replace('-', "_");
     if cmd == "perf" {
-        return perf(args);
+        return crate::perf::perf(args);
+    }
+    if cmd == "report" {
+        return crate::report::report(args);
     }
     let cli = match Cli::parse(args) {
         Ok(cli) => cli,
@@ -712,151 +715,6 @@ fn explain(cli: &Cli) -> i32 {
     0
 }
 
-/// `perf` — times the end-to-end `repro_all` reproduction and writes the
-/// result as JSON, the evidence artifact for hot-path work.
-///
-/// Flags: `--quick` (default) / `--paper` pick the scale; `--iters N`
-/// repetitions (default 3, best-of is reported); `--jobs N` worker threads
-/// for each child (default 1); `--out FILE` output path (default
-/// `BENCH_hotpath.json`); `--baseline-secs X` a reference wall time to
-/// compute `improvement_pct` against.
-///
-/// Each repetition spawns the current executable again with
-/// `COPERNICUS_BENCH_CMD=repro_all` and discards the child's output, so
-/// the measurement covers exactly what a user-facing
-/// `copernicus-bench repro_all --jobs N` run computes.
-fn perf(args: Vec<String>) -> i32 {
-    let mut paper = false;
-    let mut iters = 3usize;
-    let mut jobs = 1usize;
-    let mut out = std::path::PathBuf::from("BENCH_hotpath.json");
-    let mut baseline: Option<f64> = None;
-    let usage =
-        "usage: perf [--quick|--paper] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X]";
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
-        let parsed = match arg.as_str() {
-            "--quick" => {
-                paper = false;
-                Ok(())
-            }
-            "--paper" => {
-                paper = true;
-                Ok(())
-            }
-            "--iters" => value("--iters").and_then(|v| {
-                iters = v.parse().map_err(|e| format!("bad --iters {v:?}: {e}"))?;
-                if iters == 0 {
-                    return Err("--iters must be at least 1".to_string());
-                }
-                Ok(())
-            }),
-            "--jobs" => value("--jobs").and_then(|v| {
-                jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
-                if jobs == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-                Ok(())
-            }),
-            "--out" => value("--out").map(|v| out = std::path::PathBuf::from(v)),
-            "--baseline-secs" => value("--baseline-secs").and_then(|v| {
-                baseline = Some(
-                    v.parse()
-                        .map_err(|e| format!("bad --baseline-secs {v:?}: {e}"))?,
-                );
-                Ok(())
-            }),
-            other => Err(format!("unknown flag {other:?}\n{usage}")),
-        };
-        if let Err(msg) = parsed {
-            eprintln!("{msg}");
-            return 2;
-        }
-    }
-
-    let exe = match std::env::current_exe() {
-        Ok(exe) => exe,
-        Err(e) => {
-            eprintln!("perf: cannot locate the current executable: {e}");
-            return 1;
-        }
-    };
-    let scale = if paper { "paper" } else { "quick" };
-    let mut child_args: Vec<String> = vec!["--jobs".into(), jobs.to_string()];
-    if paper {
-        child_args.push("--paper".into());
-    }
-    let mut runs: Vec<f64> = Vec::with_capacity(iters);
-    for i in 0..iters {
-        let started = std::time::Instant::now();
-        let status = std::process::Command::new(&exe)
-            .args(&child_args)
-            .env("COPERNICUS_BENCH_CMD", "repro_all")
-            .stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::null())
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("perf: repro_all child exited with {s}");
-                return 1;
-            }
-            Err(e) => {
-                eprintln!("perf: could not spawn {}: {e}", exe.display());
-                return 1;
-            }
-        }
-        let secs = started.elapsed().as_secs_f64();
-        eprintln!(
-            "[perf] {scale} repro_all --jobs {jobs}, run {}/{iters}: {secs:.3}s",
-            i + 1
-        );
-        runs.push(secs);
-    }
-    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
-    let mean = runs.iter().sum::<f64>() / runs.len() as f64;
-
-    use serde::Value;
-    let mut doc = vec![
-        ("benchmark".to_string(), Value::Str("repro_all".to_string())),
-        ("scale".to_string(), Value::Str(scale.to_string())),
-        ("jobs".to_string(), Value::UInt(jobs as u64)),
-        ("iterations".to_string(), Value::UInt(iters as u64)),
-        (
-            "runs_secs".to_string(),
-            Value::Seq(runs.iter().map(|&s| Value::Float(s)).collect()),
-        ),
-        ("best_secs".to_string(), Value::Float(best)),
-        ("mean_secs".to_string(), Value::Float(mean)),
-    ];
-    if let Some(base) = baseline {
-        doc.push(("baseline_secs".to_string(), Value::Float(base)));
-        if base > 0.0 {
-            doc.push((
-                "improvement_pct".to_string(),
-                Value::Float((base - best) / base * 100.0),
-            ));
-        }
-    }
-    let json = serde::json::to_string_pretty(&Value::Map(doc));
-    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
-        eprintln!("perf: could not write {}: {e}", out.display());
-        return 1;
-    }
-    match baseline {
-        Some(base) => println!(
-            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
-            (base - best) / base * 100.0
-        ),
-        None => println!(
-            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
-        ),
-    }
-    println!("wrote {}", out.display());
-    0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +725,8 @@ mod tests {
         assert_eq!(run("table1", vec!["--what".to_string()]), 2);
         assert_eq!(run("perf", vec!["--what".to_string()]), 2);
         assert_eq!(run("perf", vec!["--iters".to_string(), "0".to_string()]), 2);
+        assert_eq!(run("report", vec![]), 2);
+        assert_eq!(run("report", vec!["--what".to_string()]), 2);
     }
 
     #[test]
@@ -900,6 +760,7 @@ mod tests {
             "scaling",
             "explain",
             "perf",
+            "report",
         ] {
             assert!(COMMANDS.contains(&cmd), "{cmd} missing from COMMANDS");
         }

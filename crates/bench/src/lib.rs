@@ -18,7 +18,11 @@
 //!   pipeline run (open in Perfetto or `chrome://tracing`).
 //! * `--manifest FILE` — write a reproducibility manifest (hardware
 //!   config, seed, workloads, versions) as JSON.
-//! * `--progress` — print one progress line per run to stderr.
+//! * `--progress` — live progress heartbeat (cells done/total, rate, ETA,
+//!   retries, failures) as an in-place stderr status line when stderr is a
+//!   terminal. Silent under redirection unless `--force-progress` is given.
+//! * `--force-progress` — emit the heartbeat as plain stderr lines even
+//!   when stderr is not a terminal (CI logs).
 //! * `--jobs N` — worker threads for the measurement grid (default: the
 //!   machine's available parallelism). Output is byte-identical at every
 //!   job count.
@@ -37,9 +41,14 @@ use copernicus::{
     CampaignError, CampaignPolicy, CampaignRunner, CellFailure, ExperimentConfig, FaultPlan,
     Instruments,
 };
-use copernicus_telemetry::{ChromeTraceWriter, MetricsRegistry, RunManifest};
+use copernicus_telemetry::{
+    ChromeTraceWriter, MetricsRegistry, PhaseProfiler, ProgressReporter, RunManifest, StderrMode,
+};
+use std::sync::Arc;
 
 pub mod drivers;
+pub mod perf;
+pub mod report;
 
 pub use drivers::{run, COMMANDS};
 
@@ -59,8 +68,10 @@ pub struct Cli {
     pub trace: Option<std::path::PathBuf>,
     /// When set, write the run manifest (JSON) to this file.
     pub manifest: Option<std::path::PathBuf>,
-    /// Print per-run progress lines to stderr.
+    /// Enable the live progress heartbeat on stderr (TTY-aware).
     pub progress: bool,
+    /// Emit heartbeat lines even when stderr is not a terminal.
+    pub force_progress: bool,
     /// Worker threads for the measurement grid.
     pub jobs: usize,
     /// Reload `<out>/checkpoint.jsonl` before running.
@@ -87,6 +98,7 @@ impl Cli {
         let mut trace = None;
         let mut manifest = None;
         let mut progress = false;
+        let mut force_progress = false;
         let mut jobs = copernicus::default_jobs();
         let mut resume = false;
         let mut keep_going = false;
@@ -99,6 +111,7 @@ impl Cli {
                 "--tsv" => tsv = true,
                 "--chart" => chart = true,
                 "--progress" => progress = true,
+                "--force-progress" => force_progress = true,
                 "--out" => {
                     let v = args.next().ok_or("--out needs a directory")?;
                     out_dir = Some(std::path::PathBuf::from(v));
@@ -149,7 +162,7 @@ impl Cli {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
                     ));
                 }
             }
@@ -168,6 +181,7 @@ impl Cli {
             trace,
             manifest,
             progress,
+            force_progress,
             jobs,
             resume,
             keep_going,
@@ -219,14 +233,31 @@ impl Cli {
 
     /// The telemetry bundle requested by the flags; see [`Telemetry`].
     pub fn telemetry(&self) -> Telemetry {
+        let stderr = StderrMode::auto(self.progress, self.force_progress);
+        // The JSONL stream rides on `--out` alone: machine-readable progress
+        // costs nothing and CI consumes it as an artifact.
+        let jsonl = self.out_dir.as_ref().map(|dir| {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: could not create {}: {e}", dir.display());
+            }
+            dir.join("progress.jsonl")
+        });
+        let reporter = (stderr != StderrMode::Off || jsonl.is_some()).then(|| {
+            ProgressReporter::new(
+                stderr,
+                jsonl.as_deref(),
+                std::time::Duration::from_millis(250),
+            )
+        });
         Telemetry {
             trace_path: self.trace.clone(),
             manifest_path: self.manifest.clone(),
             out_dir: self.out_dir.clone(),
-            progress: self.progress,
             writer: ChromeTraceWriter::new(),
             metrics: MetricsRegistry::new(),
             failures: Vec::new(),
+            reporter,
+            profiler: Arc::new(PhaseProfiler::new()),
         }
     }
 
@@ -400,20 +431,27 @@ mod tests {
 ///
 /// [`Telemetry::finish`] writes the Chrome trace (`--trace`), the run
 /// manifest (`--manifest`) and — when `--out` was given — the campaign
-/// metrics as `metrics.tsv`. I/O failures are reported on stderr but never
-/// abort the run.
+/// metrics as `metrics.tsv`, the wall-clock phase/worker profile as
+/// `profile.json`, and the final `progress.jsonl` heartbeat line. I/O
+/// failures are reported on stderr but never abort the run.
 #[derive(Debug)]
 pub struct Telemetry {
     trace_path: Option<std::path::PathBuf>,
     manifest_path: Option<std::path::PathBuf>,
     out_dir: Option<std::path::PathBuf>,
-    progress: bool,
     /// The Chrome trace accumulated across every pipeline run.
     pub writer: ChromeTraceWriter,
     /// Campaign-level counters and histograms.
     pub metrics: MetricsRegistry,
     /// Failed grid cells accumulated across every step of the run.
     pub failures: Vec<CellFailure>,
+    /// The live progress stream (stderr heartbeat and/or `progress.jsonl`),
+    /// when any output is active.
+    reporter: Option<ProgressReporter>,
+    /// Wall-clock phase/worker profiler, shared with every campaign. Always
+    /// armed: recording costs a few `Instant` reads per run, and keeping it
+    /// on is what lets CI assert determinism *with* profiling enabled.
+    profiler: Arc<PhaseProfiler>,
 }
 
 impl Telemetry {
@@ -422,14 +460,26 @@ impl Telemetry {
     /// The trace sink is only attached when `--trace` was given, so an
     /// untraced run keeps the zero-cost no-op path through the platform.
     pub fn instruments(&mut self) -> Instruments<'_> {
-        let mut instruments = Instruments::none().with_metrics(&self.metrics);
-        if self.progress {
-            instruments = instruments.with_progress();
+        let mut instruments = Instruments::none()
+            .with_metrics(&self.metrics)
+            .with_profiler(Arc::clone(&self.profiler));
+        if let Some(reporter) = &self.reporter {
+            instruments = instruments.with_progress(reporter);
         }
         if self.trace_path.is_some() {
             instruments = instruments.with_sink(&mut self.writer);
         }
         instruments
+    }
+
+    /// The shared wall-clock profiler (for drivers that want to render it).
+    pub fn profiler(&self) -> &Arc<PhaseProfiler> {
+        &self.profiler
+    }
+
+    /// The live progress reporter, when one is active.
+    pub fn progress(&self) -> Option<&ProgressReporter> {
+        self.reporter.as_ref()
     }
 
     /// Absorbs the failed cells of one campaign step into the bundle so
@@ -449,7 +499,12 @@ impl Telemetry {
     /// printing a failure summary table to stderr). Call once, after the
     /// last run.
     #[must_use = "the exit code carries the run's failure status"]
-    pub fn finish(self, mut manifest: RunManifest) -> i32 {
+    pub fn finish(mut self, mut manifest: RunManifest) -> i32 {
+        // Stop the heartbeat first: the final progress.jsonl line lands
+        // before the other artifacts are written.
+        if let Some(reporter) = &mut self.reporter {
+            reporter.finish();
+        }
         for f in &self.failures {
             manifest.failures.push(f.to_record());
         }
@@ -469,6 +524,13 @@ impl Telemetry {
                     .and_then(|()| std::fs::write(dir.join("metrics.tsv"), self.metrics.to_tsv()))
                 {
                     eprintln!("warning: could not write metrics.tsv: {e}");
+                }
+            }
+            if self.profiler.has_data() {
+                if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                    std::fs::write(dir.join("profile.json"), self.profiler.to_json())
+                }) {
+                    eprintln!("warning: could not write profile.json: {e}");
                 }
             }
         }

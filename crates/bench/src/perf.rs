@@ -1,0 +1,430 @@
+//! The `perf` command: end-to-end wall-time benchmarking of `repro_all`,
+//! a labeled performance trajectory, and the CI regression gate.
+//!
+//! Each repetition spawns the current executable again with
+//! `COPERNICUS_BENCH_CMD=repro_all` (the re-exec trampoline, so the
+//! measurement works from any wrapper binary) and times it end to end —
+//! exactly what a user-facing `copernicus-bench repro_all --jobs N`
+//! computes. Three artifacts flow out of a run:
+//!
+//! * `--out FILE` (default `BENCH_hotpath.json`) — the single-run evidence
+//!   document, unchanged from earlier hot-path work.
+//! * `--record LABEL` — appends a labeled [`TrajectoryPoint`] to the
+//!   trajectory file (default `BENCH_trajectory.json`), the append-only
+//!   history CI regresses against.
+//! * `--check` — compares this run's best-of-N against the most recent
+//!   trajectory point with the same scale and job count, and exits nonzero
+//!   when the current best is slower by more than `--threshold-pct`
+//!   (default 50%, deliberately generous: shared CI runners jitter tens
+//!   of percent, and the gate exists to catch order-of-magnitude
+//!   regressions, not noise).
+//!
+//! Best-of-N is the comparison statistic because it is the least
+//! noise-sensitive summary of a wall-clock sample: the minimum converges to
+//! the true cost as interference only ever adds time.
+
+use serde::Value;
+
+/// One labeled measurement in `BENCH_trajectory.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Human-chosen label for the change being measured (e.g. a PR theme).
+    pub label: String,
+    /// `quick` or `paper`.
+    pub scale: String,
+    /// Worker threads the measured child ran with.
+    pub jobs: u64,
+    /// Repetitions in this sample.
+    pub iterations: u64,
+    /// Every repetition's wall seconds, in run order.
+    pub runs_secs: Vec<f64>,
+    /// Minimum of `runs_secs` — the gate statistic.
+    pub best_secs: f64,
+    /// Mean of `runs_secs`.
+    pub mean_secs: f64,
+}
+
+impl TrajectoryPoint {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("label".to_string(), Value::Str(self.label.clone())),
+            ("scale".to_string(), Value::Str(self.scale.clone())),
+            ("jobs".to_string(), Value::UInt(self.jobs)),
+            ("iterations".to_string(), Value::UInt(self.iterations)),
+            (
+                "runs_secs".to_string(),
+                Value::Seq(self.runs_secs.iter().map(|&s| Value::Float(s)).collect()),
+            ),
+            ("best_secs".to_string(), Value::Float(self.best_secs)),
+            ("mean_secs".to_string(), Value::Float(self.mean_secs)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<TrajectoryPoint> {
+        Some(TrajectoryPoint {
+            label: v.get("label")?.as_str()?.to_string(),
+            scale: v.get("scale")?.as_str()?.to_string(),
+            jobs: v.get("jobs")?.as_u64()?,
+            iterations: v.get("iterations")?.as_u64()?,
+            runs_secs: v
+                .get("runs_secs")?
+                .as_seq()?
+                .iter()
+                .filter_map(Value::as_f64)
+                .collect(),
+            best_secs: v.get("best_secs")?.as_f64()?,
+            mean_secs: v.get("mean_secs")?.as_f64()?,
+        })
+    }
+}
+
+/// Parses a trajectory document (`{"benchmark": ..., "points": [...]}`).
+/// Malformed points are skipped — the trajectory is observability, not a
+/// correctness artifact.
+pub fn parse_trajectory(text: &str) -> Vec<TrajectoryPoint> {
+    let Ok(doc) = serde::json::parse(text) else {
+        return Vec::new();
+    };
+    doc.get("points")
+        .and_then(Value::as_seq)
+        .map(|points| {
+            points
+                .iter()
+                .filter_map(TrajectoryPoint::from_value)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Renders the trajectory document for `points`.
+pub fn render_trajectory(points: &[TrajectoryPoint]) -> String {
+    let doc = Value::Map(vec![
+        ("benchmark".to_string(), Value::Str("repro_all".to_string())),
+        (
+            "points".to_string(),
+            Value::Seq(points.iter().map(TrajectoryPoint::to_value).collect()),
+        ),
+    ]);
+    format!("{}\n", serde::json::to_string_pretty(&doc))
+}
+
+/// The most recent trajectory point comparable to a `(scale, jobs)` run.
+pub fn find_baseline<'a>(
+    points: &'a [TrajectoryPoint],
+    scale: &str,
+    jobs: u64,
+) -> Option<&'a TrajectoryPoint> {
+    points
+        .iter()
+        .rev()
+        .find(|p| p.scale == scale && p.jobs == jobs)
+}
+
+/// The regression gate: compares a current best-of-N against a baseline
+/// best-of-N under a percentage noise threshold.
+///
+/// Returns the signed delta in percent (positive = slower than baseline).
+///
+/// # Errors
+///
+/// A human-readable failure message when `current_best` exceeds
+/// `baseline_best` by more than `threshold_pct` percent (or when the
+/// baseline is non-positive, which would make the comparison meaningless).
+pub fn regression_gate(
+    baseline_best: f64,
+    current_best: f64,
+    threshold_pct: f64,
+) -> Result<f64, String> {
+    if baseline_best <= 0.0 || baseline_best.is_nan() {
+        return Err(format!(
+            "regression gate: baseline best {baseline_best}s is not positive"
+        ));
+    }
+    let delta_pct = (current_best - baseline_best) / baseline_best * 100.0;
+    if delta_pct > threshold_pct {
+        Err(format!(
+            "regression gate FAILED: best {current_best:.3}s is {delta_pct:+.1}% vs baseline {baseline_best:.3}s (threshold {threshold_pct:.0}%)"
+        ))
+    } else {
+        Ok(delta_pct)
+    }
+}
+
+/// `perf` — see the [module docs](self).
+///
+/// Flags: `--quick` (default) / `--paper` pick the scale; `--iters N`
+/// repetitions (default 3, best-of is reported); `--jobs N` worker threads
+/// for each child (default 1); `--out FILE` evidence path (default
+/// `BENCH_hotpath.json`); `--baseline-secs X` a reference wall time for
+/// `improvement_pct`; `--trajectory FILE` the trajectory path (default
+/// `BENCH_trajectory.json`); `--record LABEL` appends this run to the
+/// trajectory; `--check` gates against the trajectory; `--threshold-pct X`
+/// the gate's noise allowance (default 50).
+pub fn perf(args: Vec<String>) -> i32 {
+    let mut paper = false;
+    let mut iters = 3usize;
+    let mut jobs = 1usize;
+    let mut out = std::path::PathBuf::from("BENCH_hotpath.json");
+    let mut baseline: Option<f64> = None;
+    let mut trajectory_path = std::path::PathBuf::from("BENCH_trajectory.json");
+    let mut record: Option<String> = None;
+    let mut check = false;
+    let mut threshold_pct = 50.0f64;
+    let usage = "usage: perf [--quick|--paper] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
+        let parsed = match arg.as_str() {
+            "--quick" => {
+                paper = false;
+                Ok(())
+            }
+            "--paper" => {
+                paper = true;
+                Ok(())
+            }
+            "--iters" => value("--iters").and_then(|v| {
+                iters = v.parse().map_err(|e| format!("bad --iters {v:?}: {e}"))?;
+                if iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+                Ok(())
+            }),
+            "--jobs" => value("--jobs").and_then(|v| {
+                jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                Ok(())
+            }),
+            "--out" => value("--out").map(|v| out = std::path::PathBuf::from(v)),
+            "--baseline-secs" => value("--baseline-secs").and_then(|v| {
+                baseline = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --baseline-secs {v:?}: {e}"))?,
+                );
+                Ok(())
+            }),
+            "--trajectory" => {
+                value("--trajectory").map(|v| trajectory_path = std::path::PathBuf::from(v))
+            }
+            "--record" => value("--record").map(|v| record = Some(v)),
+            "--check" => {
+                check = true;
+                Ok(())
+            }
+            "--threshold-pct" => value("--threshold-pct").and_then(|v| {
+                threshold_pct = v
+                    .parse()
+                    .map_err(|e| format!("bad --threshold-pct {v:?}: {e}"))?;
+                if threshold_pct <= 0.0 {
+                    return Err("--threshold-pct must be positive".to_string());
+                }
+                Ok(())
+            }),
+            other => Err(format!("unknown flag {other:?}\n{usage}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return 2;
+        }
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("perf: cannot locate the current executable: {e}");
+            return 1;
+        }
+    };
+    let scale = if paper { "paper" } else { "quick" };
+    let mut child_args: Vec<String> = vec!["--jobs".into(), jobs.to_string()];
+    if paper {
+        child_args.push("--paper".into());
+    }
+    let mut runs: Vec<f64> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let started = std::time::Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(&child_args)
+            .env("COPERNICUS_BENCH_CMD", "repro_all")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("perf: repro_all child exited with {s}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("perf: could not spawn {}: {e}", exe.display());
+                return 1;
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        eprintln!(
+            "[perf] {scale} repro_all --jobs {jobs}, run {}/{iters}: {secs:.3}s",
+            i + 1
+        );
+        runs.push(secs);
+    }
+    let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+
+    let mut doc = vec![
+        ("benchmark".to_string(), Value::Str("repro_all".to_string())),
+        ("scale".to_string(), Value::Str(scale.to_string())),
+        ("jobs".to_string(), Value::UInt(jobs as u64)),
+        ("iterations".to_string(), Value::UInt(iters as u64)),
+        (
+            "runs_secs".to_string(),
+            Value::Seq(runs.iter().map(|&s| Value::Float(s)).collect()),
+        ),
+        ("best_secs".to_string(), Value::Float(best)),
+        ("mean_secs".to_string(), Value::Float(mean)),
+    ];
+    if let Some(base) = baseline {
+        doc.push(("baseline_secs".to_string(), Value::Float(base)));
+        if base > 0.0 {
+            doc.push((
+                "improvement_pct".to_string(),
+                Value::Float((base - best) / base * 100.0),
+            ));
+        }
+    }
+    let json = serde::json::to_string_pretty(&Value::Map(doc));
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("perf: could not write {}: {e}", out.display());
+        return 1;
+    }
+    match baseline {
+        Some(base) => println!(
+            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            (base - best) / base * 100.0
+        ),
+        None => println!(
+            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
+        ),
+    }
+    println!("wrote {}", out.display());
+
+    let points = match std::fs::read_to_string(&trajectory_path) {
+        Ok(text) => parse_trajectory(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("perf: could not read {}: {e}", trajectory_path.display());
+            return 1;
+        }
+    };
+
+    if check {
+        match find_baseline(&points, scale, jobs as u64) {
+            Some(point) => match regression_gate(point.best_secs, best, threshold_pct) {
+                Ok(delta) => println!(
+                    "regression gate OK: best {best:.3}s is {delta:+.1}% vs \"{}\" ({:.3}s, threshold {threshold_pct:.0}%)",
+                    point.label, point.best_secs
+                ),
+                Err(msg) => {
+                    eprintln!("perf: {msg} (vs trajectory point \"{}\")", point.label);
+                    return 1;
+                }
+            },
+            None => {
+                eprintln!(
+                    "perf: no {scale}/jobs={jobs} baseline in {} — record one with --record LABEL",
+                    trajectory_path.display()
+                );
+                return 1;
+            }
+        }
+    }
+
+    if let Some(label) = record {
+        let mut points = points;
+        points.push(TrajectoryPoint {
+            label,
+            scale: scale.to_string(),
+            jobs: jobs as u64,
+            iterations: iters as u64,
+            runs_secs: runs,
+            best_secs: best,
+            mean_secs: mean,
+        });
+        if let Err(e) = std::fs::write(&trajectory_path, render_trajectory(&points)) {
+            eprintln!("perf: could not write {}: {e}", trajectory_path.display());
+            return 1;
+        }
+        println!(
+            "recorded trajectory point {} in {}",
+            points.len(),
+            trajectory_path.display()
+        );
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, scale: &str, jobs: u64, best: f64) -> TrajectoryPoint {
+        TrajectoryPoint {
+            label: label.to_string(),
+            scale: scale.to_string(),
+            jobs,
+            iterations: 3,
+            runs_secs: vec![best + 0.02, best, best + 0.05],
+            best_secs: best,
+            mean_secs: best + 0.02,
+        }
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_json() {
+        let points = vec![point("a", "quick", 1, 0.5), point("b", "paper", 4, 30.0)];
+        let parsed = parse_trajectory(&render_trajectory(&points));
+        assert_eq!(parsed, points);
+    }
+
+    #[test]
+    fn malformed_trajectories_parse_as_empty() {
+        assert!(parse_trajectory("").is_empty());
+        assert!(parse_trajectory("not json").is_empty());
+        assert!(parse_trajectory("{\"points\": 7}").is_empty());
+        // A valid wrapper with one broken point keeps the good ones.
+        let text = "{\"points\": [{\"nope\": 1}, {\"label\": \"ok\", \"scale\": \"quick\", \"jobs\": 1, \"iterations\": 1, \"runs_secs\": [1.0], \"best_secs\": 1.0, \"mean_secs\": 1.0}]}";
+        assert_eq!(parse_trajectory(text).len(), 1);
+    }
+
+    #[test]
+    fn baseline_is_the_latest_matching_point() {
+        let points = vec![
+            point("old", "quick", 1, 1.0),
+            point("paper", "paper", 1, 60.0),
+            point("new", "quick", 1, 0.5),
+            point("parallel", "quick", 4, 0.2),
+        ];
+        assert_eq!(find_baseline(&points, "quick", 1).unwrap().label, "new");
+        assert_eq!(
+            find_baseline(&points, "quick", 4).unwrap().label,
+            "parallel"
+        );
+        assert!(find_baseline(&points, "paper", 8).is_none());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond_it() {
+        // 20% slower under a 50% threshold: pass, delta reported.
+        let delta = regression_gate(1.0, 1.2, 50.0).unwrap();
+        assert!((delta - 20.0).abs() < 1e-9);
+        // Faster than baseline: pass with negative delta.
+        assert!(regression_gate(1.0, 0.7, 50.0).unwrap() < 0.0);
+        // An injected 2x regression trips a 50% gate.
+        let err = regression_gate(1.0, 2.0, 50.0).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("+100.0%"), "{err}");
+        // Degenerate baselines are an error, not a pass.
+        assert!(regression_gate(0.0, 1.0, 50.0).is_err());
+    }
+}

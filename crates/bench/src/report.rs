@@ -1,0 +1,433 @@
+//! The `report` command: renders a finished run directory (`--out DIR`)
+//! into a human-readable summary, entirely offline.
+//!
+//! A run directory accumulates two kinds of artifacts: the deterministic
+//! ones (`measurements.json`, `metrics.tsv`, `checkpoint.jsonl`,
+//! `manifest.json`) and the wall-clock observability stream
+//! (`progress.jsonl`, `profile.json`). `report` joins both sides:
+//!
+//! * **Run overview** — the final `progress.jsonl` heartbeat (cells
+//!   done/total, cached, retries, failures, elapsed, rate).
+//! * **Phase profile** — per-phase wall-clock p50/p95/p99 from
+//!   `profile.json`.
+//! * **Worker utilization** — busy fraction and cells/sec per worker.
+//! * **Cache effectiveness** — the `cache.*` counters from `metrics.tsv`.
+//! * **Slowest cells** — top N by modeled `total_cycles` from
+//!   `measurements.json`.
+//! * **Failures** — the failure records from `measurements.json`.
+//!
+//! Every section is optional: the report renders whatever artifacts exist
+//! and says which ones were absent, so it works on partial (interrupted)
+//! runs too.
+
+use copernicus::table::TextTable;
+use serde::Value;
+use std::path::Path;
+
+/// `report DIR [--top N]` — see the [module docs](self).
+pub fn report(args: Vec<String>) -> i32 {
+    let usage = "usage: report DIR [--top N]";
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut top = 10usize;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--top needs a value\n{usage}");
+                    return 2;
+                };
+                top = match v.parse() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("bad --top {v:?}: {e}\n{usage}");
+                        return 2;
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}\n{usage}");
+                return 2;
+            }
+            path if dir.is_none() => dir = Some(std::path::PathBuf::from(path)),
+            extra => {
+                eprintln!("unexpected argument {extra:?}\n{usage}");
+                return 2;
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if !dir.is_dir() {
+        eprintln!("report: {} is not a directory", dir.display());
+        return 1;
+    }
+    print!("{}", render_report(&dir, top));
+    0
+}
+
+/// Renders the full report for a run directory.
+pub fn render_report(dir: &Path, top: usize) -> String {
+    let mut out = String::new();
+    let mut absent: Vec<&str> = Vec::new();
+    out.push_str(&format!("run report: {}\n", dir.display()));
+
+    match read_json_lines(&dir.join("progress.jsonl")) {
+        Some(lines) if !lines.is_empty() => {
+            out.push_str("\n== run overview (progress.jsonl) ==\n");
+            out.push_str(&render_overview(lines.last().expect("non-empty")));
+        }
+        _ => absent.push("progress.jsonl"),
+    }
+
+    match read_json(&dir.join("profile.json")) {
+        Some(profile) => {
+            out.push_str("\n== wall-clock phase profile (profile.json) ==\n");
+            out.push_str(&render_phases(&profile));
+            out.push_str("\n== worker utilization ==\n");
+            out.push_str(&render_workers(&profile));
+        }
+        None => absent.push("profile.json"),
+    }
+
+    match std::fs::read_to_string(dir.join("metrics.tsv")) {
+        Ok(tsv) => {
+            out.push_str("\n== cache effectiveness (metrics.tsv) ==\n");
+            out.push_str(&render_cache(&tsv));
+            let retry = render_retries(&tsv);
+            if !retry.is_empty() {
+                out.push_str("\n== retries & failures (metrics.tsv) ==\n");
+                out.push_str(&retry);
+            }
+        }
+        Err(_) => absent.push("metrics.tsv"),
+    }
+
+    match read_json(&dir.join("measurements.json")) {
+        Some(doc) => {
+            out.push_str(&format!(
+                "\n== slowest cells (top {top} by modeled cycles) ==\n"
+            ));
+            out.push_str(&render_slowest(&doc, top));
+            let failures = render_failures(&doc);
+            if !failures.is_empty() {
+                out.push_str("\n== failed cells (measurements.json) ==\n");
+                out.push_str(&failures);
+            }
+        }
+        None => absent.push("measurements.json"),
+    }
+
+    if let Some(lines) = read_json_lines(&dir.join("checkpoint.jsonl")) {
+        out.push_str(&format!(
+            "\ncheckpoint.jsonl: {} cell(s) resumable\n",
+            lines.len()
+        ));
+    }
+    if !absent.is_empty() {
+        out.push_str(&format!("\nabsent artifacts: {}\n", absent.join(", ")));
+    }
+    out
+}
+
+fn read_json(path: &Path) -> Option<Value> {
+    serde::json::parse(&std::fs::read_to_string(path).ok()?).ok()
+}
+
+fn read_json_lines(path: &Path) -> Option<Vec<Value>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde::json::parse(l).ok())
+            .collect(),
+    )
+}
+
+fn num(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn uint(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn render_overview(last: &Value) -> String {
+    let done = uint(last.get("done"));
+    let total = uint(last.get("total"));
+    let cached = uint(last.get("cached"));
+    let elapsed = num(last.get("elapsed_secs"));
+    let mut out = format!(
+        "cells:    {done}/{total} ({cached} cached, {} computed)\n",
+        done.saturating_sub(cached)
+    );
+    out.push_str(&format!(
+        "elapsed:  {elapsed:.2}s at {:.1} cells/s\n",
+        num(last.get("rate_cells_per_sec"))
+    ));
+    out.push_str(&format!(
+        "retries:  {}\nfailures: {}\n",
+        uint(last.get("retries")),
+        uint(last.get("failures"))
+    ));
+    if last.get("final") != Some(&Value::Bool(true)) {
+        out.push_str("note: stream has no final line — the run may have been interrupted\n");
+    }
+    out
+}
+
+fn render_phases(profile: &Value) -> String {
+    let Some(phases) = profile.get("phases").and_then(Value::as_map) else {
+        return "no phases recorded\n".to_string();
+    };
+    let mut t = TextTable::new(&[
+        "phase", "count", "sum_s", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+    ]);
+    for (name, h) in phases {
+        t.row(&[
+            name.clone(),
+            uint(h.get("count")).to_string(),
+            format!("{:.3}", num(h.get("sum_secs"))),
+            format!("{:.3}", num(h.get("mean_secs")) * 1e3),
+            format!("{:.3}", num(h.get("p50_secs")) * 1e3),
+            format!("{:.3}", num(h.get("p95_secs")) * 1e3),
+            format!("{:.3}", num(h.get("p99_secs")) * 1e3),
+            format!("{:.3}", num(h.get("max_secs")) * 1e3),
+        ]);
+    }
+    t.render()
+}
+
+fn render_workers(profile: &Value) -> String {
+    let Some(workers) = profile.get("workers").and_then(Value::as_seq) else {
+        return "no worker data recorded\n".to_string();
+    };
+    if workers.is_empty() {
+        return "no worker data recorded\n".to_string();
+    }
+    let wall = num(profile.get("campaign_wall_secs"));
+    let mut t = TextTable::new(&["worker", "busy_s", "utilization", "cells", "cells/s"]);
+    for w in workers {
+        t.row(&[
+            uint(w.get("worker")).to_string(),
+            format!("{:.3}", num(w.get("busy_secs"))),
+            format!("{:.0}%", num(w.get("utilization")) * 100.0),
+            uint(w.get("cells")).to_string(),
+            format!("{:.1}", num(w.get("cells_per_sec"))),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!("campaign wall time: {wall:.2}s\n"));
+    out
+}
+
+/// Pulls one counter out of a metrics TSV (`metric\tkind\tcount\t...`).
+fn counter(tsv: &str, name: &str) -> Option<u64> {
+    tsv.lines().find_map(|line| {
+        let mut cols = line.split('\t');
+        (cols.next() == Some(name) && cols.next() == Some("counter"))
+            .then(|| cols.next().and_then(|v| v.parse().ok()))
+            .flatten()
+    })
+}
+
+fn render_cache(tsv: &str) -> String {
+    let g_hit = counter(tsv, "cache.grid_hits").unwrap_or(0);
+    let g_miss = counter(tsv, "cache.grid_misses").unwrap_or(0);
+    let m_hit = counter(tsv, "cache.matrix_hits").unwrap_or(0);
+    let m_miss = counter(tsv, "cache.matrix_misses").unwrap_or(0);
+    if g_hit + g_miss + m_hit + m_miss == 0 {
+        return "no cache counters recorded\n".to_string();
+    }
+    let pct = |hit: u64, miss: u64| {
+        let total = hit + miss;
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64 * 100.0
+        }
+    };
+    let mut t = TextTable::new(&["cache", "hits", "misses", "hit_rate"]);
+    t.row(&[
+        "grid".to_string(),
+        g_hit.to_string(),
+        g_miss.to_string(),
+        format!("{:.0}%", pct(g_hit, g_miss)),
+    ]);
+    t.row(&[
+        "matrix".to_string(),
+        m_hit.to_string(),
+        m_miss.to_string(),
+        format!("{:.0}%", pct(m_hit, m_miss)),
+    ]);
+    t.render()
+}
+
+fn render_retries(tsv: &str) -> String {
+    let retries = counter(tsv, "cell_retries").unwrap_or(0);
+    let failures = counter(tsv, "cell_failures").unwrap_or(0);
+    if retries == 0 && failures == 0 {
+        return String::new();
+    }
+    let mut out = format!("cell retries: {retries}\ncell failures: {failures}\n");
+    for line in tsv.lines() {
+        if let Some(rest) = line.strip_prefix("failures.") {
+            let mut cols = rest.split('\t');
+            if let (Some(kind), Some("counter"), Some(count)) =
+                (cols.next(), cols.next(), cols.next())
+            {
+                out.push_str(&format!("  {kind}: {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn render_slowest(doc: &Value, top: usize) -> String {
+    let Some(ms) = doc.get("measurements").and_then(Value::as_seq) else {
+        return "no measurements recorded\n".to_string();
+    };
+    let mut cells: Vec<(&Value, u64)> = ms
+        .iter()
+        .map(|m| (m, uint(m.get("report").and_then(|r| r.get("total_cycles")))))
+        .collect();
+    cells.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles));
+    let mut t = TextTable::new(&["workload", "p", "format", "total_cycles", "sigma"]);
+    for (m, cycles) in cells.iter().take(top) {
+        let report = m.get("report");
+        let compute = num(report.and_then(|r| r.get("total_compute_cycles")));
+        let dense = num(report.and_then(|r| r.get("dense_equivalent_compute")));
+        let sigma = if dense > 0.0 { compute / dense } else { 0.0 };
+        t.row(&[
+            m.get("workload")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            uint(m.get("partition_size")).to_string(),
+            m.get("format")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            cycles.to_string(),
+            format!("{sigma:.3}"),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!("({} cell(s) total)\n", cells.len()));
+    out
+}
+
+fn render_failures(doc: &Value) -> String {
+    let Some(failures) = doc.get("failures").and_then(Value::as_seq) else {
+        return String::new();
+    };
+    if failures.is_empty() {
+        return String::new();
+    }
+    let mut t = TextTable::new(&["cell", "workload", "p", "format", "kind", "retries"]);
+    for f in failures {
+        t.row(&[
+            uint(f.get("cell")).to_string(),
+            f.get("workload")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            uint(f.get("partition_size")).to_string(),
+            f.get("format")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            f.get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            uint(f.get("retries")).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copernicus-report-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn empty_directory_reports_absent_artifacts() {
+        let dir = scratch("empty");
+        let text = render_report(&dir, 5);
+        assert!(text.contains("absent artifacts"));
+        assert!(text.contains("progress.jsonl"));
+        assert!(text.contains("profile.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_every_section_from_artifacts() {
+        let dir = scratch("full");
+        std::fs::write(
+            dir.join("progress.jsonl"),
+            "{\"done\": 4, \"total\": 8, \"cached\": 1, \"retries\": 2, \"failures\": 1, \"elapsed_secs\": 2.0, \"rate_cells_per_sec\": 2.0, \"eta_secs\": 2.0, \"final\": false}\n{\"done\": 8, \"total\": 8, \"cached\": 3, \"retries\": 2, \"failures\": 1, \"elapsed_secs\": 4.0, \"rate_cells_per_sec\": 2.0, \"eta_secs\": null, \"final\": true}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("profile.json"),
+            "{\"phases\": {\"encode\": {\"count\": 3, \"sum_secs\": 0.3, \"mean_secs\": 0.1, \"min_secs\": 0.05, \"max_secs\": 0.2, \"p50_secs\": 0.1, \"p95_secs\": 0.2, \"p99_secs\": 0.2}}, \"workers\": [{\"worker\": 0, \"busy_secs\": 1.5, \"cells\": 8, \"utilization\": 0.75, \"cells_per_sec\": 5.33}], \"campaign_wall_secs\": 2.0}",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("metrics.tsv"),
+            "metric\tkind\tcount\tsum\tmean\tmin\tmax\tp50\tp99\ncache.grid_hits\tcounter\t6\t6\t\t\t\t\t\ncache.grid_misses\tcounter\t2\t2\t\t\t\t\t\ncache.matrix_hits\tcounter\t1\t1\t\t\t\t\t\ncache.matrix_misses\tcounter\t1\t1\t\t\t\t\t\ncell_retries\tcounter\t2\t2\t\t\t\t\t\ncell_failures\tcounter\t1\t1\t\t\t\t\t\nfailures.panic\tcounter\t1\t1\t\t\t\t\t\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("measurements.json"),
+            "{\"measurements\": [{\"workload\": \"d=0.1\", \"partition_size\": 16, \"format\": \"CSR\", \"report\": {\"total_cycles\": 900, \"total_compute_cycles\": 600, \"dense_equivalent_compute\": 300}}, {\"workload\": \"w=4\", \"partition_size\": 8, \"format\": \"COO\", \"report\": {\"total_cycles\": 1200, \"total_compute_cycles\": 500, \"dense_equivalent_compute\": 500}}], \"failures\": [{\"cell\": 7, \"workload\": \"d=0.1\", \"partition_size\": 16, \"format\": \"ELL\", \"kind\": \"panic\", \"retries\": 2}]}",
+        )
+        .unwrap();
+        std::fs::write(dir.join("checkpoint.jsonl"), "{\"key\": \"k\"}\n").unwrap();
+
+        let text = render_report(&dir, 5);
+        assert!(
+            text.contains("cells:    8/8 (3 cached, 5 computed)"),
+            "{text}"
+        );
+        assert!(text.contains("retries:  2"), "{text}");
+        assert!(text.contains("encode"), "{text}");
+        assert!(text.contains("75%"), "{text}");
+        assert!(text.contains("grid") && text.contains("matrix"), "{text}");
+        assert!(
+            text.contains("failures.panic") || text.contains("panic"),
+            "{text}"
+        );
+        // Slowest cell first: the COO cell at 1200 cycles.
+        let coo = text.find("w=4").expect("COO row");
+        let csr = text.find("d=0.1").expect("CSR row");
+        assert!(coo < csr, "slowest cell must be listed first\n{text}");
+        assert!(text.contains("1 cell(s) resumable"), "{text}");
+        assert!(!text.contains("absent artifacts"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_stream_is_called_out() {
+        let dir = scratch("interrupted");
+        std::fs::write(
+            dir.join("progress.jsonl"),
+            "{\"done\": 3, \"total\": 8, \"cached\": 0, \"retries\": 0, \"failures\": 0, \"elapsed_secs\": 1.0, \"rate_cells_per_sec\": 3.0, \"eta_secs\": 1.7, \"final\": false}\n",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("may have been interrupted"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,10 +26,15 @@
 //! Telemetry under parallelism: each worker records pipeline events into a
 //! private per-unit buffer ([`RecordingSink`]); after the pool joins, the
 //! buffers are replayed into the campaign's real sink in grid order (within
-//! a unit, events are already in nondecreasing modeled-cycle order), the
+//! a unit, events are already in nondecreasing modeled-cycle order), and the
 //! [`MetricsRegistry`](copernicus_telemetry::MetricsRegistry) is shared —
-//! it is atomic and order-independent — and `--progress` lines are
-//! serialized through one stderr lock.
+//! it is atomic and order-independent.
+//!
+//! Wall-clock observability (the optional
+//! [`ProgressReporter`](copernicus_telemetry::ProgressReporter) heartbeat
+//! and [`PhaseProfiler`](copernicus_telemetry::PhaseProfiler) phase/worker
+//! timings) rides alongside: workers tick shared atomic counters and local
+//! timers, none of which feed the deterministic artifacts above.
 //!
 //! # Memoization
 //!
@@ -80,7 +85,10 @@ use crate::fault::{
 };
 use crate::{ExperimentConfig, Instruments, Measurement};
 use copernicus_hls::{PlatformError, RunRequest, Session};
-use copernicus_telemetry::{replay, PipelineEvent, RecordingSink, TraceSink};
+use copernicus_telemetry::{
+    replay, Phase, PhaseProfiler, PipelineEvent, ProgressReporter, RecordingSink, TraceSink,
+    WorkerStats,
+};
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
 use std::collections::HashMap;
@@ -295,33 +303,61 @@ impl CampaignRunner {
             .collect();
         let total = workloads.len() * partition_sizes.len() * formats.len();
         let cell_base = self.dispatched.fetch_add(total, Ordering::Relaxed);
-        let progress = ProgressMeter {
-            enabled: instruments.progress,
-            total,
-            done: AtomicUsize::new(0),
-        };
         let trace = instruments.sink.as_deref().is_some_and(TraceSink::enabled);
         let metrics = instruments.metrics;
+        let observers = Observers {
+            progress: instruments.progress,
+            profiler: instruments.profiler.clone(),
+        };
+        if let Some(progress) = observers.progress {
+            progress.add_total(total as u64);
+        }
         // One memo-key ingredient is the hardware config's JSON form;
         // serialize it once per campaign instead of once per cell.
         let hw = hw_json(cfg);
 
-        let unit_outputs = try_par_map_ordered(self.jobs, &units, |ui, &(wi, pi)| {
-            self.run_unit(
+        // Per-worker wall-clock accounting, merged into the profiler after
+        // the pool joins. Like every observer, it never feeds the
+        // deterministic artifacts.
+        let workers = self.jobs.max(1).min(units.len().max(1));
+        let busy: Vec<Mutex<WorkerStats>> = (0..workers)
+            .map(|_| Mutex::new(WorkerStats::default()))
+            .collect();
+        let campaign_start = observers
+            .profiler
+            .as_ref()
+            .map(|_| std::time::Instant::now());
+
+        let unit_outputs = try_par_map_tagged(self.jobs, &units, |worker, ui, &(wi, pi)| {
+            let unit_start = observers
+                .profiler
+                .as_ref()
+                .map(|_| std::time::Instant::now());
+            let result = self.run_unit(
                 &workloads[wi],
                 partition_sizes[pi],
                 formats,
                 cfg,
                 &hw,
                 trace,
-                &progress,
+                &observers,
                 cell_base + ui * formats.len(),
-            )
+            );
+            if let Some(start) = unit_start {
+                let mut stats = lock_clean(&busy[worker]);
+                stats.busy_secs += start.elapsed().as_secs_f64();
+                stats.cells += formats.len() as u64;
+            }
+            result
         })
         .map_err(|failure| CampaignError::Cells {
             failures: vec![failure],
             total_cells: total,
         })?;
+        if let (Some(profiler), Some(start)) = (&observers.profiler, campaign_start) {
+            let stats: Vec<WorkerStats> = busy.iter().map(|m| lock_clean(m).clone()).collect();
+            profiler.record_pool(&stats, start.elapsed().as_secs_f64());
+        }
 
         // In-order replay: the merged trace, metrics accumulation and
         // output vector all follow grid-index order, independent of which
@@ -382,7 +418,7 @@ impl CampaignRunner {
         cfg: &ExperimentConfig,
         hw: &str,
         trace: bool,
-        progress: &ProgressMeter,
+        observers: &Observers<'_>,
         cell_base: usize,
     ) -> Result<UnitOutput, CellFailure> {
         let mut sink = RecordingSink::new();
@@ -396,34 +432,53 @@ impl CampaignRunner {
         // failure — `compute_cell` repeats the lookup (uncounted) with full
         // typed-failure handling per cell. Sessions stay lazy: a fully
         // memoized unit never builds one.
-        let unit_grid = self
-            .workloads
-            .grid(workload, p, cfg.suite_max_dim, cfg.seed)
-            .ok();
+        let unit_grid = {
+            let _lookup = observers
+                .profiler
+                .as_ref()
+                .map(|pr| pr.scope(Phase::CacheLookup));
+            self.workloads
+                .grid(workload, p, cfg.suite_max_dim, cfg.seed)
+                .ok()
+        };
         let mut prepared: Option<Prepared> = None;
         for (fi, &format) in formats.iter().enumerate() {
             let key = cell_key(workload, p, format, cfg, hw);
             let cached = lock_clean(&self.cache).get(&key).cloned();
-            progress.tick(&workload.label(), p, format, cached.is_some());
             let outcome = match cached {
-                Some(m) => Ok(m),
-                None => self
-                    .compute_cell(
-                        workload,
-                        p,
-                        format,
-                        cfg,
-                        trace,
-                        cell_base + fi,
-                        unit_grid.as_ref(),
-                        &mut prepared,
-                        &mut sink,
-                        &mut retries,
-                    )
-                    .inspect(|m| {
-                        lock_clean(&self.cache).insert(key.clone(), m.clone());
-                        self.append_checkpoint(&key, m);
-                    }),
+                Some(m) => {
+                    if let Some(progress) = observers.progress {
+                        progress.cell_done(true);
+                    }
+                    Ok(m)
+                }
+                None => {
+                    let computed = self
+                        .compute_cell(
+                            workload,
+                            p,
+                            format,
+                            cfg,
+                            trace,
+                            cell_base + fi,
+                            unit_grid.as_ref(),
+                            &mut prepared,
+                            &mut sink,
+                            &mut retries,
+                            observers,
+                        )
+                        .inspect(|m| {
+                            lock_clean(&self.cache).insert(key.clone(), m.clone());
+                            self.append_checkpoint(&key, m);
+                        });
+                    if let Some(progress) = observers.progress {
+                        if computed.is_err() {
+                            progress.record_failure();
+                        }
+                        progress.cell_done(false);
+                    }
+                    computed
+                }
             };
             match outcome {
                 Ok(m) => cells.push(Ok(m)),
@@ -455,6 +510,7 @@ impl CampaignRunner {
         prepared: &mut Option<Prepared>,
         sink: &mut RecordingSink,
         retries: &mut u64,
+        observers: &Observers<'_>,
     ) -> Result<Measurement, CellFailure> {
         let mut attempt: u32 = 0;
         loop {
@@ -481,7 +537,9 @@ impl CampaignRunner {
                                 cfg.seed,
                             )?,
                         };
-                        *prepared = Some((entry, cfg.session(p)?));
+                        let mut session = cfg.session(p)?;
+                        session.set_profiler(observers.profiler.clone());
+                        *prepared = Some((entry, session));
                     }
                     let Some((entry, session)) = prepared.as_mut() else {
                         // Unreachable: the branch above just filled it.
@@ -524,6 +582,9 @@ impl CampaignRunner {
             *prepared = None;
             if kind.is_transient() && attempt < self.policy.max_retries {
                 attempt += 1;
+                if let Some(progress) = observers.progress {
+                    progress.record_retry();
+                }
                 std::thread::sleep(std::time::Duration::from_millis(
                     self.policy.backoff_ms(attempt),
                 ));
@@ -679,25 +740,12 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Shared progress reporting: one atomic counter for the `[done/total]`
-/// prefix, lines made atomic by writing through a single stderr lock.
-struct ProgressMeter {
-    enabled: bool,
-    total: usize,
-    done: AtomicUsize,
-}
-
-impl ProgressMeter {
-    fn tick(&self, label: &str, p: usize, format: FormatKind, cached: bool) {
-        if !self.enabled {
-            return;
-        }
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let total = self.total;
-        let suffix = if cached { " (cached)" } else { "" };
-        let mut err = std::io::stderr().lock();
-        let _ = writeln!(err, "[{done}/{total}] {label} p={p} {format}{suffix}");
-    }
+/// The campaign's wall-clock observers, threaded down to every worker: the
+/// shared progress counters and the phase profiler handed to each session.
+/// Both sit outside the deterministic artifact path.
+struct Observers<'a> {
+    progress: Option<&'a ProgressReporter>,
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 /// Applies `f` to every item on a pool of `jobs` scoped threads and returns
@@ -725,17 +773,34 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    try_par_map_tagged(jobs, items, |_, i, t| f(i, t))
+}
+
+/// [`try_par_map_ordered`] whose closure also receives the pool-local
+/// **worker index** (`0..workers`, always `0` on the sequential path). The
+/// worker index exists for wall-clock accounting (per-worker busy time)
+/// only — results and errors are keyed by item index exactly as in the
+/// untagged variant, so determinism is unaffected.
+fn try_par_map_tagged<T, R, E, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, usize, &T) -> Result<R, E> + Sync,
+{
     let workers = jobs.max(1).min(items.len().max(1));
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| f(0, i, t)).collect();
     }
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let f = &f;
+            let (next, abort, results, error) = (&next, &abort, &results, &error);
+            scope.spawn(move || loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
@@ -743,11 +808,11 @@ where
                 if i >= items.len() {
                     break;
                 }
-                match f(i, &items[i]) {
-                    Ok(r) => lock_clean(&results).push((i, r)),
+                match f(worker, i, &items[i]) {
+                    Ok(r) => lock_clean(results).push((i, r)),
                     Err(e) => {
                         abort.store(true, Ordering::Relaxed);
-                        let mut slot = lock_clean(&error);
+                        let mut slot = lock_clean(error);
                         if slot.as_ref().is_none_or(|&(j, _)| i < j) {
                             *slot = Some((i, e));
                         }

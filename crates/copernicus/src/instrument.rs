@@ -6,9 +6,12 @@
 //! byte-for-byte identical to an uninstrumented one.
 
 use crate::{ExperimentConfig, Measurement};
-use copernicus_telemetry::{MetricsRegistry, RunManifest, TraceSink};
+use copernicus_telemetry::{
+    MetricsRegistry, PhaseProfiler, ProgressReporter, RunManifest, TraceSink,
+};
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
+use std::sync::Arc;
 
 /// The observers attached to one characterization campaign.
 #[derive(Default)]
@@ -17,9 +20,12 @@ pub struct Instruments<'a> {
     pub sink: Option<&'a mut dyn TraceSink>,
     /// Accumulates campaign-level counters and histograms.
     pub metrics: Option<&'a MetricsRegistry>,
-    /// Prints one progress line per `workload × partition × format` run to
-    /// stderr.
-    pub progress: bool,
+    /// Live progress: per-cell ticks, retries and failures feed its
+    /// heartbeat line and `progress.jsonl` stream.
+    pub progress: Option<&'a ProgressReporter>,
+    /// Wall-clock phase profiler, shared with every platform session the
+    /// campaign spins up. Outside the deterministic artifact path.
+    pub profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl std::fmt::Debug for Instruments<'_> {
@@ -27,7 +33,8 @@ impl std::fmt::Debug for Instruments<'_> {
         f.debug_struct("Instruments")
             .field("sink", &self.sink.is_some())
             .field("metrics", &self.metrics.is_some())
-            .field("progress", &self.progress)
+            .field("progress", &self.progress.is_some())
+            .field("profiler", &self.profiler.is_some())
             .finish()
     }
 }
@@ -50,9 +57,15 @@ impl<'a> Instruments<'a> {
         self
     }
 
-    /// Enables per-run progress lines on stderr.
-    pub fn with_progress(mut self) -> Self {
-        self.progress = true;
+    /// Attaches a live progress reporter.
+    pub fn with_progress(mut self, progress: &'a ProgressReporter) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Attaches a wall-clock phase profiler.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 

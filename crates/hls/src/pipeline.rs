@@ -2,8 +2,11 @@
 //! (decompress + dot-product) → memory-write, pipelined across partitions.
 
 use crate::{decompress_with, Decompression, EncodeScratch, EncodedPartition, HwConfig};
-use copernicus_telemetry::{NullSink, PipelineEvent, Stage, TraceSink};
+use copernicus_telemetry::{
+    NullSink, Phase, PhaseAcc, PhaseProfiler, PipelineEvent, Stage, TraceSink,
+};
 use sparsemat::{Coo, FormatKind, Matrix, Partition, PartitionGrid, SparseError};
+use std::sync::Arc;
 
 /// Errors produced by platform runs.
 #[derive(Debug)]
@@ -265,6 +268,10 @@ impl SpanScheduler {
 #[derive(Debug, Clone)]
 pub struct Platform {
     cfg: HwConfig,
+    /// Optional wall-clock phase profiler (shared, cloned with the
+    /// platform). Never consulted by the timing model: reports are
+    /// bit-identical with and without it.
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl Platform {
@@ -276,12 +283,27 @@ impl Platform {
     /// [`HwConfig::validate`].
     pub fn new(cfg: HwConfig) -> Result<Self, PlatformError> {
         cfg.validate().map_err(PlatformError::Config)?;
-        Ok(Platform { cfg })
+        Ok(Platform {
+            cfg,
+            profiler: None,
+        })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &HwConfig {
         &self.cfg
+    }
+
+    /// Attaches (or with `None`, detaches) a wall-clock phase profiler.
+    /// Runs then observe per-run encode / decompress / verify / compute
+    /// phase durations into it; the modeled reports are unaffected.
+    pub fn set_profiler(&mut self, profiler: Option<Arc<PhaseProfiler>>) {
+        self.profiler = profiler;
+    }
+
+    /// The attached phase profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<PhaseProfiler>> {
+        self.profiler.as_ref()
     }
 
     /// Streams a whole matrix through the platform in `format`: tiles it at
@@ -399,6 +421,8 @@ impl Platform {
         }
         let mut builder = ReportBuilder::new(format, &self.cfg);
         let mut schedule = SpanScheduler::default();
+        let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
+        let mut acc = PhaseAcc::new(self.profiler.is_some());
         for (idx, part) in grid.partitions().iter().enumerate() {
             let (timing, d) = self.process_partition(
                 &part.coo,
@@ -407,6 +431,7 @@ impl Platform {
                 sink,
                 idx,
                 scratch,
+                &mut acc,
             )?;
             consume(part, &d);
             scratch.recycle_decompression(d);
@@ -441,12 +466,18 @@ impl Platform {
                 total_cycles: report.total_cycles,
             });
         }
+        if let (Some(profiler), Some(start)) = (&self.profiler, run_start) {
+            profiler.flush_run(&acc, start.elapsed().as_secs_f64());
+        }
         Ok(report)
     }
 
     /// Encode → decompress → (optional) functional verification for one
     /// tile; the one place real per-partition work happens. All buffers
-    /// come from (and the encoded structure returns to) `scratch`.
+    /// come from (and the encoded structure returns to) `scratch`. Phase
+    /// wall time accumulates into `acc` (a no-op unless a profiler is
+    /// attached); the modeled timing never reads the clock.
+    #[allow(clippy::too_many_arguments)]
     fn process_partition<S: TraceSink + ?Sized>(
         &self,
         tile: &Coo<f32>,
@@ -455,9 +486,13 @@ impl Platform {
         sink: &mut S,
         idx: usize,
         scratch: &mut EncodeScratch,
+        acc: &mut PhaseAcc,
     ) -> Result<(PartitionTiming, Decompression), PlatformError> {
+        acc.mark();
         let encoded = EncodedPartition::encode_with(tile, format, &self.cfg, scratch)?;
+        acc.lap(Phase::Encode);
         let d = decompress_with(&encoded, &self.cfg, scratch);
+        acc.lap(Phase::Decompress);
         if self.cfg.verify_functional && !scratch.verify_tile(&d, tile, self.cfg.partition_size) {
             if sink.enabled() {
                 sink.record(&PipelineEvent::FunctionalMismatch {
@@ -472,6 +507,9 @@ impl Platform {
                 format,
                 grid: grid_pos,
             });
+        }
+        if self.cfg.verify_functional {
+            acc.lap(Phase::Verify);
         }
         let timing = PartitionTiming {
             mem_cycles: encoded.memory_cycles(&self.cfg),
@@ -508,6 +546,7 @@ impl Platform {
             &mut NullSink,
             0,
             &mut EncodeScratch::new(),
+            &mut PhaseAcc::disabled(),
         )
         .map(|(timing, _)| timing)
     }
@@ -755,6 +794,8 @@ impl Platform {
         }
         let mut builder = ReportBuilder::new(format, &self.cfg);
         let mut timings = Vec::with_capacity(grid.partitions().len());
+        let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
+        let mut acc = PhaseAcc::new(self.profiler.is_some());
         for (idx, part) in grid.partitions().iter().enumerate() {
             let (timing, d) = self.process_partition(
                 &part.coo,
@@ -763,12 +804,16 @@ impl Platform {
                 sink,
                 idx,
                 scratch,
+                &mut acc,
             )?;
             scratch.recycle_decompression(d);
             builder.push(&timing);
             timings.push(timing);
         }
         let single_lane = builder.finish();
+        if let (Some(profiler), Some(start)) = (&self.profiler, run_start) {
+            profiler.flush_run(&acc, start.elapsed().as_secs_f64());
+        }
 
         let mut shared_mem_cycles = 0u64;
         let mut lane_compute = vec![0u64; lanes];

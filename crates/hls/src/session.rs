@@ -175,6 +175,26 @@ impl Session {
         self.platform.config()
     }
 
+    /// Attaches (or detaches) a wall-clock phase profiler. Profiling sits
+    /// outside the deterministic artifact path: reports and traces are
+    /// byte-identical with or without it.
+    pub fn set_profiler(
+        &mut self,
+        profiler: Option<std::sync::Arc<copernicus_telemetry::PhaseProfiler>>,
+    ) {
+        self.platform.set_profiler(profiler);
+    }
+
+    /// Builder-style [`Session::set_profiler`].
+    #[must_use]
+    pub fn with_profiler(
+        mut self,
+        profiler: std::sync::Arc<copernicus_telemetry::PhaseProfiler>,
+    ) -> Self {
+        self.set_profiler(Some(profiler));
+        self
+    }
+
     /// Executes one request. See [`RunRequest`] for the option matrix.
     ///
     /// # Errors

@@ -1,0 +1,52 @@
+//! Poison-recovering lock acquisition, the crate-wide policy.
+//!
+//! Telemetry state (counters, histograms, progress snapshots, phase
+//! profiles) is updated in self-contained critical sections: a panicking
+//! observer leaves the structure it was touching fully inserted or not at
+//! all, so the poison flag carries no information here. Recovering the
+//! guard instead of unwrapping lets the *first real failure* surface,
+//! rather than a `PoisonError` cascade from every thread that reports
+//! telemetry afterwards — the same policy the campaign runner applies to
+//! its shared caches.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the data from a poisoned lock.
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an `RwLock`, recovering the data from a poisoned lock.
+pub(crate) fn read_clean<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an `RwLock`, recovering the data from a poisoned lock.
+pub(crate) fn write_clean<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn poisoned_locks_are_recovered_not_propagated() {
+        let m = Arc::new(Mutex::new(7u32));
+        let r = Arc::new(RwLock::new(11u32));
+        let (mc, rc) = (m.clone(), r.clone());
+        let _ = std::thread::spawn(move || {
+            let _g = mc.lock().unwrap();
+            let _h = rc.write().unwrap();
+            panic!("poison both locks");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert!(r.is_poisoned());
+        assert_eq!(*lock_clean(&m), 7);
+        assert_eq!(*read_clean(&r), 11);
+        *write_clean(&r) += 1;
+        assert_eq!(*read_clean(&r), 12);
+    }
+}

@@ -7,6 +7,7 @@
 //! values spanning many orders of magnitude (cycles, bytes) and small ratios
 //! (sigma, balance) share one bucketing scheme.
 
+use crate::locks::{lock_clean, read_clean, write_clean};
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -176,13 +177,11 @@ impl MetricsRegistry {
 
     /// Adds `by` to the counter `name`, creating it at zero first if needed.
     pub fn incr(&self, name: &str, by: u64) {
-        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+        if let Some(c) = read_clean(&self.counters).get(name) {
             c.fetch_add(by, Ordering::Relaxed);
             return;
         }
-        self.counters
-            .write()
-            .expect("metrics lock")
+        write_clean(&self.counters)
             .entry(name.to_string())
             .or_insert_with(|| AtomicU64::new(0))
             .fetch_add(by, Ordering::Relaxed);
@@ -200,9 +199,7 @@ impl MetricsRegistry {
 
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
-        self.histograms
-            .lock()
-            .expect("metrics lock")
+        lock_clean(&self.histograms)
             .entry(name.to_string())
             .or_default()
             .observe(value);
@@ -210,9 +207,7 @@ impl MetricsRegistry {
 
     /// Current value of counter `name` (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters
-            .read()
-            .expect("metrics lock")
+        read_clean(&self.counters)
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
@@ -220,42 +215,28 @@ impl MetricsRegistry {
 
     /// Snapshot of histogram `name`, if any observations were recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.histograms
-            .lock()
-            .expect("metrics lock")
-            .get(name)
-            .cloned()
+        lock_clean(&self.histograms).get(name).cloned()
     }
 
     /// Sorted counter names.
     pub fn counter_names(&self) -> Vec<String> {
-        self.counters
-            .read()
-            .expect("metrics lock")
-            .keys()
-            .cloned()
-            .collect()
+        read_clean(&self.counters).keys().cloned().collect()
     }
 
     /// Sorted histogram names.
     pub fn histogram_names(&self) -> Vec<String> {
-        self.histograms
-            .lock()
-            .expect("metrics lock")
-            .keys()
-            .cloned()
-            .collect()
+        lock_clean(&self.histograms).keys().cloned().collect()
     }
 
     /// Tab-separated export: one row per counter, then one per histogram
     /// summary, with a header row.
     pub fn to_tsv(&self) -> String {
         let mut out = String::from("metric\tkind\tcount\tsum\tmean\tmin\tmax\tp50\tp99\n");
-        for (name, c) in self.counters.read().expect("metrics lock").iter() {
+        for (name, c) in read_clean(&self.counters).iter() {
             let v = c.load(Ordering::Relaxed);
             out.push_str(&format!("{name}\tcounter\t{v}\t{v}\t\t\t\t\t\n"));
         }
-        for (name, h) in self.histograms.lock().expect("metrics lock").iter() {
+        for (name, h) in lock_clean(&self.histograms).iter() {
             out.push_str(&format!(
                 "{name}\thistogram\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 h.count(),
@@ -273,17 +254,13 @@ impl MetricsRegistry {
     /// JSON export: `{"counters": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> String {
         let counters = Value::Map(
-            self.counters
-                .read()
-                .expect("metrics lock")
+            read_clean(&self.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), Value::UInt(v.load(Ordering::Relaxed))))
                 .collect(),
         );
         let histograms = Value::Map(
-            self.histograms
-                .lock()
-                .expect("metrics lock")
+            lock_clean(&self.histograms)
                 .iter()
                 .map(|(k, h)| (k.clone(), h.to_value()))
                 .collect(),

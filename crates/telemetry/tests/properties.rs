@@ -1,0 +1,61 @@
+//! Property tests for the metrics registry's export determinism.
+//!
+//! The campaign runner records observations from the coordinator thread in
+//! grid order, but nothing in the registry's contract *requires* a single
+//! writer: exports must come out byte-identical however the observations
+//! were interleaved. These tests pin that down with exactly-representable
+//! values (small integers), so floating-point sums are exact regardless of
+//! accumulation order and `to_tsv` can be compared as bytes.
+
+use copernicus_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+/// One synthetic observation stream: metric index and small-integer value.
+fn observations() -> impl Strategy<Value = Vec<(u8, i32)>> {
+    proptest::collection::vec((0u8..4, 1i32..=1000), 0..120)
+}
+
+const METRICS: [&str; 4] = ["alpha", "beta.cycles", "gamma", "delta.bytes"];
+
+fn registry_from(obs: &[(u8, i32)]) -> MetricsRegistry {
+    let metrics = MetricsRegistry::new();
+    for &(idx, value) in obs {
+        metrics.observe(METRICS[idx as usize], value as f64);
+        metrics.incr(METRICS[idx as usize], value as u64);
+    }
+    metrics
+}
+
+proptest! {
+    #[test]
+    fn export_is_independent_of_observation_order(obs in observations()) {
+        let forward = registry_from(&obs);
+        let mut reversed_obs = obs.clone();
+        reversed_obs.reverse();
+        let reversed = registry_from(&reversed_obs);
+        prop_assert_eq!(forward.to_tsv(), reversed.to_tsv());
+        prop_assert_eq!(forward.to_json(), reversed.to_json());
+    }
+
+    #[test]
+    fn export_is_independent_of_writer_interleaving(obs in observations()) {
+        let sequential = registry_from(&obs);
+        let concurrent = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let concurrent = &concurrent;
+                let obs = &obs;
+                scope.spawn(move || {
+                    // Round-robin sharding: four writers race on the same
+                    // registry, each with a disjoint slice of the stream.
+                    for (idx, value) in obs.iter().skip(worker).step_by(4) {
+                        concurrent.observe(METRICS[*idx as usize], *value as f64);
+                        concurrent.incr(METRICS[*idx as usize], *value as u64);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(sequential.to_tsv(), concurrent.to_tsv());
+        prop_assert_eq!(sequential.to_json(), concurrent.to_json());
+    }
+}
