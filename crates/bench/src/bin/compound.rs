@@ -1,0 +1,11 @@
+//! Beyond-paper compound-scheme comparison (format × second-stage codec)
+//! — a wrapper over `copernicus-bench compound`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
+
+fn main() {
+    std::process::exit(copernicus_bench::run(
+        "compound",
+        std::env::args().skip(1).collect(),
+    ));
+}

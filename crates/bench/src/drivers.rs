@@ -41,6 +41,7 @@ pub const COMMANDS: &[&str] = &[
     "fig13",
     "fig14",
     "partition_sweep",
+    "compound",
     "ablation",
     "scaling",
     "explain",
@@ -239,6 +240,18 @@ pub fn run(cmd: &str, args: Vec<String>) -> i32 {
                 Err(e) => telemetry.record_error("partition_sweep", &e),
             }
             telemetry.finish(ex::ext_partition_sweep::manifest(&cli.cfg))
+        }
+        "compound" => {
+            let mut telemetry = cli.telemetry();
+            match ex::ext_compound_scheme::run_on(
+                &cli.runner(),
+                &cli.cfg,
+                &mut telemetry.instruments(),
+            ) {
+                Ok(rows) => emit_named(&cli, "compound", &ex::ext_compound_scheme::render(&rows)),
+                Err(e) => telemetry.record_error("compound", &e),
+            }
+            telemetry.finish(ex::ext_compound_scheme::manifest(&cli.cfg))
         }
         "ablation" => ablation(&cli),
         "scaling" => scaling(&cli),
@@ -756,6 +769,7 @@ mod tests {
             "fig13",
             "fig14",
             "partition_sweep",
+            "compound",
             "ablation",
             "scaling",
             "explain",

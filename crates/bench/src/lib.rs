@@ -13,6 +13,8 @@
 //! * `--dim N` — override the sweep matrix dimension.
 //! * `--suite-dim N` — override the suite stand-in dimension cap.
 //! * `--seed N` — workload generation seed.
+//! * `--codec NAME` — second-stage stream codec applied to every transfer
+//!   stream (`none`, `rle`, `delta-varint`, `huffman`; default `none`).
 //! * `--tsv` — print tab-separated values instead of the aligned table.
 //! * `--trace FILE` — write a Chrome trace-event JSON of every modeled
 //!   pipeline run (open in Perfetto or `chrome://tracing`).
@@ -138,6 +140,13 @@ impl Cli {
                     let v = args.next().ok_or("--seed needs a value")?;
                     cfg.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
                 }
+                "--codec" => {
+                    let v = args
+                        .next()
+                        .ok_or("--codec needs one of: none, rle, delta-varint, huffman")?;
+                    cfg.hw.stream_codec =
+                        v.parse().map_err(|e| format!("bad --codec {v:?}: {e}"))?;
+                }
                 "--jobs" => {
                     let v = args.next().ok_or("--jobs needs a value")?;
                     jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
@@ -162,7 +171,7 @@ impl Cli {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
                     ));
                 }
             }
@@ -313,6 +322,23 @@ mod tests {
         assert!(parse(&["--dim"]).is_err());
         assert!(parse(&["--dim", "abc"]).is_err());
         assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn codec_flag_is_parsed_and_validated() {
+        use copernicus_hls::CodecKind;
+        assert_eq!(parse(&[]).unwrap().cfg.hw.stream_codec, CodecKind::None);
+        for (name, kind) in [
+            ("none", CodecKind::None),
+            ("rle", CodecKind::Rle),
+            ("delta-varint", CodecKind::DeltaVarint),
+            ("huffman", CodecKind::Huffman),
+        ] {
+            let cli = parse(&["--codec", name]).unwrap();
+            assert_eq!(cli.cfg.hw.stream_codec, kind, "{name}");
+        }
+        assert!(parse(&["--codec"]).is_err());
+        assert!(parse(&["--codec", "lzma"]).is_err());
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The `perf` command: end-to-end wall-time benchmarking of `repro_all`,
-//! a labeled performance trajectory, and the CI regression gate.
+//! The `perf` command: end-to-end wall-time benchmarking of a bench
+//! command (`repro_all` by default, any command via `--cmd`), a labeled
+//! performance trajectory, and the CI regression gate.
 //!
 //! Each repetition spawns the current executable again with
-//! `COPERNICUS_BENCH_CMD=repro_all` (the re-exec trampoline, so the
+//! `COPERNICUS_BENCH_CMD=<cmd>` (the re-exec trampoline, so the
 //! measurement works from any wrapper binary) and times it end to end —
-//! exactly what a user-facing `copernicus-bench repro_all --jobs N`
+//! exactly what a user-facing `copernicus-bench <cmd> --jobs N`
 //! computes. Three artifacts flow out of a run:
 //!
 //! * `--out FILE` (default `BENCH_hotpath.json`) — the single-run evidence
@@ -13,7 +14,8 @@
 //!   trajectory file (default `BENCH_trajectory.json`), the append-only
 //!   history CI regresses against.
 //! * `--check` — compares this run's best-of-N against the most recent
-//!   trajectory point with the same scale and job count, and exits nonzero
+//!   trajectory point with the same command, scale and job count, and
+//!   exits nonzero
 //!   when the current best is slower by more than `--threshold-pct`
 //!   (default 50%, deliberately generous: shared CI runners jitter tens
 //!   of percent, and the gate exists to catch order-of-magnitude
@@ -30,6 +32,9 @@ use serde::Value;
 pub struct TrajectoryPoint {
     /// Human-chosen label for the change being measured (e.g. a PR theme).
     pub label: String,
+    /// Benchmarked command (`repro_all` unless `--cmd` chose another).
+    /// Points recorded before this field existed parse as `repro_all`.
+    pub cmd: String,
     /// `quick` or `paper`.
     pub scale: String,
     /// Worker threads the measured child ran with.
@@ -48,6 +53,7 @@ impl TrajectoryPoint {
     fn to_value(&self) -> Value {
         Value::Map(vec![
             ("label".to_string(), Value::Str(self.label.clone())),
+            ("cmd".to_string(), Value::Str(self.cmd.clone())),
             ("scale".to_string(), Value::Str(self.scale.clone())),
             ("jobs".to_string(), Value::UInt(self.jobs)),
             ("iterations".to_string(), Value::UInt(self.iterations)),
@@ -63,6 +69,13 @@ impl TrajectoryPoint {
     fn from_value(v: &Value) -> Option<TrajectoryPoint> {
         Some(TrajectoryPoint {
             label: v.get("label")?.as_str()?.to_string(),
+            // Points predate the field: every pre-codec trajectory entry
+            // measured `repro_all`, so that is the backward-compatible read.
+            cmd: v
+                .get("cmd")
+                .and_then(Value::as_str)
+                .unwrap_or("repro_all")
+                .to_string(),
             scale: v.get("scale")?.as_str()?.to_string(),
             jobs: v.get("jobs")?.as_u64()?,
             iterations: v.get("iterations")?.as_u64()?,
@@ -108,16 +121,18 @@ pub fn render_trajectory(points: &[TrajectoryPoint]) -> String {
     format!("{}\n", serde::json::to_string_pretty(&doc))
 }
 
-/// The most recent trajectory point comparable to a `(scale, jobs)` run.
+/// The most recent trajectory point comparable to a `(cmd, scale, jobs)`
+/// run. Points for other benchmarked commands never gate each other.
 pub fn find_baseline<'a>(
     points: &'a [TrajectoryPoint],
+    cmd: &str,
     scale: &str,
     jobs: u64,
 ) -> Option<&'a TrajectoryPoint> {
     points
         .iter()
         .rev()
-        .find(|p| p.scale == scale && p.jobs == jobs)
+        .find(|p| p.cmd == cmd && p.scale == scale && p.jobs == jobs)
 }
 
 /// The regression gate: compares a current best-of-N against a baseline
@@ -152,7 +167,8 @@ pub fn regression_gate(
 
 /// `perf` — see the [module docs](self).
 ///
-/// Flags: `--quick` (default) / `--paper` pick the scale; `--iters N`
+/// Flags: `--quick` (default) / `--paper` pick the scale; `--cmd NAME`
+/// the bench command to measure (default `repro_all`); `--iters N`
 /// repetitions (default 3, best-of is reported); `--jobs N` worker threads
 /// for each child (default 1); `--out FILE` evidence path (default
 /// `BENCH_hotpath.json`); `--baseline-secs X` a reference wall time for
@@ -162,6 +178,7 @@ pub fn regression_gate(
 /// the gate's noise allowance (default 50).
 pub fn perf(args: Vec<String>) -> i32 {
     let mut paper = false;
+    let mut cmd = "repro_all".to_string();
     let mut iters = 3usize;
     let mut jobs = 1usize;
     let mut out = std::path::PathBuf::from("BENCH_hotpath.json");
@@ -170,7 +187,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     let mut record: Option<String> = None;
     let mut check = false;
     let mut threshold_pct = 50.0f64;
-    let usage = "usage: perf [--quick|--paper] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
+    let usage = "usage: perf [--quick|--paper] [--cmd NAME] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
@@ -183,6 +200,13 @@ pub fn perf(args: Vec<String>) -> i32 {
                 paper = true;
                 Ok(())
             }
+            "--cmd" => value("--cmd").and_then(|v| {
+                if v.is_empty() {
+                    return Err("--cmd needs a non-empty command name".to_string());
+                }
+                cmd = v;
+                Ok(())
+            }),
             "--iters" => value("--iters").and_then(|v| {
                 iters = v.parse().map_err(|e| format!("bad --iters {v:?}: {e}"))?;
                 if iters == 0 {
@@ -247,14 +271,14 @@ pub fn perf(args: Vec<String>) -> i32 {
         let started = std::time::Instant::now();
         let status = std::process::Command::new(&exe)
             .args(&child_args)
-            .env("COPERNICUS_BENCH_CMD", "repro_all")
+            .env("COPERNICUS_BENCH_CMD", &cmd)
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null())
             .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
-                eprintln!("perf: repro_all child exited with {s}");
+                eprintln!("perf: {cmd} child exited with {s}");
                 return 1;
             }
             Err(e) => {
@@ -264,7 +288,7 @@ pub fn perf(args: Vec<String>) -> i32 {
         }
         let secs = started.elapsed().as_secs_f64();
         eprintln!(
-            "[perf] {scale} repro_all --jobs {jobs}, run {}/{iters}: {secs:.3}s",
+            "[perf] {scale} {cmd} --jobs {jobs}, run {}/{iters}: {secs:.3}s",
             i + 1
         );
         runs.push(secs);
@@ -273,7 +297,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     let mean = runs.iter().sum::<f64>() / runs.len() as f64;
 
     let mut doc = vec![
-        ("benchmark".to_string(), Value::Str("repro_all".to_string())),
+        ("benchmark".to_string(), Value::Str(cmd.clone())),
         ("scale".to_string(), Value::Str(scale.to_string())),
         ("jobs".to_string(), Value::UInt(jobs as u64)),
         ("iterations".to_string(), Value::UInt(iters as u64)),
@@ -300,11 +324,11 @@ pub fn perf(args: Vec<String>) -> i32 {
     }
     match baseline {
         Some(base) => println!(
-            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
             (base - best) / base * 100.0
         ),
         None => println!(
-            "{scale} repro_all --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
+            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
         ),
     }
     println!("wrote {}", out.display());
@@ -319,7 +343,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     };
 
     if check {
-        match find_baseline(&points, scale, jobs as u64) {
+        match find_baseline(&points, &cmd, scale, jobs as u64) {
             Some(point) => match regression_gate(point.best_secs, best, threshold_pct) {
                 Ok(delta) => println!(
                     "regression gate OK: best {best:.3}s is {delta:+.1}% vs \"{}\" ({:.3}s, threshold {threshold_pct:.0}%)",
@@ -330,13 +354,15 @@ pub fn perf(args: Vec<String>) -> i32 {
                     return 1;
                 }
             },
-            None => {
-                eprintln!(
-                    "perf: no {scale}/jobs={jobs} baseline in {} — record one with --record LABEL",
-                    trajectory_path.display()
-                );
-                return 1;
-            }
+            // No comparable history: the first measurement of a new
+            // command/scale/jobs combination is its own baseline, so the
+            // gate passes vacuously rather than erroring. (Failing here
+            // made `--check` unusable until someone hand-recorded a point
+            // for every new combination.)
+            None => println!(
+                "regression gate SKIPPED: no prior {cmd}/{scale}/jobs={jobs} point in {} — nothing to compare against; record one with --record LABEL",
+                trajectory_path.display()
+            ),
         }
     }
 
@@ -344,6 +370,7 @@ pub fn perf(args: Vec<String>) -> i32 {
         let mut points = points;
         points.push(TrajectoryPoint {
             label,
+            cmd,
             scale: scale.to_string(),
             jobs: jobs as u64,
             iterations: iters as u64,
@@ -371,6 +398,7 @@ mod tests {
     fn point(label: &str, scale: &str, jobs: u64, best: f64) -> TrajectoryPoint {
         TrajectoryPoint {
             label: label.to_string(),
+            cmd: "repro_all".to_string(),
             scale: scale.to_string(),
             jobs,
             iterations: 3,
@@ -392,25 +420,43 @@ mod tests {
         assert!(parse_trajectory("").is_empty());
         assert!(parse_trajectory("not json").is_empty());
         assert!(parse_trajectory("{\"points\": 7}").is_empty());
-        // A valid wrapper with one broken point keeps the good ones.
+        // A valid wrapper with one broken point keeps the good ones. The
+        // surviving point has no "cmd" field (it predates the field) and
+        // must parse as a repro_all measurement.
         let text = "{\"points\": [{\"nope\": 1}, {\"label\": \"ok\", \"scale\": \"quick\", \"jobs\": 1, \"iterations\": 1, \"runs_secs\": [1.0], \"best_secs\": 1.0, \"mean_secs\": 1.0}]}";
-        assert_eq!(parse_trajectory(text).len(), 1);
+        let parsed = parse_trajectory(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].cmd, "repro_all");
     }
 
     #[test]
     fn baseline_is_the_latest_matching_point() {
+        let mut compound = point("sweep", "quick", 1, 0.3);
+        compound.cmd = "compound".to_string();
         let points = vec![
             point("old", "quick", 1, 1.0),
             point("paper", "paper", 1, 60.0),
             point("new", "quick", 1, 0.5),
             point("parallel", "quick", 4, 0.2),
+            compound,
         ];
-        assert_eq!(find_baseline(&points, "quick", 1).unwrap().label, "new");
+        let baseline = find_baseline(&points, "repro_all", "quick", 1).unwrap();
+        assert_eq!(baseline.label, "new");
         assert_eq!(
-            find_baseline(&points, "quick", 4).unwrap().label,
+            find_baseline(&points, "repro_all", "quick", 4)
+                .unwrap()
+                .label,
             "parallel"
         );
-        assert!(find_baseline(&points, "paper", 8).is_none());
+        // Different commands never gate each other.
+        assert_eq!(
+            find_baseline(&points, "compound", "quick", 1)
+                .unwrap()
+                .label,
+            "sweep"
+        );
+        assert!(find_baseline(&points, "repro_all", "paper", 8).is_none());
+        assert!(find_baseline(&points, "compound", "paper", 1).is_none());
     }
 
     #[test]

@@ -146,31 +146,51 @@ fn read_json_lines(path: &Path) -> Option<Vec<Value>> {
     )
 }
 
-fn num(v: Option<&Value>) -> f64 {
-    v.and_then(Value::as_f64).unwrap_or(0.0)
+/// A present-and-numeric JSON field, `None` for a missing or malformed
+/// one. These used to coerce silently to zero, which made a corrupted
+/// artifact indistinguishable from a genuine zero — callers now render
+/// `n/a` instead.
+fn num(v: Option<&Value>) -> Option<f64> {
+    v.and_then(Value::as_f64)
 }
 
-fn uint(v: Option<&Value>) -> u64 {
-    v.and_then(Value::as_u64).unwrap_or(0)
+fn uint(v: Option<&Value>) -> Option<u64> {
+    v.and_then(Value::as_u64)
+}
+
+/// Renders an optional count, `n/a` when absent or malformed.
+fn fmt_uint(v: Option<u64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), |n| n.to_string())
+}
+
+/// Renders an optional float with `prec` decimals, `n/a` when absent.
+fn fmt_num(v: Option<f64>, prec: usize) -> String {
+    v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.prec$}"))
 }
 
 fn render_overview(last: &Value) -> String {
     let done = uint(last.get("done"));
     let total = uint(last.get("total"));
     let cached = uint(last.get("cached"));
-    let elapsed = num(last.get("elapsed_secs"));
+    let computed = match (done, cached) {
+        (Some(d), Some(c)) => d.saturating_sub(c).to_string(),
+        _ => "n/a".to_string(),
+    };
     let mut out = format!(
-        "cells:    {done}/{total} ({cached} cached, {} computed)\n",
-        done.saturating_sub(cached)
+        "cells:    {}/{} ({} cached, {computed} computed)\n",
+        fmt_uint(done),
+        fmt_uint(total),
+        fmt_uint(cached)
     );
     out.push_str(&format!(
-        "elapsed:  {elapsed:.2}s at {:.1} cells/s\n",
-        num(last.get("rate_cells_per_sec"))
+        "elapsed:  {}s at {} cells/s\n",
+        fmt_num(num(last.get("elapsed_secs")), 2),
+        fmt_num(num(last.get("rate_cells_per_sec")), 1)
     ));
     out.push_str(&format!(
         "retries:  {}\nfailures: {}\n",
-        uint(last.get("retries")),
-        uint(last.get("failures"))
+        fmt_uint(uint(last.get("retries"))),
+        fmt_uint(uint(last.get("failures")))
     ));
     if last.get("final") != Some(&Value::Bool(true)) {
         out.push_str("note: stream has no final line — the run may have been interrupted\n");
@@ -185,16 +205,17 @@ fn render_phases(profile: &Value) -> String {
     let mut t = TextTable::new(&[
         "phase", "count", "sum_s", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
     ]);
+    let ms = |v: Option<f64>| fmt_num(v.map(|s| s * 1e3), 3);
     for (name, h) in phases {
         t.row(&[
             name.clone(),
-            uint(h.get("count")).to_string(),
-            format!("{:.3}", num(h.get("sum_secs"))),
-            format!("{:.3}", num(h.get("mean_secs")) * 1e3),
-            format!("{:.3}", num(h.get("p50_secs")) * 1e3),
-            format!("{:.3}", num(h.get("p95_secs")) * 1e3),
-            format!("{:.3}", num(h.get("p99_secs")) * 1e3),
-            format!("{:.3}", num(h.get("max_secs")) * 1e3),
+            fmt_uint(uint(h.get("count"))),
+            fmt_num(num(h.get("sum_secs")), 3),
+            ms(num(h.get("mean_secs"))),
+            ms(num(h.get("p50_secs"))),
+            ms(num(h.get("p95_secs"))),
+            ms(num(h.get("p99_secs"))),
+            ms(num(h.get("max_secs"))),
         ]);
     }
     t.render()
@@ -207,19 +228,23 @@ fn render_workers(profile: &Value) -> String {
     if workers.is_empty() {
         return "no worker data recorded\n".to_string();
     }
-    let wall = num(profile.get("campaign_wall_secs"));
     let mut t = TextTable::new(&["worker", "busy_s", "utilization", "cells", "cells/s"]);
     for w in workers {
+        let util = num(w.get("utilization"))
+            .map_or_else(|| "n/a".to_string(), |u| format!("{:.0}%", u * 100.0));
         t.row(&[
-            uint(w.get("worker")).to_string(),
-            format!("{:.3}", num(w.get("busy_secs"))),
-            format!("{:.0}%", num(w.get("utilization")) * 100.0),
-            uint(w.get("cells")).to_string(),
-            format!("{:.1}", num(w.get("cells_per_sec"))),
+            fmt_uint(uint(w.get("worker"))),
+            fmt_num(num(w.get("busy_secs")), 3),
+            util,
+            fmt_uint(uint(w.get("cells"))),
+            fmt_num(num(w.get("cells_per_sec")), 1),
         ]);
     }
     let mut out = t.render();
-    out.push_str(&format!("campaign wall time: {wall:.2}s\n"));
+    out.push_str(&format!(
+        "campaign wall time: {}s\n",
+        fmt_num(num(profile.get("campaign_wall_secs")), 2)
+    ));
     out
 }
 
@@ -289,29 +314,34 @@ fn render_slowest(doc: &Value, top: usize) -> String {
     let Some(ms) = doc.get("measurements").and_then(Value::as_seq) else {
         return "no measurements recorded\n".to_string();
     };
-    let mut cells: Vec<(&Value, u64)> = ms
+    let mut cells: Vec<(&Value, Option<u64>)> = ms
         .iter()
         .map(|m| (m, uint(m.get("report").and_then(|r| r.get("total_cycles")))))
         .collect();
-    cells.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles));
+    // Cells with a malformed cycle count sort last, rendered as n/a.
+    cells.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles.unwrap_or(0)));
     let mut t = TextTable::new(&["workload", "p", "format", "total_cycles", "sigma"]);
     for (m, cycles) in cells.iter().take(top) {
         let report = m.get("report");
         let compute = num(report.and_then(|r| r.get("total_compute_cycles")));
         let dense = num(report.and_then(|r| r.get("dense_equivalent_compute")));
-        let sigma = if dense > 0.0 { compute / dense } else { 0.0 };
+        let sigma = match (compute, dense) {
+            (Some(c), Some(d)) if d > 0.0 => format!("{:.3}", c / d),
+            (Some(_), Some(_)) => "0.000".to_string(),
+            _ => "n/a".to_string(),
+        };
         t.row(&[
             m.get("workload")
                 .and_then(Value::as_str)
                 .unwrap_or("?")
                 .to_string(),
-            uint(m.get("partition_size")).to_string(),
+            fmt_uint(uint(m.get("partition_size"))),
             m.get("format")
                 .and_then(Value::as_str)
                 .unwrap_or("?")
                 .to_string(),
-            cycles.to_string(),
-            format!("{sigma:.3}"),
+            fmt_uint(*cycles),
+            sigma,
         ]);
     }
     let mut out = t.render();
@@ -329,12 +359,12 @@ fn render_failures(doc: &Value) -> String {
     let mut t = TextTable::new(&["cell", "workload", "p", "format", "kind", "retries"]);
     for f in failures {
         t.row(&[
-            uint(f.get("cell")).to_string(),
+            fmt_uint(uint(f.get("cell"))),
             f.get("workload")
                 .and_then(Value::as_str)
                 .unwrap_or("?")
                 .to_string(),
-            uint(f.get("partition_size")).to_string(),
+            fmt_uint(uint(f.get("partition_size"))),
             f.get("format")
                 .and_then(Value::as_str)
                 .unwrap_or("?")
@@ -343,7 +373,7 @@ fn render_failures(doc: &Value) -> String {
                 .and_then(Value::as_str)
                 .unwrap_or("?")
                 .to_string(),
-            uint(f.get("retries")).to_string(),
+            fmt_uint(uint(f.get("retries"))),
         ]);
     }
     t.render()
@@ -415,6 +445,52 @@ mod tests {
         assert!(coo < csr, "slowest cell must be listed first\n{text}");
         assert!(text.contains("1 cell(s) resumable"), "{text}");
         assert!(!text.contains("absent artifacts"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_fields_render_as_not_available_not_zero() {
+        let dir = scratch("malformed");
+        // Numbers replaced with strings, and key fields simply missing:
+        // each must surface as `n/a`, never be coerced to a silent 0.
+        std::fs::write(
+            dir.join("progress.jsonl"),
+            "{\"done\": \"eight\", \"cached\": 3, \"retries\": 2, \"failures\": 0, \"elapsed_secs\": \"soon\", \"final\": true}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("profile.json"),
+            "{\"phases\": {\"encode\": {\"count\": 3, \"sum_secs\": \"lots\"}}, \"workers\": [{\"worker\": 0, \"cells\": \"many\"}]}",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("measurements.json"),
+            "{\"measurements\": [{\"workload\": \"d=0.1\", \"format\": \"CSR\", \"report\": {\"total_cycles\": \"broken\"}}]}",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(
+            text.contains("cells:    n/a/n/a (3 cached, n/a computed)"),
+            "{text}"
+        );
+        assert!(text.contains("elapsed:  n/as at n/a cells/s"), "{text}");
+        assert!(text.contains("retries:  2"), "{text}");
+        // The phase row keeps its parsed count but flags the broken sum.
+        assert!(text.contains("n/a"), "{text}");
+        assert!(
+            !text.contains("0.00s at"),
+            "malformed elapsed must not read as 0\n{text}"
+        );
+        // The measurement row survives: missing partition size and a broken
+        // cycle count both render as n/a, and sigma (whose inputs are
+        // absent) is n/a rather than the old fabricated 0.000.
+        let row = text
+            .lines()
+            .find(|l| l.contains("d=0.1"))
+            .expect("CSR measurement row");
+        assert!(row.contains("CSR"), "{row}");
+        assert_eq!(row.matches("n/a").count(), 3, "{row}");
+        assert!(!row.contains("0.000"), "{row}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

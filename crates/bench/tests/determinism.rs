@@ -83,6 +83,48 @@ fn emitted_artifacts_are_byte_identical_across_job_counts() {
     assert_eq!(tsv1, tsv4);
 }
 
+/// Renders the compound-scheme campaign (every second-stage codec × the
+/// scheme formats) through a `--codec`-aware `Cli` at `jobs` workers.
+fn compound_artifacts_at(jobs: usize) -> (String, String) {
+    let cli = Cli::parse([
+        "--jobs".to_string(),
+        jobs.to_string(),
+        "--codec".to_string(),
+        "delta-varint".to_string(),
+    ])
+    .unwrap();
+    let runner = cli.runner();
+    let mut telemetry = cli.telemetry();
+    let rows = copernicus::experiments::ext_compound_scheme::run_on(
+        &runner,
+        &cli.cfg,
+        &mut telemetry.instruments(),
+    )
+    .unwrap();
+    let table = copernicus::experiments::ext_compound_scheme::render(&rows);
+    (table, telemetry.metrics.to_tsv())
+}
+
+#[test]
+fn compound_campaign_with_a_codec_is_byte_identical_across_job_counts() {
+    let (table1, tsv1) = compound_artifacts_at(1);
+    let (table4, tsv4) = compound_artifacts_at(4);
+    assert_eq!(
+        table1, table4,
+        "compound table diverged between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        tsv1, tsv4,
+        "compound metrics diverged between --jobs 1 and --jobs 4"
+    );
+    // The codec actually engaged: its counters reached the registry.
+    assert!(
+        tsv1.contains("codec.entropy_cycles"),
+        "expected codec counters in:\n{tsv1}"
+    );
+    assert!(tsv1.contains("codec.saved_bytes"), "{tsv1}");
+}
+
 #[test]
 fn cache_hits_reproduce_the_original_rows() {
     let cli = Cli::parse(["--jobs".to_string(), "4".to_string()]).unwrap();

@@ -83,6 +83,15 @@ impl<'a> Instruments<'a> {
         metrics.incr("bytes", r.total_bytes);
         metrics.incr("useful_bytes", r.useful_bytes);
         metrics.incr("bram_reads", r.total_bram_reads);
+        // Second-stage codec counters: both deltas are zero without a
+        // configured codec, and `incr_nonzero` skips zero deltas without
+        // creating the counter — so codec-off exports stay byte-identical
+        // to pre-codec ones.
+        metrics.incr_nonzero("codec.entropy_cycles", r.total_entropy_cycles);
+        metrics.incr_nonzero(
+            "codec.saved_bytes",
+            r.total_bytes.saturating_sub(r.total_coded_bytes),
+        );
         metrics.observe("stage_cycles.mem", r.total_mem_cycles as f64);
         metrics.observe("stage_cycles.compute", r.total_compute_cycles as f64);
         metrics.observe("stage_cycles.decomp", r.total_decomp_cycles as f64);

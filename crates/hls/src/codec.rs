@@ -1,0 +1,627 @@
+//! Second-stage stream codecs: entropy/transform coding layered over the
+//! per-format transfer streams of [`EncodedPartition`](crate::EncodedPartition).
+//!
+//! The paper's formats are *structural* encodings — they decide which
+//! elements travel. Real storage and transfer stacks layer a second
+//! compression stage on top of the index/value streams, trading transfer
+//! bytes for decoder cycles: exactly the compression-ratio versus
+//! decompression-latency trade-off (σ) Copernicus characterizes, one level
+//! deeper.
+//!
+//! Three codecs are modeled, each a [`Codec`] reachable through the
+//! [`codec_for`] registry (a static dispatch table in the style of chd-rs's
+//! `Decompress` match):
+//!
+//! * **RLE** — byte-level run-length coding. Wins on the long zero/padding
+//!   runs of Dense, ELL and DIA value streams.
+//! * **Delta+varint** — interprets the stream as little-endian `u32` words,
+//!   zigzag-delta-codes consecutive words and emits LEB128 varints. Built
+//!   for sorted index streams (CSR `colInx`, offsets), where consecutive
+//!   deltas are small.
+//! * **Canonical Huffman** — order-0 entropy coding with a canonical code
+//!   table, the coder/model split of websqz: the model is the byte
+//!   histogram, the coder the canonical bit assignment.
+//!
+//! Every codec is *functional* (encode/decode round-trip, property-tested)
+//! and carries a [`CodecCost`] — the cycles-per-byte second-stage decoder
+//! model the pipeline adds to the compute stage. Streams where the coded
+//! form would be larger than the structural form are transferred raw
+//! (`coded_bytes == bytes`), so second-stage coding never inflates a
+//! transfer; the cost model charges entropy-decode cycles only for streams
+//! that actually shipped coded.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which second-stage codec a platform applies to its transfer streams.
+///
+/// `None` (the default) reproduces the paper's platform exactly: structural
+/// encoding only, with every report bit-identical to the pre-codec model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum CodecKind {
+    /// No second stage: streams travel structurally encoded, as in the
+    /// paper.
+    #[default]
+    None,
+    /// Byte-level run-length coding.
+    Rle,
+    /// Zigzag delta of little-endian `u32` words + LEB128 varints.
+    DeltaVarint,
+    /// Canonical order-0 Huffman coding.
+    Huffman,
+}
+
+impl CodecKind {
+    /// Every kind, registry order (`None` first).
+    pub const ALL: [CodecKind; 4] = [
+        CodecKind::None,
+        CodecKind::Rle,
+        CodecKind::DeltaVarint,
+        CodecKind::Huffman,
+    ];
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CodecKind::None => "none",
+            CodecKind::Rle => "rle",
+            CodecKind::DeltaVarint => "delta-varint",
+            CodecKind::Huffman => "huffman",
+        })
+    }
+}
+
+impl FromStr for CodecKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CodecKind::None),
+            "rle" => Ok(CodecKind::Rle),
+            "delta-varint" | "delta_varint" => Ok(CodecKind::DeltaVarint),
+            "huffman" => Ok(CodecKind::Huffman),
+            other => Err(format!(
+                "unknown codec {other:?} (expected none, rle, delta-varint or huffman)"
+            )),
+        }
+    }
+}
+
+/// A malformed coded stream handed to [`Codec::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// The codec that rejected the stream.
+    pub codec: CodecKind,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} decode failed: {}", self.codec, self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(codec: CodecKind, detail: impl Into<String>) -> CodecError {
+    CodecError {
+        codec,
+        detail: detail.into(),
+    }
+}
+
+/// The second-stage decoder cost model of one codec: a per-stream setup
+/// charge (table builds, state resets) plus cycles per coded byte consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecCost {
+    /// Fixed cycles to prime the decoder for one stream.
+    pub setup_cycles: u64,
+    /// Decoder cycles per *coded* byte consumed.
+    pub cycles_per_byte: u64,
+}
+
+impl CodecCost {
+    /// Decoder cycles for one stream of `coded_bytes` coded bytes.
+    pub fn stream_cycles(&self, coded_bytes: u64) -> u64 {
+        self.setup_cycles + self.cycles_per_byte * coded_bytes
+    }
+}
+
+/// One second-stage stream codec: identity, transform, and decoder cost.
+///
+/// Implementations are stateless and `Sync`, so one static instance serves
+/// every campaign worker.
+pub trait Codec: Sync {
+    /// The registry id of this codec.
+    fn id(&self) -> CodecKind;
+
+    /// Compresses `src`, appending the coded form to `out` (which is
+    /// cleared first).
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>);
+
+    /// Inverts [`Codec::encode_bytes`], appending the original bytes to
+    /// `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] describing the first structural defect of a
+    /// malformed coded stream.
+    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>;
+
+    /// The second-stage decoder cost model.
+    fn cost_model(&self) -> CodecCost;
+}
+
+/// The codec registry: the static dispatch table mapping a [`CodecKind`] to
+/// its implementation. `CodecKind::None` has no implementation — the
+/// pipeline skips the second stage entirely.
+pub fn codec_for(kind: CodecKind) -> Option<&'static dyn Codec> {
+    match kind {
+        CodecKind::None => None,
+        CodecKind::Rle => Some(&Rle),
+        CodecKind::DeltaVarint => Some(&DeltaVarint),
+        CodecKind::Huffman => Some(&Huffman),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RLE
+// ---------------------------------------------------------------------------
+
+/// Byte-level run-length coding: `(count, byte)` pairs with `1 <= count <=
+/// 255`. A stream that is mostly padding zeros (Dense/ELL/DIA values)
+/// collapses dramatically; incompressible streams double, which the
+/// store-raw escape in the encode path absorbs.
+#[derive(Debug)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn id(&self) -> CodecKind {
+        CodecKind::Rle
+    }
+
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let mut i = 0;
+        while i < src.len() {
+            let byte = src[i];
+            let mut run = 1usize;
+            while run < 255 && i + run < src.len() && src[i + run] == byte {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(byte);
+            i += run;
+        }
+    }
+
+    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
+        if !src.len().is_multiple_of(2) {
+            return Err(err(self.id(), "odd-length run list"));
+        }
+        for pair in src.chunks_exact(2) {
+            let (count, byte) = (pair[0], pair[1]);
+            if count == 0 {
+                return Err(err(self.id(), "zero-length run"));
+            }
+            out.resize(out.len() + count as usize, byte);
+        }
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CodecCost {
+        // One pipelined table-free expansion per coded byte.
+        CodecCost {
+            setup_cycles: 0,
+            cycles_per_byte: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta + varint
+// ---------------------------------------------------------------------------
+
+/// Zigzag delta + LEB128 varint coding over little-endian `u32` words.
+///
+/// Wire format: one header byte holding the count of trailing raw bytes
+/// (`len % 4`, i.e. 0..=3), then the varint region, then the raw tail
+/// verbatim. Varints are self-delimiting, so the decoder consumes them
+/// until only the tail remains.
+#[derive(Debug)]
+pub struct DeltaVarint;
+
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+fn unzigzag(v: u32) -> i32 {
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+impl Codec for DeltaVarint {
+    fn id(&self) -> CodecKind {
+        CodecKind::DeltaVarint
+    }
+
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let tail = src.len() % 4;
+        out.push(tail as u8);
+        let mut prev = 0u32;
+        for word in src[..src.len() - tail].chunks_exact(4) {
+            let w = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+            let mut zz = zigzag(w.wrapping_sub(prev) as i32);
+            prev = w;
+            loop {
+                if zz < 0x80 {
+                    out.push(zz as u8);
+                    break;
+                }
+                out.push((zz as u8 & 0x7f) | 0x80);
+                zz >>= 7;
+            }
+        }
+        out.extend_from_slice(&src[src.len() - tail..]);
+    }
+
+    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
+        let Some((&tail, body)) = src.split_first() else {
+            return Err(err(self.id(), "missing tail header"));
+        };
+        let tail = tail as usize;
+        if tail > 3 {
+            return Err(err(self.id(), format!("tail count {tail} exceeds 3")));
+        }
+        if tail > body.len() {
+            return Err(err(self.id(), "tail longer than body"));
+        }
+        let (varints, raw_tail) = body.split_at(body.len() - tail);
+        let mut prev = 0u32;
+        let mut i = 0;
+        while i < varints.len() {
+            let mut zz = 0u32;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = varints.get(i) else {
+                    return Err(err(self.id(), "truncated varint"));
+                };
+                i += 1;
+                if shift >= 32 || (shift == 28 && (b & 0x7f) > 0x0f) {
+                    return Err(err(self.id(), "varint overflows u32"));
+                }
+                zz |= u32::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            let word = prev.wrapping_add(unzigzag(zz) as u32);
+            prev = word;
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.extend_from_slice(raw_tail);
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CodecCost {
+        // Shift-accumulate per coded byte, prefix-sum per word — one cycle
+        // per coded byte in a pipelined decoder.
+        CodecCost {
+            setup_cycles: 0,
+            cycles_per_byte: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman
+// ---------------------------------------------------------------------------
+
+/// Canonical order-0 Huffman coding.
+///
+/// Wire format: 4-byte little-endian original length, 256 code-length
+/// bytes (the canonical table — the "model"), then the MSB-first bitstream
+/// (the "coder"). Codes are assigned canonically by `(length, symbol)`, so
+/// encoder and decoder derive identical tables from the lengths alone.
+#[derive(Debug)]
+pub struct Huffman;
+
+/// Builds code lengths from byte frequencies: repeatedly merge the two
+/// lightest subtrees, ties broken by smallest member symbol — fully
+/// deterministic, no heap required at a 256-symbol alphabet. A single
+/// distinct symbol gets length 1. Depths stay far below 64 for any input
+/// under ~10 TB (a depth-`d` code needs Fibonacci-scale frequencies).
+fn code_lengths(counts: &[u64; 256]) -> [u8; 256] {
+    let mut lengths = [0u8; 256];
+    let mut nodes: Vec<(u64, u8, Vec<u8>)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(s, &c)| (c, s as u8, vec![s as u8]))
+        .collect();
+    if nodes.len() == 1 {
+        lengths[nodes[0].1 as usize] = 1;
+        return lengths;
+    }
+    while nodes.len() > 1 {
+        nodes.sort_by_key(|&(freq, min_sym, _)| (freq, min_sym));
+        let (fa, _, ma) = nodes.remove(0);
+        let (fb, mb_sym, mut mb) = nodes.remove(0);
+        for &s in ma.iter().chain(mb.iter()) {
+            lengths[s as usize] += 1;
+        }
+        let min_sym = ma[0].min(mb_sym);
+        let mut members = ma;
+        members.append(&mut mb);
+        nodes.push((fa + fb, min_sym, members));
+    }
+    lengths
+}
+
+/// Canonical code assignment: symbols sorted by `(length, symbol)`, codes
+/// counted up and left-shifted at each length increase.
+fn canonical_codes(lengths: &[u8; 256]) -> Vec<(u8, u64, u8)> {
+    let mut order: Vec<(u8, u8)> = lengths
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l > 0)
+        .map(|(s, &l)| (l, s as u8))
+        .collect();
+    order.sort_unstable();
+    let mut codes = Vec::with_capacity(order.len());
+    let mut next = 0u64;
+    let mut last_len = 0u8;
+    for &(len, sym) in &order {
+        next <<= u32::from(len - last_len);
+        codes.push((sym, next, len));
+        next += 1;
+        last_len = len;
+    }
+    codes
+}
+
+impl Codec for Huffman {
+    fn id(&self) -> CodecKind {
+        CodecKind::Huffman
+    }
+
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        debug_assert!(src.len() <= u32::MAX as usize, "stream exceeds u32 length");
+        out.extend_from_slice(&(src.len() as u32).to_le_bytes());
+        let mut counts = [0u64; 256];
+        for &b in src {
+            counts[b as usize] += 1;
+        }
+        let lengths = code_lengths(&counts);
+        out.extend_from_slice(&lengths);
+        let mut table = [(0u64, 0u8); 256];
+        for (sym, code, len) in canonical_codes(&lengths) {
+            table[sym as usize] = (code, len);
+        }
+        let mut bit_buf = 0u64;
+        let mut bit_count = 0u32;
+        for &b in src {
+            let (code, len) = table[b as usize];
+            bit_buf = (bit_buf << len) | code;
+            bit_count += u32::from(len);
+            while bit_count >= 8 {
+                bit_count -= 8;
+                out.push((bit_buf >> bit_count) as u8);
+            }
+        }
+        if bit_count > 0 {
+            out.push((bit_buf << (8 - bit_count)) as u8);
+        }
+    }
+
+    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
+        if src.len() < 4 + 256 {
+            return Err(err(self.id(), "header shorter than 260 bytes"));
+        }
+        let n = u32::from_le_bytes([src[0], src[1], src[2], src[3]]) as usize;
+        let mut lengths = [0u8; 256];
+        lengths.copy_from_slice(&src[4..260]);
+        let bits = &src[260..];
+        if n == 0 {
+            return Ok(());
+        }
+        let codes = canonical_codes(&lengths);
+        if codes.is_empty() {
+            return Err(err(self.id(), "no symbols in the code table"));
+        }
+        // Canonical decode tables indexed by code length.
+        let max_len = codes.iter().map(|&(_, _, l)| l).max().unwrap_or(0) as usize;
+        let mut first_code = vec![0u64; max_len + 1];
+        let mut first_index = vec![0usize; max_len + 1];
+        let mut count = vec![0usize; max_len + 1];
+        for (i, &(_, code, len)) in codes.iter().enumerate() {
+            let l = len as usize;
+            if count[l] == 0 {
+                first_code[l] = code;
+                first_index[l] = i;
+            }
+            count[l] += 1;
+        }
+        let mut code = 0u64;
+        let mut len = 0usize;
+        let mut bit = 0usize;
+        while out.len() < n {
+            let Some(&byte) = bits.get(bit / 8) else {
+                return Err(err(self.id(), "bitstream ends before all symbols"));
+            };
+            code = (code << 1) | u64::from((byte >> (7 - bit % 8)) & 1);
+            len += 1;
+            bit += 1;
+            if len > max_len {
+                return Err(err(self.id(), "bit pattern matches no code"));
+            }
+            if count[len] > 0
+                && code >= first_code[len]
+                && code < first_code[len] + count[len] as u64
+            {
+                let idx = first_index[len] + (code - first_code[len]) as usize;
+                out.push(codes[idx].0);
+                code = 0;
+                len = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CodecCost {
+        // Canonical-table rebuild per stream, then a two-cycle
+        // shift/compare/emit loop per coded byte.
+        CodecCost {
+            setup_cycles: 64,
+            cycles_per_byte: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: &dyn Codec, src: &[u8]) -> Vec<u8> {
+        let mut coded = Vec::new();
+        codec.encode_bytes(src, &mut coded);
+        let mut back = Vec::new();
+        codec
+            .decode_bytes(&coded, &mut back)
+            .unwrap_or_else(|e| panic!("{e} on {src:?} -> {coded:?}"));
+        assert_eq!(back, src, "{} round trip", codec.id());
+        coded
+    }
+
+    fn samples() -> Vec<Vec<u8>> {
+        vec![
+            vec![],
+            vec![0],
+            vec![7; 1000],
+            (0..=255u8).collect(),
+            (0..64u32).flat_map(|i| (i * 3).to_le_bytes()).collect(),
+            vec![1, 2, 3],           // non-word-aligned tail
+            vec![0xff; 513],         // long run crossing the 255 cap
+            b"abracadabra".to_vec(), // skewed histogram
+            (0..97u8).map(|i| i.wrapping_mul(53)).collect(),
+        ]
+    }
+
+    #[test]
+    fn every_codec_round_trips_the_samples() {
+        for kind in [CodecKind::Rle, CodecKind::DeltaVarint, CodecKind::Huffman] {
+            let codec = codec_for(kind).expect("registered");
+            assert_eq!(codec.id(), kind);
+            for s in samples() {
+                roundtrip(codec, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_kind_once() {
+        assert!(codec_for(CodecKind::None).is_none());
+        for kind in CodecKind::ALL {
+            if kind == CodecKind::None {
+                continue;
+            }
+            assert_eq!(codec_for(kind).expect("registered").id(), kind);
+        }
+    }
+
+    #[test]
+    fn kind_parses_and_displays_symmetrically() {
+        for kind in CodecKind::ALL {
+            assert_eq!(kind.to_string().parse::<CodecKind>(), Ok(kind));
+        }
+        assert_eq!(
+            "delta_varint".parse::<CodecKind>(),
+            Ok(CodecKind::DeltaVarint)
+        );
+        assert!("zstd".parse::<CodecKind>().is_err());
+        assert_eq!(CodecKind::default(), CodecKind::None);
+    }
+
+    #[test]
+    fn rle_collapses_runs_and_rejects_malformed_input() {
+        let mut coded = Vec::new();
+        Rle.encode_bytes(&[0u8; 600], &mut coded);
+        assert_eq!(coded, vec![255, 0, 255, 0, 90, 0]);
+        let mut out = Vec::new();
+        assert!(Rle.decode_bytes(&[1], &mut out).is_err(), "odd length");
+        assert!(Rle.decode_bytes(&[0, 7], &mut out).is_err(), "zero run");
+    }
+
+    #[test]
+    fn delta_varint_shrinks_sorted_index_streams() {
+        // A sorted u32 index stream (deltas of 1) codes to ~1 byte per
+        // 4-byte word plus the header.
+        let src: Vec<u8> = (100..400u32).flat_map(|i| i.to_le_bytes()).collect();
+        let coded = roundtrip(&DeltaVarint, &src);
+        assert!(
+            coded.len() < src.len() / 3,
+            "{} vs {}",
+            coded.len(),
+            src.len()
+        );
+    }
+
+    #[test]
+    fn delta_varint_rejects_malformed_input() {
+        let mut out = Vec::new();
+        assert!(DeltaVarint.decode_bytes(&[], &mut out).is_err());
+        assert!(
+            DeltaVarint.decode_bytes(&[9], &mut out).is_err(),
+            "bad tail"
+        );
+        assert!(
+            DeltaVarint.decode_bytes(&[0, 0x80], &mut out).is_err(),
+            "truncated varint"
+        );
+        assert!(
+            DeltaVarint
+                .decode_bytes(&[0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut out)
+                .is_err(),
+            "varint overflow"
+        );
+    }
+
+    #[test]
+    fn huffman_beats_raw_on_skewed_streams_and_rejects_malformed_input() {
+        let mut src = vec![0u8; 4000];
+        src.extend_from_slice(&[1u8; 100]);
+        let coded = roundtrip(&Huffman, &src);
+        assert!(coded.len() < src.len() / 2, "{}", coded.len());
+        let mut out = Vec::new();
+        assert!(Huffman.decode_bytes(&[0; 10], &mut out).is_err(), "short");
+        // Valid header claiming 4 symbols but an empty code table.
+        let mut bad = vec![4, 0, 0, 0];
+        bad.extend_from_slice(&[0u8; 256]);
+        assert!(Huffman.decode_bytes(&bad, &mut out).is_err());
+        // Claiming more symbols than the bitstream holds.
+        let mut coded = Vec::new();
+        Huffman.encode_bytes(b"aab", &mut coded);
+        coded[0] = 200;
+        assert!(Huffman.decode_bytes(&coded, &mut out).is_err());
+    }
+
+    #[test]
+    fn cost_models_are_ordered_by_decoder_complexity() {
+        let rle = Rle.cost_model();
+        let dv = DeltaVarint.cost_model();
+        let huff = Huffman.cost_model();
+        assert_eq!(rle.stream_cycles(100), 100);
+        assert_eq!(dv.stream_cycles(100), 100);
+        assert_eq!(huff.stream_cycles(100), 64 + 200);
+        assert!(huff.cycles_per_byte > rle.cycles_per_byte);
+    }
+}

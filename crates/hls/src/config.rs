@@ -1,5 +1,7 @@
 //! Hardware configuration of the modeled platform (§4.1 of the paper).
 
+use crate::codec::CodecKind;
+
 /// Configuration of the modeled HLS SpMV platform.
 ///
 /// Defaults mirror the paper's setup: a Zynq-7000 xc7z020 at 250 MHz fed by
@@ -41,6 +43,11 @@ pub struct HwConfig {
     /// against the dense reference — the analog of the paper's C/RTL
     /// co-simulation. Costs time on large runs; on by default.
     pub verify_functional: bool,
+    /// Second-stage codec applied to every transfer stream after structural
+    /// encoding ([`CodecKind::None`] reproduces the paper's platform
+    /// bit-for-bit). Coded streams larger than the structural form are
+    /// shipped raw, so enabling a codec never increases transfer bytes.
+    pub stream_codec: CodecKind,
 }
 
 impl Default for HwConfig {
@@ -56,6 +63,7 @@ impl Default for HwConfig {
             bcsr_block: 4,
             ell_hw_width: 6,
             verify_functional: true,
+            stream_codec: CodecKind::None,
         }
     }
 }
@@ -147,6 +155,7 @@ mod tests {
         assert_eq!(cfg.partition_size, 16);
         assert_eq!(cfg.bcsr_block, 4);
         assert_eq!(cfg.ell_hw_width, 6);
+        assert_eq!(cfg.stream_codec, CodecKind::None);
         assert!(cfg.validate().is_ok());
     }
 

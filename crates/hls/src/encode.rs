@@ -7,6 +7,7 @@
 //! utilization metric (§4.2: "the ratio of useful data over all transmitted
 //! data (i.e., useful data plus metadata)").
 
+use crate::codec::codec_for;
 use crate::{EncodeScratch, HwConfig};
 use sparsemat::{AnyMatrix, Bcsr, Coo, Dia, Ell, FormatKind, Lil, Matrix, SparseError};
 
@@ -16,8 +17,24 @@ use sparsemat::{AnyMatrix, Bcsr, Coo, Dia, Ell, FormatKind, Lil, Matrix, SparseE
 pub struct Stream {
     /// Array name as the paper's listings call it.
     pub name: &'static str,
-    /// Bytes transferred on this stream for one partition.
+    /// Bytes of the structural encoding streamed for one partition.
     pub bytes: u64,
+    /// Bytes actually crossing the bus after the second-stage codec.
+    /// Equals `bytes` when no codec is configured or when the coded form
+    /// would be larger than the structural form (the stream ships raw), so
+    /// `coded_bytes <= bytes` always holds.
+    pub coded_bytes: u64,
+}
+
+impl Stream {
+    /// A stream carrying its structural encoding uncoded.
+    fn structural(name: &'static str, bytes: u64) -> Self {
+        Stream {
+            name,
+            bytes,
+            coded_bytes: bytes,
+        }
+    }
 }
 
 /// A `p×p` partition encoded in one characterized format, with its transfer
@@ -49,7 +66,14 @@ impl EncodedPartition {
         format: FormatKind,
         cfg: &HwConfig,
     ) -> Result<Self, SparseError> {
-        Self::encode_into(tile, format, cfg, Vec::new())
+        Self::encode_into(
+            tile,
+            format,
+            cfg,
+            Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        )
     }
 
     /// Like [`EncodedPartition::encode`], but reuses the stream buffer held
@@ -66,7 +90,9 @@ impl EncodedPartition {
         cfg: &HwConfig,
         scratch: &mut EncodeScratch,
     ) -> Result<Self, SparseError> {
-        Self::encode_into(tile, format, cfg, scratch.take_streams())
+        let streams = scratch.take_streams();
+        let (payload, coded) = scratch.byte_pools();
+        Self::encode_into(tile, format, cfg, streams, payload, coded)
     }
 
     fn encode_into(
@@ -74,20 +100,18 @@ impl EncodedPartition {
         format: FormatKind,
         cfg: &HwConfig,
         mut streams: Vec<Stream>,
+        payload: &mut Vec<u8>,
+        coded: &mut Vec<u8>,
     ) -> Result<Self, SparseError> {
         let vb = cfg.value_bytes as u64;
         let ib = cfg.index_bytes as u64;
         let p = cfg.partition_size as u64;
-        let nnz = tile.nnz() as u64;
         debug_assert!(streams.is_empty());
 
         let matrix = match format {
             FormatKind::Dense => {
                 // The dense baseline streams every cell, zeros included.
-                streams.push(Stream {
-                    name: "values",
-                    bytes: p * p * vb,
-                });
+                streams.push(Stream::structural("values", p * p * vb));
                 AnyMatrix::Dense(tile.to_dense())
             }
             FormatKind::Csr => {
@@ -95,35 +119,17 @@ impl EncodedPartition {
                 // Duplicate COO coordinates merge during encoding, so the
                 // streamed entry count is the *encoded* structure's.
                 let stored = csr.nnz() as u64;
-                streams.push(Stream {
-                    name: "offsets",
-                    bytes: (p + 1) * ib,
-                });
-                streams.push(Stream {
-                    name: "colInx",
-                    bytes: stored * ib,
-                });
-                streams.push(Stream {
-                    name: "values",
-                    bytes: stored * vb,
-                });
+                streams.push(Stream::structural("offsets", (p + 1) * ib));
+                streams.push(Stream::structural("colInx", stored * ib));
+                streams.push(Stream::structural("values", stored * vb));
                 AnyMatrix::Csr(csr)
             }
             FormatKind::Csc => {
                 let csc = sparsemat::Csc::from(tile);
                 let stored = csc.nnz() as u64;
-                streams.push(Stream {
-                    name: "offsets",
-                    bytes: (p + 1) * ib,
-                });
-                streams.push(Stream {
-                    name: "rowInx",
-                    bytes: stored * ib,
-                });
-                streams.push(Stream {
-                    name: "values",
-                    bytes: stored * vb,
-                });
+                streams.push(Stream::structural("offsets", (p + 1) * ib));
+                streams.push(Stream::structural("rowInx", stored * ib));
+                streams.push(Stream::structural("values", stored * vb));
                 AnyMatrix::Csc(csc)
             }
             FormatKind::Bcsr => {
@@ -131,64 +137,45 @@ impl EncodedPartition {
                 let block_rows = bcsr.block_rows() as u64;
                 let nblk = bcsr.num_blocks() as u64;
                 let b2 = (cfg.bcsr_block * cfg.bcsr_block) as u64;
-                streams.push(Stream {
-                    name: "offsets",
-                    bytes: (block_rows + 1) * ib,
-                });
-                streams.push(Stream {
-                    name: "colInx",
-                    bytes: nblk * ib,
-                });
+                streams.push(Stream::structural("offsets", (block_rows + 1) * ib));
+                streams.push(Stream::structural("colInx", nblk * ib));
                 // The whole block is streamed, intra-block zeros too —
                 // the paper's first BCSR downside.
-                streams.push(Stream {
-                    name: "values",
-                    bytes: nblk * b2 * vb,
-                });
+                streams.push(Stream::structural("values", nblk * b2 * vb));
                 AnyMatrix::Bcsr(bcsr)
             }
             FormatKind::Coo | FormatKind::Dok => {
                 // (row, col, value) per entry; DOK streams identically.
-                streams.push(Stream {
-                    name: "rowInx",
-                    bytes: nnz * ib,
-                });
-                streams.push(Stream {
-                    name: "colInx",
-                    bytes: nnz * ib,
-                });
-                streams.push(Stream {
-                    name: "values",
-                    bytes: nnz * vb,
-                });
-                AnyMatrix::Coo(tile.clone())
+                // Duplicate coordinates merge during encoding exactly as
+                // CSR/CSC merge them, so every format accounts (and ships)
+                // the *encoded* structure, not the raw triplet list.
+                let coo = if tile.is_compressed() {
+                    tile.clone()
+                } else {
+                    let mut merged = tile.clone();
+                    merged.compress();
+                    merged
+                };
+                let stored = coo.nnz() as u64;
+                streams.push(Stream::structural("rowInx", stored * ib));
+                streams.push(Stream::structural("colInx", stored * ib));
+                streams.push(Stream::structural("values", stored * vb));
+                AnyMatrix::Coo(coo)
             }
             FormatKind::Lil => {
                 let lil = Lil::from_coo_columns(tile);
                 // values[HEIGHT][WIDTH] + Inx[HEIGHT][WIDTH] where HEIGHT is
                 // the longest column plus the end-marker row §5.2 describes.
                 let height = lil.max_line_len() as u64 + 1;
-                streams.push(Stream {
-                    name: "Inx",
-                    bytes: height * p * ib,
-                });
-                streams.push(Stream {
-                    name: "values",
-                    bytes: height * p * vb,
-                });
+                streams.push(Stream::structural("Inx", height * p * ib));
+                streams.push(Stream::structural("values", height * p * vb));
                 AnyMatrix::Lil(lil)
             }
             FormatKind::Ell => {
                 let ell = Ell::from_coo_natural(tile);
                 let w = ell.width() as u64;
-                streams.push(Stream {
-                    name: "colInx",
-                    bytes: w * p * ib,
-                });
-                streams.push(Stream {
-                    name: "values",
-                    bytes: w * p * vb,
-                });
+                streams.push(Stream::structural("colInx", w * p * ib));
+                streams.push(Stream::structural("values", w * p * vb));
                 AnyMatrix::Ell(ell)
             }
             FormatKind::Dia => {
@@ -200,10 +187,10 @@ impl EncodedPartition {
                 // exactly why §6.3 finds DIA's bandwidth utilization on
                 // non-diagonal band matrices no better than the generic
                 // formats.
-                streams.push(Stream {
-                    name: "diags",
-                    bytes: dia.num_diagonals() as u64 * (p + 1) * vb,
-                });
+                streams.push(Stream::structural(
+                    "diags",
+                    dia.num_diagonals() as u64 * (p + 1) * vb,
+                ));
                 AnyMatrix::Dia(dia)
             }
             other @ (FormatKind::Bcsc | FormatKind::Sell | FormatKind::Jds) => {
@@ -212,6 +199,25 @@ impl EncodedPartition {
                 )));
             }
         };
+
+        // Second stage: run each stream's serialized bytes through the
+        // configured codec. Streams whose coded form is no smaller ship raw
+        // (`coded_bytes == bytes`), so the second stage never inflates a
+        // transfer.
+        if let Some(codec) = codec_for(cfg.stream_codec) {
+            for s in &mut streams {
+                stream_payload(&matrix, s.name, cfg, payload);
+                debug_assert_eq!(
+                    payload.len() as u64,
+                    s.bytes,
+                    "{} payload vs accounting for {}",
+                    s.name,
+                    matrix.kind()
+                );
+                codec.encode_bytes(payload, coded);
+                s.coded_bytes = s.bytes.min(coded.len() as u64);
+            }
+        }
 
         // Useful payload = the non-zero values the encoded structure
         // actually carries (duplicates merged where the format merges them).
@@ -223,12 +229,21 @@ impl EncodedPartition {
         })
     }
 
-    /// Total bytes transferred for this partition (data + metadata).
+    /// Total bytes of the structural encoding (data + metadata), before any
+    /// second-stage codec.
     pub fn total_bytes(&self) -> u64 {
         self.streams.iter().map(|s| s.bytes).sum()
     }
 
-    /// Memory-bandwidth utilization of this partition: useful / total.
+    /// Bytes actually crossing the bus after second-stage coding. Equals
+    /// [`EncodedPartition::total_bytes`] when no codec is configured.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.coded_bytes).sum()
+    }
+
+    /// Memory-bandwidth utilization of this partition: useful / total
+    /// structural bytes — the paper's §4.2 metric, independent of the
+    /// second-stage codec so codec sweeps stay comparable to the paper.
     pub fn bandwidth_utilization(&self) -> f64 {
         let total = self.total_bytes();
         if total == 0 {
@@ -238,14 +253,178 @@ impl EncodedPartition {
         }
     }
 
-    /// Memory latency in cycles to stream this partition in (§4.2 metric i).
+    /// Memory latency in cycles to stream this partition in (§4.2 metric i),
+    /// over the coded byte counts.
     pub fn memory_cycles(&self, cfg: &HwConfig) -> u64 {
-        cfg.transfer_cycles(self.total_bytes())
+        cfg.transfer_cycles(self.transfer_bytes())
+    }
+
+    /// Second-stage decoder cycles for this partition: the configured
+    /// codec's per-stream setup plus cycles per coded byte, charged only for
+    /// streams that actually shipped coded (raw streams bypass the decoder).
+    /// Zero when no codec is configured.
+    pub fn entropy_cycles(&self, cfg: &HwConfig) -> u64 {
+        let Some(codec) = codec_for(cfg.stream_codec) else {
+            return 0;
+        };
+        let cost = codec.cost_model();
+        self.streams
+            .iter()
+            .filter(|s| s.coded_bytes < s.bytes)
+            .map(|s| cost.stream_cycles(s.coded_bytes))
+            .sum()
     }
 
     /// The format this partition is encoded in.
     pub fn kind(&self) -> FormatKind {
         self.matrix.kind()
+    }
+}
+
+/// Appends the first `width` little-endian bytes of `le`, zero-padded when
+/// `le` is shorter — so serialized widths always match the configured
+/// index/value byte widths the accounting uses.
+fn push_truncated(out: &mut Vec<u8>, le: &[u8], width: usize) {
+    let n = width.min(le.len());
+    out.extend_from_slice(&le[..n]);
+    out.resize(out.len() + (width - n), 0);
+}
+
+fn push_index(out: &mut Vec<u8>, v: usize, ib: usize) {
+    push_truncated(out, &(v as u64).to_le_bytes(), ib);
+}
+
+fn push_value(out: &mut Vec<u8>, v: f32, vb: usize) {
+    push_truncated(out, &v.to_le_bytes(), vb);
+}
+
+/// Serializes the named transfer stream of an encoded partition into `out`
+/// (cleared first), exactly as it would cross the AXI stream: little-endian,
+/// `index_bytes`/`value_bytes` wide, padding included. The resulting length
+/// always equals the [`Stream::bytes`] accounting for that stream — the
+/// second-stage codec compresses precisely these bytes.
+pub(crate) fn stream_payload(
+    matrix: &AnyMatrix<f32>,
+    name: &str,
+    cfg: &HwConfig,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    let ib = cfg.index_bytes;
+    let vb = cfg.value_bytes;
+    let p = cfg.partition_size;
+    match (matrix, name) {
+        (AnyMatrix::Dense(m), "values") => {
+            for &v in m.as_slice() {
+                push_value(out, v, vb);
+            }
+        }
+        (AnyMatrix::Csr(m), "offsets") => {
+            for &o in m.offsets() {
+                push_index(out, o, ib);
+            }
+        }
+        (AnyMatrix::Csr(m), "colInx") => {
+            for &i in m.indices() {
+                push_index(out, i, ib);
+            }
+        }
+        (AnyMatrix::Csr(m), "values") => {
+            for &v in m.values() {
+                push_value(out, v, vb);
+            }
+        }
+        (AnyMatrix::Csc(m), "offsets") => {
+            for &o in m.offsets() {
+                push_index(out, o, ib);
+            }
+        }
+        (AnyMatrix::Csc(m), "rowInx") => {
+            for &i in m.indices() {
+                push_index(out, i, ib);
+            }
+        }
+        (AnyMatrix::Csc(m), "values") => {
+            for &v in m.values() {
+                push_value(out, v, vb);
+            }
+        }
+        (AnyMatrix::Bcsr(m), "offsets") => {
+            for &o in m.offsets() {
+                push_index(out, o, ib);
+            }
+        }
+        (AnyMatrix::Bcsr(m), "colInx") => {
+            for &i in m.indices() {
+                push_index(out, i, ib);
+            }
+        }
+        (AnyMatrix::Bcsr(m), "values") => {
+            for &v in m.values() {
+                push_value(out, v, vb);
+            }
+        }
+        (AnyMatrix::Coo(m), "rowInx") => {
+            for t in m.iter() {
+                push_index(out, t.row, ib);
+            }
+        }
+        (AnyMatrix::Coo(m), "colInx") => {
+            for t in m.iter() {
+                push_index(out, t.col, ib);
+            }
+        }
+        (AnyMatrix::Coo(m), "values") => {
+            for t in m.iter() {
+                push_value(out, t.val, vb);
+            }
+        }
+        // LIL travels as HEIGHT rows of WIDTH lanes (§5.2): slot h of every
+        // line, end-marker (all-ones index, zero value) past a line's end.
+        (AnyMatrix::Lil(m), "Inx") => {
+            for h in 0..m.max_line_len() + 1 {
+                for l in 0..m.num_lines() {
+                    let inx = m.line(l).get(h).map_or(usize::MAX, |&(i, _)| i);
+                    push_index(out, inx, ib);
+                }
+            }
+        }
+        (AnyMatrix::Lil(m), "values") => {
+            for h in 0..m.max_line_len() + 1 {
+                for l in 0..m.num_lines() {
+                    let val = m.line(l).get(h).map_or(0.0, |&(_, v)| v);
+                    push_value(out, val, vb);
+                }
+            }
+        }
+        (AnyMatrix::Ell(m), "colInx") => {
+            let (indices, _) = m.raw_slots();
+            for &i in indices {
+                push_index(out, i, ib);
+            }
+        }
+        (AnyMatrix::Ell(m), "values") => {
+            let (_, values) = m.raw_slots();
+            for &v in values {
+                push_value(out, v, vb);
+            }
+        }
+        // Each stored diagonal travels as its offset header plus p values,
+        // zero-padded — `diags[NUM_DIAGONALS][MAX_DIAGONAL_LEN]` of
+        // Listing 7 with the header in slot 0.
+        (AnyMatrix::Dia(m), "diags") => {
+            for k in 0..m.num_diagonals() {
+                push_truncated(out, &(m.offsets()[k] as i64).to_le_bytes(), vb);
+                let diag = m.diagonal(k);
+                for &v in diag {
+                    push_value(out, v, vb);
+                }
+                for _ in diag.len()..p {
+                    push_value(out, 0.0, vb);
+                }
+            }
+        }
+        _ => debug_assert!(false, "no stream {name:?} on a {} partition", matrix.kind()),
     }
 }
 
@@ -353,6 +532,73 @@ mod tests {
         let t = tile(&[(0, 0, 1.0)], 16);
         assert!(EncodedPartition::encode(&t, FormatKind::Sell, &cfg()).is_err());
         assert!(EncodedPartition::encode(&t, FormatKind::Jds, &cfg()).is_err());
+    }
+
+    #[test]
+    fn coo_merges_duplicate_coordinates_like_csr() {
+        let t = tile(&[(0, 0, 1.0), (0, 0, 2.0), (3, 7, 2.0)], 16);
+        let coo = EncodedPartition::encode(&t, FormatKind::Coo, &cfg()).unwrap();
+        let csr = EncodedPartition::encode(&t, FormatKind::Csr, &cfg()).unwrap();
+        assert_eq!(coo.matrix.nnz(), 2, "duplicate (0,0) must merge");
+        assert_eq!(coo.matrix.nnz(), csr.matrix.nnz());
+        assert_eq!(coo.useful_bytes, csr.useful_bytes);
+        // 2 stored entries × (2 indices + 1 value) × 4 bytes.
+        assert_eq!(coo.total_bytes(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn stream_payloads_match_the_accounting_for_every_format() {
+        let t = tile(&[(0, 0, 1.0), (2, 3, -2.0), (15, 15, 4.0), (7, 7, 1.0)], 16);
+        let cfg = cfg();
+        let mut payload = Vec::new();
+        for kind in FormatKind::CHARACTERIZED {
+            let e = EncodedPartition::encode(&t, kind, &cfg).unwrap();
+            for s in &e.streams {
+                stream_payload(&e.matrix, s.name, &cfg, &mut payload);
+                assert_eq!(payload.len() as u64, s.bytes, "{kind}/{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn codecs_never_inflate_and_none_is_identity() {
+        let t = tile(&[(0, 0, 1.0), (2, 3, -2.0), (15, 15, 4.0), (7, 7, 1.0)], 16);
+        let mut cfg = cfg();
+        for codec in crate::CodecKind::ALL {
+            cfg.stream_codec = codec;
+            for kind in FormatKind::CHARACTERIZED {
+                let e = EncodedPartition::encode(&t, kind, &cfg).unwrap();
+                for s in &e.streams {
+                    assert!(s.coded_bytes <= s.bytes, "{codec}/{kind}/{}", s.name);
+                }
+                assert!(e.transfer_bytes() <= e.total_bytes());
+                if codec == crate::CodecKind::None {
+                    assert_eq!(e.transfer_bytes(), e.total_bytes());
+                    assert_eq!(e.entropy_cycles(&cfg), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rle_collapses_the_dense_zero_plane() {
+        let t = tile(&[(0, 0, 1.0)], 16);
+        let mut cfg = cfg();
+        cfg.stream_codec = crate::CodecKind::Rle;
+        let e = EncodedPartition::encode(&t, FormatKind::Dense, &cfg).unwrap();
+        assert!(
+            e.transfer_bytes() < e.total_bytes() / 10,
+            "{} of {}",
+            e.transfer_bytes(),
+            e.total_bytes()
+        );
+        assert!(
+            e.entropy_cycles(&cfg) > 0,
+            "coded streams cost decode cycles"
+        );
+        assert!(e.memory_cycles(&cfg) < cfg.transfer_cycles(e.total_bytes()));
+        // Utilization stays the paper's structural metric.
+        assert!((e.bandwidth_utilization() - 4.0 / (16.0 * 16.0 * 4.0)).abs() < 1e-12);
     }
 
     #[test]

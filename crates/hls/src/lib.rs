@@ -8,6 +8,9 @@
 //!
 //! * an AXI-Stream memory interface ([`EncodedPartition`] — per-format byte
 //!   accounting and transfer latency),
+//! * an optional second-stage stream codec ([`codec`] — RLE, delta+varint,
+//!   canonical Huffman over each transfer stream, with per-codec decoder
+//!   cost models feeding the compute stage),
 //! * one *decompressor per format* ([`decomp`]) whose cycle counts follow
 //!   the paper's HLS listings 1–7 statement by statement (II=1 pipelined
 //!   loops, single-cycle unrolled bodies over partitioned BRAMs, explicit
@@ -53,6 +56,7 @@
 // `-D warnings`, making this a gate.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod codec;
 pub mod config;
 pub mod decomp;
 pub mod encode;
@@ -63,6 +67,7 @@ pub mod resources;
 pub mod scratch;
 pub mod session;
 
+pub use codec::{codec_for, Codec, CodecCost, CodecError, CodecKind};
 pub use config::{ceil_log2, HwConfig};
 pub use decomp::{decompress, decompress_with, Decompression};
 pub use encode::{EncodedPartition, Stream};

@@ -47,6 +47,10 @@ pub struct EncodeScratch {
     acc_tile: Vec<f32>,
     /// Cells of `acc_tile` written by the current tile.
     touched_tile: Vec<usize>,
+    /// Serialized stream bytes for the second-stage codec pass.
+    payload: Vec<u8>,
+    /// Coded output of the second-stage codec pass.
+    coded: Vec<u8>,
 }
 
 impl EncodeScratch {
@@ -60,6 +64,12 @@ impl EncodeScratch {
         let mut streams = std::mem::take(&mut self.streams);
         streams.clear();
         streams
+    }
+
+    /// The payload/coded byte pools for the second-stage codec pass; the
+    /// codec clears each before use, so no handing-back step is needed.
+    pub(crate) fn byte_pools(&mut self) -> (&mut Vec<u8>, &mut Vec<u8>) {
+        (&mut self.payload, &mut self.coded)
     }
 
     /// A zeroed dense row of length `p`, reusing a pooled buffer when one

@@ -1,8 +1,9 @@
 //! Property tests pinning `EncodedPartition::encode` stream-byte accounting
 //! to the *actual* lengths of the encoded `sparsemat` structures — for
-//! every characterized format, including tiles with duplicate coordinates
-//! (which CSR/CSC/LIL/ELL/DIA merge during encoding while COO/DOK stream
-//! verbatim).
+//! every characterized format, including tiles with duplicate coordinates.
+//! Every format merges duplicates during encoding (COO/DOK compress their
+//! tuple list exactly as CSR/CSC merge theirs), so the accounting always
+//! describes the encoded structure, never the raw pre-merge triplet list.
 
 use copernicus_hls::{EncodedPartition, HwConfig, Stream};
 use proptest::prelude::*;
@@ -85,12 +86,14 @@ proptest! {
                     );
                 }
                 (AnyMatrix::Coo(m), FormatKind::Coo | FormatKind::Dok) => {
-                    // COO/DOK stream the tuple list verbatim — duplicates
-                    // travel as separate (row, col, value) entries.
-                    prop_assert_eq!(m.nnz() as u64, raw_nnz);
-                    prop_assert_eq!(stream_bytes(&e.streams, "rowInx"), raw_nnz * ib);
-                    prop_assert_eq!(stream_bytes(&e.streams, "colInx"), raw_nnz * ib);
-                    prop_assert_eq!(stream_bytes(&e.streams, "values"), raw_nnz * vb);
+                    // COO/DOK merge duplicate coordinates during encoding,
+                    // so the streamed tuple count is the *stored* count —
+                    // the same count CSR arrives at.
+                    let stored = m.nnz() as u64;
+                    prop_assert!(stored <= raw_nnz, "COO must merge duplicates");
+                    prop_assert_eq!(stream_bytes(&e.streams, "rowInx"), stored * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "colInx"), stored * ib);
+                    prop_assert_eq!(stream_bytes(&e.streams, "values"), stored * vb);
                 }
                 (AnyMatrix::Lil(m), FormatKind::Lil) => {
                     let height = m.max_line_len() as u64 + 1;
@@ -121,20 +124,38 @@ proptest! {
     }
 
     #[test]
-    fn duplicate_merge_shrinks_merging_formats_only(tile in dup_tile_strategy()) {
-        // Re-encoding from the merged CSR view must cost COO strictly less
-        // whenever the tile actually contained duplicates, while CSR's own
-        // byte count is invariant under pre-merging.
+    fn coo_accounts_duplicates_exactly_like_csr(tile in dup_tile_strategy()) {
+        // The regression this pins: COO/DOK used to size their streams from
+        // the raw pre-merge nnz while CSR/CSC sized from the merged stored
+        // count, so the same tile was accounted inconsistently across
+        // formats whenever it contained duplicate coordinates.
+        let cfg = HwConfig::with_partition_size(P);
+        let coo = EncodedPartition::encode(&tile, FormatKind::Coo, &cfg).unwrap();
+        let dok = EncodedPartition::encode(&tile, FormatKind::Dok, &cfg).unwrap();
+        let csr = EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap();
+        prop_assert_eq!(coo.matrix.nnz(), csr.matrix.nnz());
+        prop_assert_eq!(coo.useful_bytes, csr.useful_bytes);
+        prop_assert_eq!(coo.total_bytes(), dok.total_bytes());
+        // Same stored entries -> same per-entry stream sizes: COO's value
+        // stream equals CSR's, its index streams equal CSR's colInx.
+        let vals = |e: &EncodedPartition| {
+            e.streams.iter().find(|s| s.name == "values").map_or(0, |s| s.bytes)
+        };
+        prop_assert_eq!(vals(&coo), vals(&csr));
+        prop_assert_eq!(stream_bytes(&coo.streams, "rowInx"), stream_bytes(&csr.streams, "colInx"));
+    }
+
+    #[test]
+    fn pre_merging_is_a_no_op_for_every_format(tile in dup_tile_strategy()) {
+        // Since every format now merges duplicates during encoding,
+        // feeding it an already-merged tile must change nothing.
         let cfg = HwConfig::with_partition_size(P);
         let merged_coo = sparsemat::Csr::from(&tile).to_coo();
-        let had_duplicates = merged_coo.nnz() < tile.nnz();
 
         let coo_raw = EncodedPartition::encode(&tile, FormatKind::Coo, &cfg).unwrap();
         let coo_merged = EncodedPartition::encode(&merged_coo, FormatKind::Coo, &cfg).unwrap();
-        prop_assert_eq!(
-            coo_raw.total_bytes() > coo_merged.total_bytes(),
-            had_duplicates
-        );
+        prop_assert_eq!(coo_raw.total_bytes(), coo_merged.total_bytes());
+        prop_assert_eq!(coo_raw.useful_bytes, coo_merged.useful_bytes);
 
         let csr_raw = EncodedPartition::encode(&tile, FormatKind::Csr, &cfg).unwrap();
         let csr_merged = EncodedPartition::encode(&merged_coo, FormatKind::Csr, &cfg).unwrap();

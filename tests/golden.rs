@@ -130,9 +130,11 @@ fn run_report_and_partition_timing_round_trip_through_json() {
         mem_cycles: 17,
         compute_cycles: 23,
         decomp_cycles: 5,
+        entropy_cycles: 2,
         writeback_cycles: 4,
         dot_issues: 9,
         bytes: 1024,
+        coded_bytes: 900,
         useful_bytes: 512,
         bram_reads: 33,
     };
