@@ -28,6 +28,10 @@
 //! * `--jobs N` — worker threads for the measurement grid (default: the
 //!   machine's available parallelism). Output is byte-identical at every
 //!   job count.
+//! * `--tile-jobs N` — worker threads *inside* each modeled run, processing
+//!   that run's partitions concurrently. Default: the leftover `--jobs`
+//!   budget is split between grid cells and tiles automatically. Output is
+//!   byte-identical at every setting.
 //! * `--resume` — reload `<out>/checkpoint.jsonl` into the memo cache so an
 //!   interrupted campaign continues from where it died (requires `--out`).
 //!   Resumed runs emit byte-identical `measurements.json` and metrics TSVs.
@@ -76,6 +80,9 @@ pub struct Cli {
     pub force_progress: bool,
     /// Worker threads for the measurement grid.
     pub jobs: usize,
+    /// Worker threads inside each modeled run (`None` = split the `--jobs`
+    /// budget between cells and tiles automatically).
+    pub tile_jobs: Option<usize>,
     /// Reload `<out>/checkpoint.jsonl` before running.
     pub resume: bool,
     /// Record failed cells and keep measuring instead of aborting.
@@ -102,6 +109,7 @@ impl Cli {
         let mut progress = false;
         let mut force_progress = false;
         let mut jobs = copernicus::default_jobs();
+        let mut tile_jobs = None;
         let mut resume = false;
         let mut keep_going = false;
         let mut max_retries = 0u32;
@@ -154,6 +162,16 @@ impl Cli {
                         return Err("--jobs must be at least 1".to_string());
                     }
                 }
+                "--tile-jobs" => {
+                    let v = args.next().ok_or("--tile-jobs needs a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|e| format!("bad --tile-jobs {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err("--tile-jobs must be at least 1".to_string());
+                    }
+                    tile_jobs = Some(n);
+                }
                 "--resume" => resume = true,
                 "--keep-going" => keep_going = true,
                 "--max-retries" => {
@@ -171,7 +189,7 @@ impl Cli {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tile-jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
                     ));
                 }
             }
@@ -192,6 +210,7 @@ impl Cli {
             progress,
             force_progress,
             jobs,
+            tile_jobs,
             resume,
             keep_going,
             max_retries,
@@ -218,6 +237,9 @@ impl Cli {
             policy.faults = FaultPlan::parse(spec).ok();
         }
         let mut runner = CampaignRunner::new(self.jobs).with_policy(policy);
+        if let Some(tiles) = self.tile_jobs {
+            runner = runner.with_tile_jobs(tiles);
+        }
         if let Some(dir) = &self.out_dir {
             let path = dir.join("checkpoint.jsonl");
             if self.resume {
@@ -379,6 +401,18 @@ mod tests {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--jobs", "abc"]).is_err());
+    }
+
+    #[test]
+    fn tile_jobs_flag_is_parsed_and_validated() {
+        assert_eq!(parse(&[]).unwrap().tile_jobs, None);
+        let cli = parse(&["--tile-jobs", "4"]).unwrap();
+        assert_eq!(cli.tile_jobs, Some(4));
+        assert_eq!(cli.runner().tile_jobs(), Some(4));
+        assert_eq!(parse(&[]).unwrap().runner().tile_jobs(), None);
+        assert!(parse(&["--tile-jobs"]).is_err());
+        assert!(parse(&["--tile-jobs", "0"]).is_err());
+        assert!(parse(&["--tile-jobs", "x"]).is_err());
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! Best-of-N is the comparison statistic because it is the least
 //! noise-sensitive summary of a wall-clock sample: the minimum converges to
 //! the true cost as interference only ever adds time.
+//!
+//! Two noise controls keep the sample honest: every measurement discards
+//! `--warmup` unrecorded child runs first (default 1 — the first run pays
+//! for page-cache population and binary loading that later runs do not),
+//! and every sample carries its spread (`stddev_secs` and the coefficient
+//! of variation `cv = stddev / mean`) so a gate verdict can be read against
+//! how noisy the machine actually was. `--check` prints the noise figure
+//! alongside the delta.
 
 use serde::Value;
 
@@ -47,6 +55,23 @@ pub struct TrajectoryPoint {
     pub best_secs: f64,
     /// Mean of `runs_secs`.
     pub mean_secs: f64,
+    /// Population standard deviation of `runs_secs` (0 for one run).
+    pub stddev_secs: f64,
+    /// Coefficient of variation (`stddev_secs / mean_secs`) — the sample's
+    /// noise figure. Points recorded before these fields existed recompute
+    /// both from `runs_secs` on parse.
+    pub cv: f64,
+}
+
+/// `(population stddev, coefficient of variation)` of a wall-time sample.
+pub fn noise_stats(runs: &[f64], mean: f64) -> (f64, f64) {
+    if runs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let var = runs.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / runs.len() as f64;
+    let stddev = var.sqrt();
+    let cv = if mean > 0.0 { stddev / mean } else { 0.0 };
+    (stddev, cv)
 }
 
 impl TrajectoryPoint {
@@ -63,10 +88,20 @@ impl TrajectoryPoint {
             ),
             ("best_secs".to_string(), Value::Float(self.best_secs)),
             ("mean_secs".to_string(), Value::Float(self.mean_secs)),
+            ("stddev_secs".to_string(), Value::Float(self.stddev_secs)),
+            ("cv".to_string(), Value::Float(self.cv)),
         ])
     }
 
     fn from_value(v: &Value) -> Option<TrajectoryPoint> {
+        let runs_secs: Vec<f64> = v
+            .get("runs_secs")?
+            .as_seq()?
+            .iter()
+            .filter_map(Value::as_f64)
+            .collect();
+        let mean_secs = v.get("mean_secs")?.as_f64()?;
+        let (stddev_default, cv_default) = noise_stats(&runs_secs, mean_secs);
         Some(TrajectoryPoint {
             label: v.get("label")?.as_str()?.to_string(),
             // Points predate the field: every pre-codec trajectory entry
@@ -79,14 +114,14 @@ impl TrajectoryPoint {
             scale: v.get("scale")?.as_str()?.to_string(),
             jobs: v.get("jobs")?.as_u64()?,
             iterations: v.get("iterations")?.as_u64()?,
-            runs_secs: v
-                .get("runs_secs")?
-                .as_seq()?
-                .iter()
-                .filter_map(Value::as_f64)
-                .collect(),
+            runs_secs,
             best_secs: v.get("best_secs")?.as_f64()?,
-            mean_secs: v.get("mean_secs")?.as_f64()?,
+            mean_secs,
+            stddev_secs: v
+                .get("stddev_secs")
+                .and_then(Value::as_f64)
+                .unwrap_or(stddev_default),
+            cv: v.get("cv").and_then(Value::as_f64).unwrap_or(cv_default),
         })
     }
 }
@@ -169,7 +204,8 @@ pub fn regression_gate(
 ///
 /// Flags: `--quick` (default) / `--paper` pick the scale; `--cmd NAME`
 /// the bench command to measure (default `repro_all`); `--iters N`
-/// repetitions (default 3, best-of is reported); `--jobs N` worker threads
+/// repetitions (default 3, best-of is reported); `--warmup N` unrecorded
+/// warmup runs before the sample (default 1); `--jobs N` worker threads
 /// for each child (default 1); `--out FILE` evidence path (default
 /// `BENCH_hotpath.json`); `--baseline-secs X` a reference wall time for
 /// `improvement_pct`; `--trajectory FILE` the trajectory path (default
@@ -180,6 +216,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     let mut paper = false;
     let mut cmd = "repro_all".to_string();
     let mut iters = 3usize;
+    let mut warmup = 1usize;
     let mut jobs = 1usize;
     let mut out = std::path::PathBuf::from("BENCH_hotpath.json");
     let mut baseline: Option<f64> = None;
@@ -187,7 +224,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     let mut record: Option<String> = None;
     let mut check = false;
     let mut threshold_pct = 50.0f64;
-    let usage = "usage: perf [--quick|--paper] [--cmd NAME] [--iters N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
+    let usage = "usage: perf [--quick|--paper] [--cmd NAME] [--iters N] [--warmup N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
@@ -212,6 +249,10 @@ pub fn perf(args: Vec<String>) -> i32 {
                 if iters == 0 {
                     return Err("--iters must be at least 1".to_string());
                 }
+                Ok(())
+            }),
+            "--warmup" => value("--warmup").and_then(|v| {
+                warmup = v.parse().map_err(|e| format!("bad --warmup {v:?}: {e}"))?;
                 Ok(())
             }),
             "--jobs" => value("--jobs").and_then(|v| {
@@ -266,8 +307,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     if paper {
         child_args.push("--paper".into());
     }
-    let mut runs: Vec<f64> = Vec::with_capacity(iters);
-    for i in 0..iters {
+    let run_child = |label: String| -> Result<f64, i32> {
         let started = std::time::Instant::now();
         let status = std::process::Command::new(&exe)
             .args(&child_args)
@@ -279,22 +319,34 @@ pub fn perf(args: Vec<String>) -> i32 {
             Ok(s) if s.success() => {}
             Ok(s) => {
                 eprintln!("perf: {cmd} child exited with {s}");
-                return 1;
+                return Err(1);
             }
             Err(e) => {
                 eprintln!("perf: could not spawn {}: {e}", exe.display());
-                return 1;
+                return Err(1);
             }
         }
         let secs = started.elapsed().as_secs_f64();
-        eprintln!(
-            "[perf] {scale} {cmd} --jobs {jobs}, run {}/{iters}: {secs:.3}s",
-            i + 1
-        );
-        runs.push(secs);
+        eprintln!("[perf] {scale} {cmd} --jobs {jobs}, {label}: {secs:.3}s");
+        Ok(secs)
+    };
+    // Unrecorded warmup runs absorb one-time costs (page cache, binary
+    // loading) that would otherwise inflate the first measured repetition.
+    for i in 0..warmup {
+        if let Err(code) = run_child(format!("warmup {}/{warmup} (discarded)", i + 1)) {
+            return code;
+        }
+    }
+    let mut runs: Vec<f64> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        match run_child(format!("run {}/{iters}", i + 1)) {
+            Ok(secs) => runs.push(secs),
+            Err(code) => return code,
+        }
     }
     let best = runs.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+    let (stddev, cv) = noise_stats(&runs, mean);
 
     let mut doc = vec![
         ("benchmark".to_string(), Value::Str(cmd.clone())),
@@ -307,6 +359,9 @@ pub fn perf(args: Vec<String>) -> i32 {
         ),
         ("best_secs".to_string(), Value::Float(best)),
         ("mean_secs".to_string(), Value::Float(mean)),
+        ("stddev_secs".to_string(), Value::Float(stddev)),
+        ("cv".to_string(), Value::Float(cv)),
+        ("warmup".to_string(), Value::UInt(warmup as u64)),
     ];
     if let Some(base) = baseline {
         doc.push(("baseline_secs".to_string(), Value::Float(base)));
@@ -324,11 +379,13 @@ pub fn perf(args: Vec<String>) -> i32 {
     }
     match baseline {
         Some(base) => println!(
-            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            cv * 100.0,
             (base - best) / base * 100.0
         ),
         None => println!(
-            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s over {iters} run(s)"
+            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s)",
+            cv * 100.0
         ),
     }
     println!("wrote {}", out.display());
@@ -346,8 +403,10 @@ pub fn perf(args: Vec<String>) -> i32 {
         match find_baseline(&points, &cmd, scale, jobs as u64) {
             Some(point) => match regression_gate(point.best_secs, best, threshold_pct) {
                 Ok(delta) => println!(
-                    "regression gate OK: best {best:.3}s is {delta:+.1}% vs \"{}\" ({:.3}s, threshold {threshold_pct:.0}%)",
-                    point.label, point.best_secs
+                    "regression gate OK: best {best:.3}s is {delta:+.1}% vs \"{}\" ({:.3}s, threshold {threshold_pct:.0}%; sample noise cv {:.1}%)",
+                    point.label,
+                    point.best_secs,
+                    cv * 100.0
                 ),
                 Err(msg) => {
                     eprintln!("perf: {msg} (vs trajectory point \"{}\")", point.label);
@@ -377,6 +436,8 @@ pub fn perf(args: Vec<String>) -> i32 {
             runs_secs: runs,
             best_secs: best,
             mean_secs: mean,
+            stddev_secs: stddev,
+            cv,
         });
         if let Err(e) = std::fs::write(&trajectory_path, render_trajectory(&points)) {
             eprintln!("perf: could not write {}: {e}", trajectory_path.display());
@@ -396,15 +457,20 @@ mod tests {
     use super::*;
 
     fn point(label: &str, scale: &str, jobs: u64, best: f64) -> TrajectoryPoint {
+        let runs = vec![best + 0.02, best, best + 0.05];
+        let mean = best + 0.02;
+        let (stddev_secs, cv) = noise_stats(&runs, mean);
         TrajectoryPoint {
             label: label.to_string(),
             cmd: "repro_all".to_string(),
             scale: scale.to_string(),
             jobs,
             iterations: 3,
-            runs_secs: vec![best + 0.02, best, best + 0.05],
+            runs_secs: runs,
             best_secs: best,
-            mean_secs: best + 0.02,
+            mean_secs: mean,
+            stddev_secs,
+            cv,
         }
     }
 
@@ -413,6 +479,33 @@ mod tests {
         let points = vec![point("a", "quick", 1, 0.5), point("b", "paper", 4, 30.0)];
         let parsed = parse_trajectory(&render_trajectory(&points));
         assert_eq!(parsed, points);
+    }
+
+    #[test]
+    fn noise_stats_measure_spread() {
+        let (s0, c0) = noise_stats(&[], 0.0);
+        assert_eq!((s0, c0), (0.0, 0.0));
+        let (s1, c1) = noise_stats(&[2.0], 2.0);
+        assert_eq!((s1, c1), (0.0, 0.0));
+        // Two runs at 1 and 3: mean 2, population stddev 1, cv 0.5.
+        let (s2, c2) = noise_stats(&[1.0, 3.0], 2.0);
+        assert!((s2 - 1.0).abs() < 1e-12);
+        assert!((c2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_points_without_noise_fields_recompute_them_on_parse() {
+        // A pre-noise-fields trajectory entry: stddev/cv must be derived
+        // from runs_secs, not defaulted to zero.
+        let text = "{\"points\": [{\"label\": \"old\", \"scale\": \"quick\", \"jobs\": 1, \"iterations\": 2, \"runs_secs\": [1.0, 3.0], \"best_secs\": 1.0, \"mean_secs\": 2.0}]}";
+        let parsed = parse_trajectory(text);
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed[0].stddev_secs - 1.0).abs() < 1e-12);
+        assert!((parsed[0].cv - 0.5).abs() < 1e-12);
+        // And the derived fields round-trip exactly from then on.
+        let rendered = render_trajectory(&parsed);
+        assert!(rendered.contains("stddev_secs"));
+        assert_eq!(parse_trajectory(&rendered), parsed);
     }
 
     #[test]

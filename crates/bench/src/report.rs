@@ -96,6 +96,11 @@ pub fn render_report(dir: &Path, top: usize) -> String {
         Ok(tsv) => {
             out.push_str("\n== cache effectiveness (metrics.tsv) ==\n");
             out.push_str(&render_cache(&tsv));
+            let codec = render_codec(&tsv);
+            if !codec.is_empty() {
+                out.push_str("\n== second-stage codec (metrics.tsv) ==\n");
+                out.push_str(&codec);
+            }
             let retry = render_retries(&tsv);
             if !retry.is_empty() {
                 out.push_str("\n== retries & failures (metrics.tsv) ==\n");
@@ -288,6 +293,32 @@ fn render_cache(tsv: &str) -> String {
         format!("{:.0}%", pct(m_hit, m_miss)),
     ]);
     t.render()
+}
+
+/// The second-stage codec summary. Codec-off runs export neither counter
+/// (the exporters skip zero deltas), so the whole section is omitted then;
+/// a run with either counter present renders both, `n/a` for the missing
+/// one rather than a fabricated zero.
+fn render_codec(tsv: &str) -> String {
+    let entropy = counter(tsv, "codec.entropy_cycles");
+    let saved = counter(tsv, "codec.saved_bytes");
+    if entropy.is_none() && saved.is_none() {
+        return String::new();
+    }
+    let mut out = format!(
+        "entropy decode cycles: {}\nbus bytes saved:       {}\n",
+        fmt_uint(entropy),
+        fmt_uint(saved)
+    );
+    if let (Some(saved), Some(bytes)) = (saved, counter(tsv, "bytes")) {
+        if bytes > 0 {
+            out.push_str(&format!(
+                "transfer reduction:    {:.1}% of raw stream bytes\n",
+                saved as f64 / bytes as f64 * 100.0
+            ));
+        }
+    }
+    out
 }
 
 fn render_retries(tsv: &str) -> String {
@@ -491,6 +522,43 @@ mod tests {
         assert!(row.contains("CSR"), "{row}");
         assert_eq!(row.matches("n/a").count(), 3, "{row}");
         assert!(!row.contains("0.000"), "{row}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn codec_section_renders_from_counters_and_vanishes_without_them() {
+        let dir = scratch("codec");
+        // Codec-off: cache counters only — no codec section at all.
+        std::fs::write(
+            dir.join("metrics.tsv"),
+            "metric\tkind\tcount\tsum\ncache.grid_hits\tcounter\t6\t6\ncache.grid_misses\tcounter\t2\t2\n",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(!text.contains("second-stage codec"), "{text}");
+
+        // Codec-on: both counters plus the raw byte counter for the ratio.
+        std::fs::write(
+            dir.join("metrics.tsv"),
+            "metric\tkind\tcount\tsum\nbytes\tcounter\t1000\t1000\ncodec.entropy_cycles\tcounter\t420\t420\ncodec.saved_bytes\tcounter\t250\t250\n",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("second-stage codec"), "{text}");
+        assert!(text.contains("entropy decode cycles: 420"), "{text}");
+        assert!(text.contains("bus bytes saved:       250"), "{text}");
+        assert!(text.contains("25.0% of raw stream bytes"), "{text}");
+
+        // One counter present, the other absent: n/a, not zero, and the
+        // ratio line (whose inputs are incomplete) is dropped.
+        std::fs::write(
+            dir.join("metrics.tsv"),
+            "metric\tkind\tcount\tsum\ncodec.entropy_cycles\tcounter\t420\t420\n",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("bus bytes saved:       n/a"), "{text}");
+        assert!(!text.contains("raw stream bytes"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -115,6 +115,10 @@ pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug, Default)]
 pub struct CampaignRunner {
     jobs: usize,
+    /// Intra-run worker count handed to every cell session; `None` splits
+    /// the `jobs` budget between cells and tiles per campaign (see
+    /// [`CampaignRunner::tile_jobs_for`]).
+    tile_jobs: Option<usize>,
     cache: Mutex<HashMap<String, Measurement>>,
     workloads: WorkloadCache,
     policy: CampaignPolicy,
@@ -161,6 +165,32 @@ impl CampaignRunner {
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Builder: pins the intra-run tile worker count handed to every cell
+    /// session (`0` is clamped to 1 = serial tiles). Without this, the
+    /// runner splits its `jobs` budget between campaign cells and
+    /// partitions automatically. Purely a host-side speedup either way:
+    /// measurements and traces are byte-identical at any setting.
+    pub fn with_tile_jobs(mut self, jobs: usize) -> Self {
+        self.tile_jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// The pinned intra-run tile worker count, if any.
+    pub fn tile_jobs(&self) -> Option<usize> {
+        self.tile_jobs
+    }
+
+    /// The tile worker count a campaign over `units` grid units uses: the
+    /// pinned value when set, otherwise the `jobs` budget left over after
+    /// unit-level parallelism (`jobs / units`, at least 1). A wide grid
+    /// keeps every thread on its own cell (tiles stay serial, no
+    /// oversubscription); a narrow grid — fewer units than threads — spends
+    /// the idle budget inside each run.
+    fn tile_jobs_for(&self, units: usize) -> usize {
+        self.tile_jobs
+            .unwrap_or_else(|| (self.jobs / units.max(1)).max(1))
     }
 
     /// Number of memoized cells accumulated so far.
@@ -315,6 +345,9 @@ impl CampaignRunner {
         // One memo-key ingredient is the hardware config's JSON form;
         // serialize it once per campaign instead of once per cell.
         let hw = hw_json(cfg);
+        // Split the thread budget between cells and tiles (never part of
+        // the memo key: cached bytes are tile-jobs-invariant).
+        let tile_jobs = self.tile_jobs_for(units.len());
 
         // Per-worker wall-clock accounting, merged into the profiler after
         // the pool joins. Like every observer, it never feeds the
@@ -340,6 +373,7 @@ impl CampaignRunner {
                 cfg,
                 &hw,
                 trace,
+                tile_jobs,
                 &observers,
                 cell_base + ui * formats.len(),
             );
@@ -418,6 +452,7 @@ impl CampaignRunner {
         cfg: &ExperimentConfig,
         hw: &str,
         trace: bool,
+        tile_jobs: usize,
         observers: &Observers<'_>,
         cell_base: usize,
     ) -> Result<UnitOutput, CellFailure> {
@@ -460,6 +495,7 @@ impl CampaignRunner {
                             format,
                             cfg,
                             trace,
+                            tile_jobs,
                             cell_base + fi,
                             unit_grid.as_ref(),
                             &mut prepared,
@@ -505,6 +541,7 @@ impl CampaignRunner {
         format: FormatKind,
         cfg: &ExperimentConfig,
         trace: bool,
+        tile_jobs: usize,
         cell: usize,
         unit_grid: Option<&Arc<CachedGrid>>,
         prepared: &mut Option<Prepared>,
@@ -539,6 +576,7 @@ impl CampaignRunner {
                         };
                         let mut session = cfg.session(p)?;
                         session.set_profiler(observers.profiler.clone());
+                        session.set_tile_jobs(tile_jobs);
                         *prepared = Some((entry, session));
                     }
                     let Some((entry, session)) = prepared.as_mut() else {
@@ -1216,6 +1254,52 @@ mod tests {
             .expect("missing file is an empty resume");
         assert_eq!(restored, 0);
         assert_eq!(runner.resumed_cells(), 0);
+    }
+
+    #[test]
+    fn tile_parallel_campaigns_match_the_sequential_reference() {
+        let (w, f, p, cfg) = grid();
+        let expect = reference(&w, &f, &p, &cfg);
+        // Pinned tile workers, with and without cell parallelism.
+        for (jobs, tiles) in [(1, 4), (2, 3)] {
+            let got = CampaignRunner::new(jobs)
+                .with_tile_jobs(tiles)
+                .characterize(&w, &f, &p, &cfg)
+                .unwrap();
+            assert_eq!(expect, got, "jobs={jobs} tile_jobs={tiles}");
+        }
+        // Auto split: more threads than units pushes the surplus into tiles.
+        let runner = CampaignRunner::new(16);
+        assert_eq!(runner.tile_jobs(), None);
+        assert_eq!(runner.tile_jobs_for(6), 2);
+        assert_eq!(runner.tile_jobs_for(16), 1);
+        assert_eq!(runner.tile_jobs_for(0), 16);
+        let got = runner.characterize(&w, &f, &p, &cfg).unwrap();
+        assert_eq!(expect, got);
+        // A wide grid at the default job count keeps tiles serial.
+        assert_eq!(CampaignRunner::sequential().tile_jobs_for(4), 1);
+        assert_eq!(
+            CampaignRunner::new(0).with_tile_jobs(0).tile_jobs(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn tile_parallel_traced_campaign_replays_identical_events() {
+        let (w, f, p, cfg) = grid();
+        let mut seq_sink = RecordingSink::new();
+        let mut seq_instruments = Instruments::none().with_sink(&mut seq_sink);
+        let seq = CampaignRunner::sequential()
+            .characterize_with(&w, &f, &p, &cfg, &mut seq_instruments)
+            .unwrap();
+        let mut par_sink = RecordingSink::new();
+        let mut par_instruments = Instruments::none().with_sink(&mut par_sink);
+        let par = CampaignRunner::new(2)
+            .with_tile_jobs(4)
+            .characterize_with(&w, &f, &p, &cfg, &mut par_instruments)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq_sink.events, par_sink.events);
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl FromStr for CodecKind {
     }
 }
 
-/// A malformed coded stream handed to [`Codec::decode`].
+/// A stream a codec cannot handle: a malformed coded stream handed to
+/// [`Codec::decode_bytes`], or an input [`Codec::encode_bytes`] cannot
+/// represent on the wire (e.g. a stream longer than Huffman's `u32` length
+/// header).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodecError {
     /// The codec that rejected the stream.
@@ -101,7 +104,7 @@ pub struct CodecError {
 
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} decode failed: {}", self.codec, self.detail)
+        write!(f, "{} codec failed: {}", self.codec, self.detail)
     }
 }
 
@@ -131,6 +134,24 @@ impl CodecCost {
     }
 }
 
+/// Reusable decoder state pooled through
+/// [`EncodeScratch`](crate::EncodeScratch) so steady-state decoding
+/// allocates nothing: the Huffman primary lookup table keeps its capacity
+/// between streams, and the other codecs need no state at all.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// Huffman primary lookup table, `1 << min(max_len, PRIMARY_BITS)`
+    /// entries packed as `(symbol << 4) | code_len` (`0` = no short code).
+    primary: Vec<u16>,
+}
+
+impl CodecScratch {
+    /// A fresh scratch with no capacity reserved yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One second-stage stream codec: identity, transform, and decoder cost.
 ///
 /// Implementations are stateless and `Sync`, so one static instance serves
@@ -141,16 +162,40 @@ pub trait Codec: Sync {
 
     /// Compresses `src`, appending the coded form to `out` (which is
     /// cleared first).
-    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>);
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when `src` cannot be represented in the
+    /// codec's wire format (e.g. longer than Huffman's `u32` length
+    /// header). `out` is left empty in that case so a truncated stream can
+    /// never ship.
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>;
 
     /// Inverts [`Codec::encode_bytes`], appending the original bytes to
-    /// `out` (cleared first).
+    /// `out` (cleared first), reusing `scratch` so warm decoding allocates
+    /// nothing beyond `out` itself.
     ///
     /// # Errors
     ///
     /// Returns a [`CodecError`] describing the first structural defect of a
     /// malformed coded stream.
-    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>;
+    fn decode_bytes_with(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError>;
+
+    /// [`Codec::decode_bytes_with`] against a throwaway scratch — the
+    /// convenience form for one-shot decodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] describing the first structural defect of a
+    /// malformed coded stream.
+    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        self.decode_bytes_with(src, out, &mut CodecScratch::new())
+    }
 
     /// The second-stage decoder cost model.
     fn cost_model(&self) -> CodecCost;
@@ -184,22 +229,41 @@ impl Codec for Rle {
         CodecKind::Rle
     }
 
-    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         out.clear();
         let mut i = 0;
         while i < src.len() {
             let byte = src[i];
-            let mut run = 1usize;
-            while run < 255 && i + run < src.len() && src[i + run] == byte {
-                run += 1;
+            let limit = src.len().min(i + 255);
+            // Extend the run a word at a time while 8 bytes repeat, then
+            // byte-at-a-time to the exact boundary — same runs as the
+            // scalar scan, one compare per 8 bytes on long runs.
+            let pattern = u64::from_ne_bytes([byte; 8]);
+            let mut j = i + 1;
+            while j + 8 <= limit {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&src[j..j + 8]);
+                if u64::from_ne_bytes(word) != pattern {
+                    break;
+                }
+                j += 8;
             }
-            out.push(run as u8);
+            while j < limit && src[j] == byte {
+                j += 1;
+            }
+            out.push((j - i) as u8);
             out.push(byte);
-            i += run;
+            i = j;
         }
+        Ok(())
     }
 
-    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    fn decode_bytes_with(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError> {
         out.clear();
         if !src.len().is_multiple_of(2) {
             return Err(err(self.id(), "odd-length run list"));
@@ -249,7 +313,7 @@ impl Codec for DeltaVarint {
         CodecKind::DeltaVarint
     }
 
-    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         out.clear();
         let tail = src.len() % 4;
         out.push(tail as u8);
@@ -268,9 +332,15 @@ impl Codec for DeltaVarint {
             }
         }
         out.extend_from_slice(&src[src.len() - tail..]);
+        Ok(())
     }
 
-    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    fn decode_bytes_with(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        _scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError> {
         out.clear();
         let Some((&tail, body)) = src.split_first() else {
             return Err(err(self.id(), "missing tail header"));
@@ -333,58 +403,133 @@ impl Codec for DeltaVarint {
 #[derive(Debug)]
 pub struct Huffman;
 
+/// Maximum node count of a 256-leaf Huffman merge tree: 256 leaves plus
+/// 255 internal nodes.
+const MAX_NODES: usize = 511;
+
+/// Width of the primary decode lookup table in bits (capped by the actual
+/// maximum code length). 11 bits covers every code of the characterized
+/// stream histograms while keeping the table at 2 KiB of `u16`s.
+const PRIMARY_BITS: usize = 11;
+
 /// Builds code lengths from byte frequencies: repeatedly merge the two
 /// lightest subtrees, ties broken by smallest member symbol — fully
 /// deterministic, no heap required at a 256-symbol alphabet. A single
 /// distinct symbol gets length 1. Depths stay far below 64 for any input
 /// under ~10 TB (a depth-`d` code needs Fibonacci-scale frequencies).
+///
+/// The merge tracks parent pointers over a fixed arena instead of per-node
+/// member lists: each subtree carries its `head` (first member symbol, in
+/// the order the old list-based merge concatenated members) and a `stored`
+/// tie-break symbol updated as `a.head.min(b.stored)` — exactly the
+/// `ma[0].min(mb_sym)` rule of the list-based merge, so the resulting
+/// lengths (and thus every coded byte) are bit-identical. `(freq, stored)`
+/// keys are unique: `stored` is always a member of the subtree and
+/// subtrees are disjoint.
 fn code_lengths(counts: &[u64; 256]) -> [u8; 256] {
     let mut lengths = [0u8; 256];
-    let mut nodes: Vec<(u64, u8, Vec<u8>)> = counts
-        .iter()
-        .enumerate()
-        .filter(|&(_, &c)| c > 0)
-        .map(|(s, &c)| (c, s as u8, vec![s as u8]))
-        .collect();
-    if nodes.len() == 1 {
-        lengths[nodes[0].1 as usize] = 1;
+    let mut freq = [0u64; MAX_NODES];
+    let mut stored = [0u8; MAX_NODES];
+    let mut head = [0u8; MAX_NODES];
+    let mut parent = [u16::MAX; MAX_NODES];
+    // Live roots, as indices into the arena.
+    let mut active = [0u16; MAX_NODES];
+    let mut leaves = 0usize;
+    for (s, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            freq[leaves] = c;
+            stored[leaves] = s as u8;
+            head[leaves] = s as u8;
+            active[leaves] = leaves as u16;
+            leaves += 1;
+        }
+    }
+    if leaves == 1 {
+        lengths[stored[0] as usize] = 1;
         return lengths;
     }
-    while nodes.len() > 1 {
-        nodes.sort_by_key(|&(freq, min_sym, _)| (freq, min_sym));
-        let (fa, _, ma) = nodes.remove(0);
-        let (fb, mb_sym, mut mb) = nodes.remove(0);
-        for &s in ma.iter().chain(mb.iter()) {
-            lengths[s as usize] += 1;
+    let mut live = leaves;
+    let mut next_node = leaves;
+    while live > 1 {
+        // The two smallest live roots by (freq, stored) — the same pair the
+        // sort-and-pop merge selected.
+        let mut ai = 0usize;
+        for i in 1..live {
+            let (n, b) = (active[i] as usize, active[ai] as usize);
+            if (freq[n], stored[n]) < (freq[b], stored[b]) {
+                ai = i;
+            }
         }
-        let min_sym = ma[0].min(mb_sym);
-        let mut members = ma;
-        members.append(&mut mb);
-        nodes.push((fa + fb, min_sym, members));
+        let a = active[ai] as usize;
+        active[ai] = active[live - 1];
+        live -= 1;
+        let mut bi = 0usize;
+        for i in 1..live {
+            let (n, b) = (active[i] as usize, active[bi] as usize);
+            if (freq[n], stored[n]) < (freq[b], stored[b]) {
+                bi = i;
+            }
+        }
+        let b = active[bi] as usize;
+        freq[next_node] = freq[a] + freq[b];
+        head[next_node] = head[a];
+        stored[next_node] = head[a].min(stored[b]);
+        parent[a] = next_node as u16;
+        parent[b] = next_node as u16;
+        active[bi] = next_node as u16;
+        next_node += 1;
+    }
+    for leaf in 0..leaves {
+        let mut depth = 0u8;
+        let mut node = leaf;
+        while parent[node] != u16::MAX {
+            node = parent[node] as usize;
+            depth += 1;
+        }
+        lengths[stored[leaf] as usize] = depth;
     }
     lengths
 }
 
-/// Canonical code assignment: symbols sorted by `(length, symbol)`, codes
-/// counted up and left-shifted at each length increase.
-fn canonical_codes(lengths: &[u8; 256]) -> Vec<(u8, u64, u8)> {
-    let mut order: Vec<(u8, u8)> = lengths
-        .iter()
-        .enumerate()
-        .filter(|&(_, &l)| l > 0)
-        .map(|(s, &l)| (l, s as u8))
-        .collect();
-    order.sort_unstable();
-    let mut codes = Vec::with_capacity(order.len());
+/// One canonical code: `(symbol, code bits, length)`.
+type CanonicalCode = (u8, u64, u8);
+
+/// Canonical code assignment into a caller-provided table: symbols sorted
+/// by `(length, symbol)`, codes counted up and left-shifted at each length
+/// increase. Returns the number of coded symbols.
+fn canonical_codes_into(lengths: &[u8; 256], codes: &mut [CanonicalCode; 256]) -> usize {
+    let mut n = 0;
+    for (s, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[n] = (s as u8, 0, l);
+            n += 1;
+        }
+    }
+    // Unique (length, symbol) keys, so the unstable sort is deterministic.
+    codes[..n].sort_unstable_by_key(|&(sym, _, len)| (len, sym));
     let mut next = 0u64;
     let mut last_len = 0u8;
-    for &(len, sym) in &order {
-        next <<= u32::from(len - last_len);
-        codes.push((sym, next, len));
+    for c in &mut codes[..n] {
+        next <<= u32::from(c.2 - last_len);
+        c.1 = next;
         next += 1;
-        last_len = len;
+        last_len = c.2;
     }
-    codes
+    n
+}
+
+/// The next `width` bits of `bits` starting at bit `pos`, MSB-first,
+/// zero-padded past the end of the stream. `width <= PRIMARY_BITS`, so the
+/// window always fits three bytes.
+#[inline]
+fn peek_bits(bits: &[u8], pos: usize, width: usize) -> usize {
+    let byte = pos / 8;
+    let shift = pos % 8;
+    let b0 = u32::from(bits.get(byte).copied().unwrap_or(0));
+    let b1 = u32::from(bits.get(byte + 1).copied().unwrap_or(0));
+    let b2 = u32::from(bits.get(byte + 2).copied().unwrap_or(0));
+    let window = (b0 << 16) | (b1 << 8) | b2;
+    ((window >> (24 - shift - width)) & ((1 << width) - 1)) as usize
 }
 
 impl Codec for Huffman {
@@ -392,18 +537,41 @@ impl Codec for Huffman {
         CodecKind::Huffman
     }
 
-    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) {
+    fn encode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         out.clear();
-        debug_assert!(src.len() <= u32::MAX as usize, "stream exceeds u32 length");
+        if src.len() > u32::MAX as usize {
+            return Err(err(
+                self.id(),
+                format!(
+                    "stream of {} bytes exceeds the u32 length header",
+                    src.len()
+                ),
+            ));
+        }
         out.extend_from_slice(&(src.len() as u32).to_le_bytes());
+        // Four independent sub-histograms keep the count chains out of each
+        // other's way; u64 adds commute, so the merged counts are exact.
+        let mut lanes = [[0u64; 256]; 4];
+        let mut chunks = src.chunks_exact(4);
+        for quad in chunks.by_ref() {
+            lanes[0][quad[0] as usize] += 1;
+            lanes[1][quad[1] as usize] += 1;
+            lanes[2][quad[2] as usize] += 1;
+            lanes[3][quad[3] as usize] += 1;
+        }
+        for &b in chunks.remainder() {
+            lanes[0][b as usize] += 1;
+        }
         let mut counts = [0u64; 256];
-        for &b in src {
-            counts[b as usize] += 1;
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = lanes[0][i] + lanes[1][i] + lanes[2][i] + lanes[3][i];
         }
         let lengths = code_lengths(&counts);
         out.extend_from_slice(&lengths);
+        let mut codes = [(0u8, 0u64, 0u8); 256];
+        let ncodes = canonical_codes_into(&lengths, &mut codes);
         let mut table = [(0u64, 0u8); 256];
-        for (sym, code, len) in canonical_codes(&lengths) {
+        for &(sym, code, len) in &codes[..ncodes] {
             table[sym as usize] = (code, len);
         }
         let mut bit_buf = 0u64;
@@ -420,9 +588,15 @@ impl Codec for Huffman {
         if bit_count > 0 {
             out.push((bit_buf << (8 - bit_count)) as u8);
         }
+        Ok(())
     }
 
-    fn decode_bytes(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    fn decode_bytes_with(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CodecError> {
         out.clear();
         if src.len() < 4 + 256 {
             return Err(err(self.id(), "header shorter than 260 bytes"));
@@ -434,15 +608,19 @@ impl Codec for Huffman {
         if n == 0 {
             return Ok(());
         }
-        let codes = canonical_codes(&lengths);
-        if codes.is_empty() {
+        let mut code_table = [(0u8, 0u64, 0u8); 256];
+        let ncodes = canonical_codes_into(&lengths, &mut code_table);
+        if ncodes == 0 {
             return Err(err(self.id(), "no symbols in the code table"));
         }
-        // Canonical decode tables indexed by code length.
+        let codes = &code_table[..ncodes];
+        // Canonical decode tables indexed by code length; a wire length
+        // byte can claim up to 255 bits, so the per-length arrays span the
+        // full u8 range on the stack.
         let max_len = codes.iter().map(|&(_, _, l)| l).max().unwrap_or(0) as usize;
-        let mut first_code = vec![0u64; max_len + 1];
-        let mut first_index = vec![0usize; max_len + 1];
-        let mut count = vec![0usize; max_len + 1];
+        let mut first_code = [0u64; 256];
+        let mut first_index = [0usize; 256];
+        let mut count = [0usize; 256];
         for (i, &(_, code, len)) in codes.iter().enumerate() {
             let l = len as usize;
             if count[l] == 0 {
@@ -451,27 +629,59 @@ impl Codec for Huffman {
             }
             count[l] += 1;
         }
-        let mut code = 0u64;
-        let mut len = 0usize;
-        let mut bit = 0usize;
-        while out.len() < n {
-            let Some(&byte) = bits.get(bit / 8) else {
-                return Err(err(self.id(), "bitstream ends before all symbols"));
-            };
-            code = (code << 1) | u64::from((byte >> (7 - bit % 8)) & 1);
-            len += 1;
-            bit += 1;
-            if len > max_len {
-                return Err(err(self.id(), "bit pattern matches no code"));
+        // Primary lookup table over the next `primary_bits` bits. Codes are
+        // walked longest-first so a shorter code overwrites the aligned
+        // subranges of any longer one, reproducing the bit-at-a-time
+        // walk's shortest-match-first semantics even for tables that are
+        // not prefix-free (possible on malformed input).
+        let primary_bits = max_len.min(PRIMARY_BITS);
+        scratch.primary.clear();
+        scratch.primary.resize(1 << primary_bits, 0u16);
+        for &(sym, code, len) in codes.iter().rev() {
+            let len = len as usize;
+            if len > primary_bits || code >= 1u64 << len {
+                continue;
             }
-            if count[len] > 0
-                && code >= first_code[len]
-                && code < first_code[len] + count[len] as u64
-            {
-                let idx = first_index[len] + (code - first_code[len]) as usize;
-                out.push(codes[idx].0);
-                code = 0;
-                len = 0;
+            let base = (code as usize) << (primary_bits - len);
+            let span = 1usize << (primary_bits - len);
+            let entry = (u16::from(sym) << 4) | len as u16;
+            for slot in &mut scratch.primary[base..base + span] {
+                *slot = entry;
+            }
+        }
+        let total_bits = bits.len() * 8;
+        let mut pos = 0usize;
+        'symbols: while out.len() < n {
+            let entry = scratch.primary[peek_bits(bits, pos, primary_bits)];
+            let hit_len = (entry & 0xf) as usize;
+            if hit_len != 0 && pos + hit_len <= total_bits {
+                out.push((entry >> 4) as u8);
+                pos += hit_len;
+                continue;
+            }
+            // Slow path — codes longer than the primary table, the stream
+            // tail, and malformed tables: the bit-at-a-time canonical walk,
+            // preserving its exact error reporting.
+            let mut code = 0u64;
+            let mut len = 0usize;
+            loop {
+                if pos >= total_bits {
+                    return Err(err(self.id(), "bitstream ends before all symbols"));
+                }
+                code = (code << 1) | u64::from((bits[pos / 8] >> (7 - pos % 8)) & 1);
+                pos += 1;
+                len += 1;
+                if len > max_len {
+                    return Err(err(self.id(), "bit pattern matches no code"));
+                }
+                if count[len] > 0
+                    && code >= first_code[len]
+                    && code < first_code[len] + count[len] as u64
+                {
+                    let idx = first_index[len] + (code - first_code[len]) as usize;
+                    out.push(codes[idx].0);
+                    continue 'symbols;
+                }
             }
         }
         Ok(())
@@ -493,7 +703,7 @@ mod tests {
 
     fn roundtrip(codec: &dyn Codec, src: &[u8]) -> Vec<u8> {
         let mut coded = Vec::new();
-        codec.encode_bytes(src, &mut coded);
+        codec.encode_bytes(src, &mut coded).expect("encodable");
         let mut back = Vec::new();
         codec
             .decode_bytes(&coded, &mut back)
@@ -554,7 +764,7 @@ mod tests {
     #[test]
     fn rle_collapses_runs_and_rejects_malformed_input() {
         let mut coded = Vec::new();
-        Rle.encode_bytes(&[0u8; 600], &mut coded);
+        Rle.encode_bytes(&[0u8; 600], &mut coded).expect("encodes");
         assert_eq!(coded, vec![255, 0, 255, 0, 90, 0]);
         let mut out = Vec::new();
         assert!(Rle.decode_bytes(&[1], &mut out).is_err(), "odd length");
@@ -609,9 +819,110 @@ mod tests {
         assert!(Huffman.decode_bytes(&bad, &mut out).is_err());
         // Claiming more symbols than the bitstream holds.
         let mut coded = Vec::new();
-        Huffman.encode_bytes(b"aab", &mut coded);
+        Huffman.encode_bytes(b"aab", &mut coded).expect("encodes");
         coded[0] = 200;
         assert!(Huffman.decode_bytes(&coded, &mut out).is_err());
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn huffman_rejects_streams_longer_than_the_u32_length_header() {
+        // 4 GiB + 1 of untouched zero pages: the guard must fire before the
+        // histogram pass ever reads the data, so this stays cheap.
+        let src = vec![0u8; u32::MAX as usize + 1];
+        let mut out = vec![0xAA];
+        let e = Huffman.encode_bytes(&src, &mut out).unwrap_err();
+        assert_eq!(e.codec, CodecKind::Huffman);
+        assert!(e.detail.contains("u32"), "{}", e.detail);
+        assert!(out.is_empty(), "no truncated stream may ship");
+    }
+
+    #[test]
+    fn huffman_round_trips_codes_deeper_than_the_primary_table() {
+        // Fibonacci-scale frequencies force code depths past PRIMARY_BITS,
+        // exercising the table-miss slow path on well-formed input.
+        let (mut a, mut b) = (1u64, 1u64);
+        let mut src = Vec::new();
+        for sym in 0..20u8 {
+            src.extend(std::iter::repeat_n(sym, a as usize));
+            (a, b) = (b, a + b);
+        }
+        let coded = roundtrip(&Huffman, &src);
+        let lengths = &coded[4..260];
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        assert!(max_len > PRIMARY_BITS, "max code length {max_len}");
+    }
+
+    /// The list-based merge the parent-pointer `code_lengths` replaced,
+    /// kept verbatim as the reference for its exact tie-breaking.
+    fn reference_code_lengths(counts: &[u64; 256]) -> [u8; 256] {
+        let mut lengths = [0u8; 256];
+        let mut nodes: Vec<(u64, u8, Vec<u8>)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (c, s as u8, vec![s as u8]))
+            .collect();
+        if nodes.len() == 1 {
+            lengths[nodes[0].1 as usize] = 1;
+            return lengths;
+        }
+        while nodes.len() > 1 {
+            nodes.sort_by_key(|&(freq, min_sym, _)| (freq, min_sym));
+            let (fa, _, ma) = nodes.remove(0);
+            let (fb, mb_sym, mut mb) = nodes.remove(0);
+            for &s in ma.iter().chain(mb.iter()) {
+                lengths[s as usize] += 1;
+            }
+            let min_sym = ma[0].min(mb_sym);
+            let mut members = ma;
+            members.append(&mut mb);
+            nodes.push((fa + fb, min_sym, members));
+        }
+        lengths
+    }
+
+    #[test]
+    fn parent_pointer_merge_matches_the_list_based_merge() {
+        // Deterministic LCG over a tiny frequency range so equal-frequency
+        // ties (the delicate part of the merge order) are everywhere.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for case in 0..200 {
+            let mut counts = [0u64; 256];
+            let symbols = 1 + (case * 7) % 256;
+            for c in counts.iter_mut().take(symbols) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = (state >> 33) % 5; // zeros included: sparse alphabets
+            }
+            counts[0] = counts[0].max(1); // at least one symbol
+            assert_eq!(
+                code_lengths(&counts),
+                reference_code_lengths(&counts),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_decode_matches_the_allocating_decode() {
+        let mut scratch = CodecScratch::new();
+        for kind in [CodecKind::Rle, CodecKind::DeltaVarint, CodecKind::Huffman] {
+            let codec = codec_for(kind).expect("registered");
+            for s in samples() {
+                let mut coded = Vec::new();
+                codec.encode_bytes(&s, &mut coded).expect("encodable");
+                let mut fresh = Vec::new();
+                codec.decode_bytes(&coded, &mut fresh).expect("decodes");
+                let mut pooled = Vec::new();
+                // One scratch reused across every codec and stream.
+                codec
+                    .decode_bytes_with(&coded, &mut pooled, &mut scratch)
+                    .expect("decodes");
+                assert_eq!(pooled, fresh, "{kind}");
+            }
+        }
     }
 
     #[test]

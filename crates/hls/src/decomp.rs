@@ -46,8 +46,8 @@ impl Decompression {
     pub fn assemble(&self, p: usize) -> Dense<f32> {
         let mut d = Dense::zeros(p, p);
         for (r, row) in &self.contributions {
-            for (c, &v) in row.iter().enumerate() {
-                d[(*r, c)] += v;
+            for (dst, &v) in d.row_mut(*r).iter_mut().zip(row) {
+                *dst += v;
             }
         }
         d
@@ -94,10 +94,7 @@ fn dense(m: &Dense<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompr
     let p = cfg.partition_size;
     let mut contributions = scratch.take_contribs();
     for r in 0..p {
-        let src = m.row(r);
-        let mut row = scratch.row(src.len());
-        row.copy_from_slice(src);
-        contributions.push((r, row));
+        contributions.push((r, scratch.row_from(m.row(r))));
     }
     Decompression {
         contributions,
@@ -148,34 +145,36 @@ fn csr(m: &sparsemat::Csr<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> 
 fn csc(m: &sparsemat::Csc<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let nnz = m.nnz() as u64;
-    let mut out = Decompression {
-        contributions: scratch.take_contribs(),
-        decomp_cycles: 0,
-        dot_issues: 0,
-        engine_width: p,
-        bram_reads: 0,
-    };
-    for r in 0..p {
-        // while traversing all columns: II=1 over every stored tuple.
-        out.decomp_cycles += nnz;
-        out.bram_reads += nnz;
-        let mut row = scratch.row(p);
-        let mut any = false;
-        for (c, slot) in row.iter_mut().enumerate() {
-            for (rr, v) in m.col_entries(c) {
-                if rr == r {
-                    *slot = v;
-                    any = true;
-                }
+    // One scatter pass over the stored tuples replaces the hardware's
+    // per-row rescan in software: for a fixed cell the tuples arrive in
+    // the same column-major storage order the rescan read them, so
+    // last-write-wins produces identical rows, and a row is emitted iff it
+    // owns at least one stored tuple — exactly the rescan's `any` flag.
+    let mut rows = scratch.take_opt_rows(p);
+    for c in 0..p {
+        for (r, v) in m.col_entries(c) {
+            if let Some(slot) = rows.get_mut(r) {
+                slot.get_or_insert_with(|| scratch.row(p))[c] = v;
             }
         }
-        if any {
+    }
+    // The cycle model still charges the full `p` rescans of all stored
+    // tuples that Listing 3's schedule pays (II=1 over every tuple, once
+    // per output row).
+    let mut out = Decompression {
+        contributions: scratch.take_contribs(),
+        decomp_cycles: p as u64 * nnz,
+        dot_issues: 0,
+        engine_width: p,
+        bram_reads: p as u64 * nnz,
+    };
+    for (r, slot) in rows.iter_mut().enumerate() {
+        if let Some(row) = slot.take() {
             out.contributions.push((r, row));
             out.dot_issues += 1;
-        } else {
-            scratch.give_row(row);
         }
     }
+    scratch.give_opt_rows(rows);
     out
 }
 
@@ -193,7 +192,7 @@ fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -
         engine_width: p,
         bram_reads: 0,
     };
-    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(b);
+    let mut rows = scratch.take_row_stage();
     for br in 0..m.block_rows() {
         let nblocks = m.block_row_nnz(br) as u64;
         if nblocks == 0 {
@@ -227,6 +226,7 @@ fn bcsr(m: &sparsemat::Bcsr<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -
             }
         }
     }
+    scratch.give_row_stage(rows);
     out
 }
 
@@ -324,10 +324,11 @@ fn ell(m: &sparsemat::Ell<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> 
     };
     for r in 0..p {
         let mut row = scratch.row(p);
-        for s in 0..w {
-            let c = indices[r * w + s];
+        // Slot slices of this row: one bounds check per row, not per slot.
+        let base = r * w;
+        for (&c, &v) in indices[base..base + w].iter().zip(&values[base..base + w]) {
             if c != PAD {
-                row[c] = values[r * w + s];
+                row[c] = v;
             }
         }
         out.decomp_cycles += 1;
@@ -346,37 +347,39 @@ fn ell(m: &sparsemat::Ell<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> 
 fn dia(m: &sparsemat::Dia<f32>, cfg: &HwConfig, scratch: &mut EncodeScratch) -> Decompression {
     let p = cfg.partition_size;
     let ndiag = m.num_diagonals() as u64;
-    let mut out = Decompression {
-        contributions: scratch.take_contribs(),
-        decomp_cycles: cfg.bram_read_latency,
-        dot_issues: 0,
-        engine_width: p,
-        bram_reads: 0,
-    };
-    for r in 0..p {
-        out.decomp_cycles += ndiag;
-        out.bram_reads += ndiag;
-        let mut row = scratch.row(p);
-        let mut any = false;
-        for (k, &d) in m.offsets().iter().enumerate() {
+    // Diagonal-major scatter: each stored diagonal is one contiguous slice,
+    // so one linear pass per diagonal replaces the per-(row, diagonal)
+    // gather that re-derived a slot index for every pair. Every in-range
+    // cell lies on exactly one stored diagonal, so writes never collide and
+    // the emitted rows — including which rows carry a non-zero at all —
+    // are identical to the row-major walk.
+    let mut rows = scratch.take_opt_rows(p);
+    for (k, &d) in m.offsets().iter().enumerate() {
+        let first_row = if d < 0 { (-d) as usize } else { 0 };
+        for (j, &v) in m.diagonal(k).iter().enumerate() {
+            let r = first_row + j;
             let c = r as isize + d;
-            if c < 0 || c >= p as isize {
-                continue;
+            if v != 0.0 && r < p && c >= 0 && c < p as isize {
+                rows[r].get_or_insert_with(|| scratch.row(p))[c as usize] = v;
             }
-            let first_row = if d < 0 { (-d) as usize } else { 0 };
-            let v = m.diagonal(k)[r - first_row];
-            if v != 0.0 {
-                row[c as usize] = v;
-                any = true;
-            }
-        }
-        if any {
-            out.contributions.push((r, row));
-            out.dot_issues += 1;
-        } else {
-            scratch.give_row(row);
         }
     }
+    // The cycle model still charges the per-row scan over all stored
+    // diagonals that Listing 7's schedule pays.
+    let mut out = Decompression {
+        contributions: scratch.take_contribs(),
+        decomp_cycles: cfg.bram_read_latency + p as u64 * ndiag,
+        dot_issues: 0,
+        engine_width: p,
+        bram_reads: p as u64 * ndiag,
+    };
+    for (r, slot) in rows.iter_mut().enumerate() {
+        if let Some(row) = slot.take() {
+            out.contributions.push((r, row));
+            out.dot_issues += 1;
+        }
+    }
+    scratch.give_opt_rows(rows);
     out
 }
 

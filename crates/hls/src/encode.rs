@@ -66,20 +66,15 @@ impl EncodedPartition {
         format: FormatKind,
         cfg: &HwConfig,
     ) -> Result<Self, SparseError> {
-        Self::encode_into(
-            tile,
-            format,
-            cfg,
-            Vec::new(),
-            &mut Vec::new(),
-            &mut Vec::new(),
-        )
+        Self::encode_with(tile, format, cfg, &mut EncodeScratch::new())
     }
 
-    /// Like [`EncodedPartition::encode`], but reuses the stream buffer held
-    /// by `scratch` instead of allocating one per tile. Returning the
-    /// finished partition through [`EncodeScratch::recycle_encoded`] keeps
-    /// the steady-state encode path allocation-free for the stream list.
+    /// Like [`EncodedPartition::encode`], but reuses the buffers held by
+    /// `scratch` instead of allocating per tile: the stream list, the codec
+    /// byte pools, and — via [`EncodeScratch::recycle_encoded`] — the
+    /// encoded matrix itself, whose arrays the next tile of the same format
+    /// rebuilds in place. Output is bit-identical to
+    /// [`EncodedPartition::encode`] (test-enforced).
     ///
     /// # Errors
     ///
@@ -90,19 +85,7 @@ impl EncodedPartition {
         cfg: &HwConfig,
         scratch: &mut EncodeScratch,
     ) -> Result<Self, SparseError> {
-        let streams = scratch.take_streams();
-        let (payload, coded) = scratch.byte_pools();
-        Self::encode_into(tile, format, cfg, streams, payload, coded)
-    }
-
-    fn encode_into(
-        tile: &Coo<f32>,
-        format: FormatKind,
-        cfg: &HwConfig,
-        mut streams: Vec<Stream>,
-        payload: &mut Vec<u8>,
-        coded: &mut Vec<u8>,
-    ) -> Result<Self, SparseError> {
+        let mut streams = scratch.take_streams();
         let vb = cfg.value_bytes as u64;
         let ib = cfg.index_bytes as u64;
         let p = cfg.partition_size as u64;
@@ -112,10 +95,22 @@ impl EncodedPartition {
             FormatKind::Dense => {
                 // The dense baseline streams every cell, zeros included.
                 streams.push(Stream::structural("values", p * p * vb));
-                AnyMatrix::Dense(tile.to_dense())
+                match scratch.take_matrix(FormatKind::Dense) {
+                    Some(AnyMatrix::Dense(mut d)) => {
+                        d.assign_from_coo(tile);
+                        AnyMatrix::Dense(d)
+                    }
+                    _ => AnyMatrix::Dense(tile.to_dense()),
+                }
             }
             FormatKind::Csr => {
-                let csr = sparsemat::Csr::from(tile);
+                let csr = match scratch.take_matrix(FormatKind::Csr) {
+                    Some(AnyMatrix::Csr(mut m)) => {
+                        m.assign_from_coo(tile, scratch.tmp_triplets());
+                        m
+                    }
+                    _ => sparsemat::Csr::from(tile),
+                };
                 // Duplicate COO coordinates merge during encoding, so the
                 // streamed entry count is the *encoded* structure's.
                 let stored = csr.nnz() as u64;
@@ -125,7 +120,13 @@ impl EncodedPartition {
                 AnyMatrix::Csr(csr)
             }
             FormatKind::Csc => {
-                let csc = sparsemat::Csc::from(tile);
+                let csc = match scratch.take_matrix(FormatKind::Csc) {
+                    Some(AnyMatrix::Csc(mut m)) => {
+                        m.assign_from_coo(tile, scratch.tmp_triplets());
+                        m
+                    }
+                    _ => sparsemat::Csc::from(tile),
+                };
                 let stored = csc.nnz() as u64;
                 streams.push(Stream::structural("offsets", (p + 1) * ib));
                 streams.push(Stream::structural("rowInx", stored * ib));
@@ -133,7 +134,13 @@ impl EncodedPartition {
                 AnyMatrix::Csc(csc)
             }
             FormatKind::Bcsr => {
-                let bcsr = Bcsr::from_coo(tile, cfg.bcsr_block)?;
+                let bcsr = match scratch.take_matrix(FormatKind::Bcsr) {
+                    Some(AnyMatrix::Bcsr(mut m)) => {
+                        m.assign_from_coo(tile, cfg.bcsr_block, scratch.tmp_triplets())?;
+                        m
+                    }
+                    _ => Bcsr::from_coo(tile, cfg.bcsr_block)?,
+                };
                 let block_rows = bcsr.block_rows() as u64;
                 let nblk = bcsr.num_blocks() as u64;
                 let b2 = (cfg.bcsr_block * cfg.bcsr_block) as u64;
@@ -149,12 +156,20 @@ impl EncodedPartition {
                 // Duplicate coordinates merge during encoding exactly as
                 // CSR/CSC merge them, so every format accounts (and ships)
                 // the *encoded* structure, not the raw triplet list.
-                let coo = if tile.is_compressed() {
-                    tile.clone()
-                } else {
-                    let mut merged = tile.clone();
-                    merged.compress();
-                    merged
+                let coo = match scratch.take_matrix(FormatKind::Coo) {
+                    Some(AnyMatrix::Coo(mut m)) => {
+                        m.assign_from(tile);
+                        if !m.is_compressed() {
+                            m.compress();
+                        }
+                        m
+                    }
+                    _ if tile.is_compressed() => tile.clone(),
+                    _ => {
+                        let mut merged = tile.clone();
+                        merged.compress();
+                        merged
+                    }
                 };
                 let stored = coo.nnz() as u64;
                 streams.push(Stream::structural("rowInx", stored * ib));
@@ -163,7 +178,13 @@ impl EncodedPartition {
                 AnyMatrix::Coo(coo)
             }
             FormatKind::Lil => {
-                let lil = Lil::from_coo_columns(tile);
+                let lil = match scratch.take_matrix(FormatKind::Lil) {
+                    Some(AnyMatrix::Lil(mut m)) => {
+                        m.assign_from_coo_columns(tile, scratch.tmp_triplets());
+                        m
+                    }
+                    _ => Lil::from_coo_columns(tile),
+                };
                 // values[HEIGHT][WIDTH] + Inx[HEIGHT][WIDTH] where HEIGHT is
                 // the longest column plus the end-marker row §5.2 describes.
                 let height = lil.max_line_len() as u64 + 1;
@@ -172,14 +193,26 @@ impl EncodedPartition {
                 AnyMatrix::Lil(lil)
             }
             FormatKind::Ell => {
-                let ell = Ell::from_coo_natural(tile);
+                let ell = match scratch.take_matrix(FormatKind::Ell) {
+                    Some(AnyMatrix::Ell(mut m)) => {
+                        m.assign_from_coo_natural(tile, scratch.tmp_triplets());
+                        m
+                    }
+                    _ => Ell::from_coo_natural(tile),
+                };
                 let w = ell.width() as u64;
                 streams.push(Stream::structural("colInx", w * p * ib));
                 streams.push(Stream::structural("values", w * p * vb));
                 AnyMatrix::Ell(ell)
             }
             FormatKind::Dia => {
-                let dia = Dia::from_coo(tile);
+                let dia = match scratch.take_matrix(FormatKind::Dia) {
+                    Some(AnyMatrix::Dia(mut m)) => {
+                        m.assign_from_coo(tile);
+                        m
+                    }
+                    _ => Dia::from_coo(tile),
+                };
                 // Listing 7 stores `diags[NUM_DIAGONALS][MAX_DIAGONAL_LEN]`:
                 // every stored diagonal travels as a fixed-length row of
                 // p + 1 elements (header + maximum diagonal length, §2),
@@ -204,6 +237,7 @@ impl EncodedPartition {
         // configured codec. Streams whose coded form is no smaller ship raw
         // (`coded_bytes == bytes`), so the second stage never inflates a
         // transfer.
+        let (payload, coded) = scratch.byte_pools();
         if let Some(codec) = codec_for(cfg.stream_codec) {
             for s in &mut streams {
                 stream_payload(&matrix, s.name, cfg, payload);
@@ -214,8 +248,11 @@ impl EncodedPartition {
                     s.name,
                     matrix.kind()
                 );
-                codec.encode_bytes(payload, coded);
-                s.coded_bytes = s.bytes.min(coded.len() as u64);
+                // A stream the codec cannot represent (e.g. beyond Huffman's
+                // u32 length header) ships raw rather than truncated.
+                if codec.encode_bytes(payload, coded).is_ok() {
+                    s.coded_bytes = s.bytes.min(coded.len() as u64);
+                }
             }
         }
 
@@ -298,6 +335,37 @@ fn push_value(out: &mut Vec<u8>, v: f32, vb: usize) {
     push_truncated(out, &v.to_le_bytes(), vb);
 }
 
+/// Serializes a whole index slice. At the default 4-byte width this is a
+/// single reserve plus fixed-size appends (`as u32` keeps the same low
+/// bytes the truncating path keeps); other widths fall back per element.
+fn push_indices(out: &mut Vec<u8>, indices: &[usize], ib: usize) {
+    if ib == 4 {
+        out.reserve(indices.len() * 4);
+        for &i in indices {
+            out.extend_from_slice(&(i as u32).to_le_bytes());
+        }
+    } else {
+        for &i in indices {
+            push_index(out, i, ib);
+        }
+    }
+}
+
+/// Serializes a whole value slice; fixed-size appends at the native 4-byte
+/// `f32` width, per-element truncation otherwise.
+fn push_values(out: &mut Vec<u8>, values: &[f32], vb: usize) {
+    if vb == 4 {
+        out.reserve(values.len() * 4);
+        for &v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    } else {
+        for &v in values {
+            push_value(out, v, vb);
+        }
+    }
+}
+
 /// Serializes the named transfer stream of an encoded partition into `out`
 /// (cleared first), exactly as it would cross the AXI stream: little-endian,
 /// `index_bytes`/`value_bytes` wide, padding included. The resulting length
@@ -314,67 +382,30 @@ pub(crate) fn stream_payload(
     let vb = cfg.value_bytes;
     let p = cfg.partition_size;
     match (matrix, name) {
-        (AnyMatrix::Dense(m), "values") => {
-            for &v in m.as_slice() {
-                push_value(out, v, vb);
-            }
-        }
-        (AnyMatrix::Csr(m), "offsets") => {
-            for &o in m.offsets() {
-                push_index(out, o, ib);
-            }
-        }
-        (AnyMatrix::Csr(m), "colInx") => {
-            for &i in m.indices() {
-                push_index(out, i, ib);
-            }
-        }
-        (AnyMatrix::Csr(m), "values") => {
-            for &v in m.values() {
-                push_value(out, v, vb);
-            }
-        }
-        (AnyMatrix::Csc(m), "offsets") => {
-            for &o in m.offsets() {
-                push_index(out, o, ib);
-            }
-        }
-        (AnyMatrix::Csc(m), "rowInx") => {
-            for &i in m.indices() {
-                push_index(out, i, ib);
-            }
-        }
-        (AnyMatrix::Csc(m), "values") => {
-            for &v in m.values() {
-                push_value(out, v, vb);
-            }
-        }
-        (AnyMatrix::Bcsr(m), "offsets") => {
-            for &o in m.offsets() {
-                push_index(out, o, ib);
-            }
-        }
-        (AnyMatrix::Bcsr(m), "colInx") => {
-            for &i in m.indices() {
-                push_index(out, i, ib);
-            }
-        }
-        (AnyMatrix::Bcsr(m), "values") => {
-            for &v in m.values() {
-                push_value(out, v, vb);
-            }
-        }
+        (AnyMatrix::Dense(m), "values") => push_values(out, m.as_slice(), vb),
+        (AnyMatrix::Csr(m), "offsets") => push_indices(out, m.offsets(), ib),
+        (AnyMatrix::Csr(m), "colInx") => push_indices(out, m.indices(), ib),
+        (AnyMatrix::Csr(m), "values") => push_values(out, m.values(), vb),
+        (AnyMatrix::Csc(m), "offsets") => push_indices(out, m.offsets(), ib),
+        (AnyMatrix::Csc(m), "rowInx") => push_indices(out, m.indices(), ib),
+        (AnyMatrix::Csc(m), "values") => push_values(out, m.values(), vb),
+        (AnyMatrix::Bcsr(m), "offsets") => push_indices(out, m.offsets(), ib),
+        (AnyMatrix::Bcsr(m), "colInx") => push_indices(out, m.indices(), ib),
+        (AnyMatrix::Bcsr(m), "values") => push_values(out, m.values(), vb),
         (AnyMatrix::Coo(m), "rowInx") => {
+            out.reserve(m.nnz() * ib);
             for t in m.iter() {
                 push_index(out, t.row, ib);
             }
         }
         (AnyMatrix::Coo(m), "colInx") => {
+            out.reserve(m.nnz() * ib);
             for t in m.iter() {
                 push_index(out, t.col, ib);
             }
         }
         (AnyMatrix::Coo(m), "values") => {
+            out.reserve(m.nnz() * vb);
             for t in m.iter() {
                 push_value(out, t.val, vb);
             }
@@ -397,18 +428,8 @@ pub(crate) fn stream_payload(
                 }
             }
         }
-        (AnyMatrix::Ell(m), "colInx") => {
-            let (indices, _) = m.raw_slots();
-            for &i in indices {
-                push_index(out, i, ib);
-            }
-        }
-        (AnyMatrix::Ell(m), "values") => {
-            let (_, values) = m.raw_slots();
-            for &v in values {
-                push_value(out, v, vb);
-            }
-        }
+        (AnyMatrix::Ell(m), "colInx") => push_indices(out, m.raw_slots().0, ib),
+        (AnyMatrix::Ell(m), "values") => push_values(out, m.raw_slots().1, vb),
         // Each stored diagonal travels as its offset header plus p values,
         // zero-padded — `diags[NUM_DIAGONALS][MAX_DIAGONAL_LEN]` of
         // Listing 7 with the header in slot 0.
@@ -416,12 +437,10 @@ pub(crate) fn stream_payload(
             for k in 0..m.num_diagonals() {
                 push_truncated(out, &(m.offsets()[k] as i64).to_le_bytes(), vb);
                 let diag = m.diagonal(k);
-                for &v in diag {
-                    push_value(out, v, vb);
-                }
-                for _ in diag.len()..p {
-                    push_value(out, 0.0, vb);
-                }
+                push_values(out, diag, vb);
+                // Zero-pad in one resize: a zero value serializes to `vb`
+                // zero bytes at any width.
+                out.resize(out.len() + p.saturating_sub(diag.len()) * vb, 0);
             }
         }
         _ => debug_assert!(false, "no stream {name:?} on a {} partition", matrix.kind()),

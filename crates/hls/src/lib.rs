@@ -67,7 +67,7 @@ pub mod resources;
 pub mod scratch;
 pub mod session;
 
-pub use codec::{codec_for, Codec, CodecCost, CodecError, CodecKind};
+pub use codec::{codec_for, Codec, CodecCost, CodecError, CodecKind, CodecScratch};
 pub use config::{ceil_log2, HwConfig};
 pub use decomp::{decompress, decompress_with, Decompression};
 pub use encode::{EncodedPartition, Stream};

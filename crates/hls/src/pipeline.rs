@@ -281,6 +281,42 @@ impl SpanScheduler {
     }
 }
 
+/// Emits the trace events of one placed partition: its start marker plus
+/// the four stage spans. Shared by the serial loop and the tile-parallel
+/// reduce so both paths produce byte-identical traces.
+fn emit_partition_spans<S: TraceSink + ?Sized>(
+    sink: &mut S,
+    schedule: &mut SpanScheduler,
+    idx: usize,
+    part: &Partition<f32>,
+    timing: &PartitionTiming,
+) {
+    let (mem_start, compute_start, writeback_start) = schedule.place(timing);
+    sink.record(&PipelineEvent::PartitionStart {
+        partition: idx,
+        grid_row: part.grid_row,
+        grid_col: part.grid_col,
+        cycle: mem_start,
+    });
+    for (stage, start_cycle, cycles) in [
+        (Stage::MemRead, mem_start, timing.mem_cycles),
+        (Stage::Compute, compute_start, timing.compute_cycles),
+        (Stage::Decompress, compute_start, timing.decomp_cycles),
+        (Stage::WriteBack, writeback_start, timing.writeback_cycles),
+    ] {
+        sink.record(&PipelineEvent::StageSpan {
+            stage,
+            partition: idx,
+            lane: None,
+            start_cycle,
+            cycles,
+        });
+    }
+}
+
+/// One partition's outcome from a tile worker, reduced in grid order.
+type TileResult = Result<(PartitionTiming, Decompression), PlatformError>;
+
 /// The modeled platform: a validated [`HwConfig`] plus the run entry points.
 #[derive(Debug, Clone)]
 pub struct Platform {
@@ -289,6 +325,11 @@ pub struct Platform {
     /// platform). Never consulted by the timing model: reports are
     /// bit-identical with and without it.
     profiler: Option<Arc<PhaseProfiler>>,
+    /// Worker threads processing one run's partitions concurrently
+    /// (1 = serial). Never visible in the output: partitions are reduced
+    /// back in grid order, so reports, traces and SpMV results are
+    /// byte-identical at any setting.
+    tile_jobs: usize,
 }
 
 impl Platform {
@@ -303,12 +344,27 @@ impl Platform {
         Ok(Platform {
             cfg,
             profiler: None,
+            tile_jobs: 1,
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &HwConfig {
         &self.cfg
+    }
+
+    /// Sets how many worker threads process one run's partitions
+    /// concurrently (clamped to at least 1 = serial). The timing model is
+    /// unaffected: tiles are processed out of order but reduced back in
+    /// grid order, so reports, traces and SpMV results are byte-identical
+    /// at any worker count (test-enforced).
+    pub fn set_tile_jobs(&mut self, jobs: usize) {
+        self.tile_jobs = jobs.max(1);
+    }
+
+    /// The configured intra-run worker count.
+    pub fn tile_jobs(&self) -> usize {
+        self.tile_jobs
     }
 
     /// Attaches (or with `None`, detaches) a wall-clock phase profiler.
@@ -440,42 +496,71 @@ impl Platform {
         let mut schedule = SpanScheduler::default();
         let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
         let mut acc = PhaseAcc::new(self.profiler.is_some());
-        for (idx, part) in grid.partitions().iter().enumerate() {
-            let (timing, d) = self.process_partition(
-                &part.coo,
-                format,
-                (part.grid_row, part.grid_col),
-                sink,
-                idx,
-                scratch,
-                &mut acc,
-            )?;
-            consume(part, &d);
-            scratch.recycle_decompression(d);
-            if sink.enabled() {
-                let (mem_start, compute_start, writeback_start) = schedule.place(&timing);
-                sink.record(&PipelineEvent::PartitionStart {
-                    partition: idx,
-                    grid_row: part.grid_row,
-                    grid_col: part.grid_col,
-                    cycle: mem_start,
-                });
-                for (stage, start_cycle, cycles) in [
-                    (Stage::MemRead, mem_start, timing.mem_cycles),
-                    (Stage::Compute, compute_start, timing.compute_cycles),
-                    (Stage::Decompress, compute_start, timing.decomp_cycles),
-                    (Stage::WriteBack, writeback_start, timing.writeback_cycles),
-                ] {
-                    sink.record(&PipelineEvent::StageSpan {
-                        stage,
-                        partition: idx,
-                        lane: None,
-                        start_cycle,
-                        cycles,
-                    });
+        if self.tile_jobs > 1 && grid.partitions().len() > 1 {
+            // Tile-parallel pass: workers process partitions out of order,
+            // then this loop reduces them back in grid order so every
+            // observable byte (report, spans, SpMV accumulation order)
+            // matches the serial path.
+            let (mut pool, mut slots) = self.process_grid_parallel(grid, format, scratch, &mut acc);
+            let mut failure: Option<PlatformError> = None;
+            for (idx, part) in grid.partitions().iter().enumerate() {
+                let Some((wid, result)) = slots[idx].take() else {
+                    continue;
+                };
+                match result {
+                    Ok((timing, d)) => {
+                        // Work past the first failing partition is
+                        // discarded, exactly as the serial path never
+                        // reaches it.
+                        if failure.is_none() {
+                            consume(part, &d);
+                            if sink.enabled() {
+                                emit_partition_spans(sink, &mut schedule, idx, part, &timing);
+                            }
+                            builder.push(&timing);
+                        }
+                        pool[wid].recycle_decompression(d);
+                    }
+                    Err(e) => {
+                        if failure.is_none() {
+                            if let PlatformError::FunctionalMismatch { format, grid } = &e {
+                                if sink.enabled() {
+                                    sink.record(&PipelineEvent::FunctionalMismatch {
+                                        partition: idx,
+                                        detail: format!(
+                                            "decompressing {format} partition ({}, {})",
+                                            grid.0, grid.1
+                                        ),
+                                    });
+                                }
+                            }
+                            failure = Some(e);
+                        }
+                    }
                 }
             }
-            builder.push(&timing);
+            scratch.give_workers(pool);
+            if let Some(e) = failure {
+                return Err(e);
+            }
+        } else {
+            for (idx, part) in grid.partitions().iter().enumerate() {
+                let (timing, d) = self.process_partition(
+                    &part.coo,
+                    format,
+                    (part.grid_row, part.grid_col),
+                    sink,
+                    idx,
+                    scratch,
+                    &mut acc,
+                )?;
+                consume(part, &d);
+                scratch.recycle_decompression(d);
+                if sink.enabled() {
+                    emit_partition_spans(sink, &mut schedule, idx, part, &timing);
+                }
+                builder.push(&timing);
+            }
         }
         let report = builder.finish();
         if sink.enabled() {
@@ -549,6 +634,76 @@ impl Platform {
         };
         scratch.recycle_encoded(encoded);
         Ok((timing, d))
+    }
+
+    /// Processes every partition of `grid` on up to [`Platform::tile_jobs`]
+    /// scoped worker threads: one pooled [`EncodeScratch`] per worker,
+    /// tiles claimed from an atomic cursor. Returns the worker scratches
+    /// (for buffer recycling plus hand-back) and one `(worker, result)`
+    /// slot per partition for the caller's in-grid-order reduce. Worker
+    /// phase time folds into `acc` (summed across workers).
+    ///
+    /// Workers trace into a [`NullSink`]: the only event
+    /// [`Platform::process_partition`] can emit is the functional-mismatch
+    /// marker, which the reduce re-emits in grid order from the returned
+    /// error so traces match the serial path byte for byte.
+    fn process_grid_parallel(
+        &self,
+        grid: &PartitionGrid<f32>,
+        format: FormatKind,
+        scratch: &mut EncodeScratch,
+        acc: &mut PhaseAcc,
+    ) -> (Vec<EncodeScratch>, Vec<Option<(usize, TileResult)>>) {
+        let parts = grid.partitions();
+        let n = parts.len();
+        let profiled = self.profiler.is_some();
+        let pool = scratch.take_workers(self.tile_jobs.min(n));
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<(usize, TileResult)>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut returned: Vec<EncodeScratch> = Vec::with_capacity(pool.len());
+        std::thread::scope(|s| {
+            let cursor = &cursor;
+            let handles: Vec<_> = pool
+                .into_iter()
+                .map(|mut ws| {
+                    s.spawn(move || {
+                        let mut wacc = PhaseAcc::new(profiled);
+                        let mut done: Vec<(usize, TileResult)> = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if idx >= n {
+                                break;
+                            }
+                            let part = &parts[idx];
+                            let result = self.process_partition(
+                                &part.coo,
+                                format,
+                                (part.grid_row, part.grid_col),
+                                &mut NullSink,
+                                idx,
+                                &mut ws,
+                                &mut wacc,
+                            );
+                            done.push((idx, result));
+                        }
+                        (ws, wacc, done)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (ws, wacc, done) = match handle.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                acc.merge(&wacc);
+                for (idx, result) in done {
+                    slots[idx] = Some((returned.len(), result));
+                }
+                returned.push(ws);
+            }
+        });
+        (returned, slots)
     }
 
     /// Runs a single `p×p` tile (already in tile-local coordinates) through
@@ -820,19 +975,58 @@ impl Platform {
         let mut timings = Vec::with_capacity(grid.partitions().len());
         let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
         let mut acc = PhaseAcc::new(self.profiler.is_some());
-        for (idx, part) in grid.partitions().iter().enumerate() {
-            let (timing, d) = self.process_partition(
-                &part.coo,
-                format,
-                (part.grid_row, part.grid_col),
-                sink,
-                idx,
-                scratch,
-                &mut acc,
-            )?;
-            scratch.recycle_decompression(d);
-            builder.push(&timing);
-            timings.push(timing);
+        if self.tile_jobs > 1 && grid.partitions().len() > 1 {
+            let (mut pool, mut slots) = self.process_grid_parallel(grid, format, scratch, &mut acc);
+            let mut failure: Option<PlatformError> = None;
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                let Some((wid, result)) = slot.take() else {
+                    continue;
+                };
+                match result {
+                    Ok((timing, d)) => {
+                        if failure.is_none() {
+                            builder.push(&timing);
+                            timings.push(timing);
+                        }
+                        pool[wid].recycle_decompression(d);
+                    }
+                    Err(e) => {
+                        if failure.is_none() {
+                            if let PlatformError::FunctionalMismatch { format, grid } = &e {
+                                if sink.enabled() {
+                                    sink.record(&PipelineEvent::FunctionalMismatch {
+                                        partition: idx,
+                                        detail: format!(
+                                            "decompressing {format} partition ({}, {})",
+                                            grid.0, grid.1
+                                        ),
+                                    });
+                                }
+                            }
+                            failure = Some(e);
+                        }
+                    }
+                }
+            }
+            scratch.give_workers(pool);
+            if let Some(e) = failure {
+                return Err(e);
+            }
+        } else {
+            for (idx, part) in grid.partitions().iter().enumerate() {
+                let (timing, d) = self.process_partition(
+                    &part.coo,
+                    format,
+                    (part.grid_row, part.grid_col),
+                    sink,
+                    idx,
+                    scratch,
+                    &mut acc,
+                )?;
+                scratch.recycle_decompression(d);
+                builder.push(&timing);
+                timings.push(timing);
+            }
         }
         let single_lane = builder.finish();
         if let (Some(profiler), Some(start)) = (&self.profiler, run_start) {

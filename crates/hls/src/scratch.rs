@@ -17,9 +17,10 @@
 //! the bytes of every report, trace span and measurement are identical to
 //! the allocating path (test-enforced).
 
+use crate::codec::CodecScratch;
 use crate::decomp::Decompression;
 use crate::encode::{EncodedPartition, Stream};
-use sparsemat::Coo;
+use sparsemat::{AnyMatrix, Coo, FormatKind, Matrix, Triplet};
 
 /// Reusable buffers threaded through the encode → decompress → verify path
 /// so steady-state tile processing performs no heap allocation.
@@ -37,12 +38,15 @@ pub struct EncodeScratch {
     contribs: Vec<Vec<(usize, Vec<f32>)>>,
     /// COO scatter table (`rows[r]` while the tuple pass runs).
     opt_rows: Vec<Option<Vec<f32>>>,
+    /// BCSR per-block-row staging list (holds `b` rows while one block-row
+    /// is scattered, drained into the contribution list).
+    row_stage: Vec<Vec<f32>>,
     /// LIL per-column cursor row.
     cursors: Vec<usize>,
     /// Functional-verification accumulator for the decompressed rows.
     acc_model: Vec<f32>,
-    /// Cells of `acc_model` written by the current tile.
-    touched_model: Vec<usize>,
+    /// `(base, len)` row spans of `acc_model` written by the current tile.
+    touched_model: Vec<(usize, usize)>,
     /// Functional-verification accumulator for the reference tile.
     acc_tile: Vec<f32>,
     /// Cells of `acc_tile` written by the current tile.
@@ -51,6 +55,16 @@ pub struct EncodeScratch {
     payload: Vec<u8>,
     /// Coded output of the second-stage codec pass.
     coded: Vec<u8>,
+    /// Recycled encoded matrices, at most one per format kind, rebuilt in
+    /// place by the next tile of the same format.
+    matrices: Vec<AnyMatrix<f32>>,
+    /// Triplet workspace for the in-place format conversions.
+    tmp_triplets: Vec<Triplet<f32>>,
+    /// Pooled second-stage decoder state (Huffman primary table).
+    codec: CodecScratch,
+    /// Per-worker scratches for the intra-run tile-parallel path, kept warm
+    /// between runs of the same session.
+    workers: Vec<EncodeScratch>,
 }
 
 impl EncodeScratch {
@@ -72,6 +86,41 @@ impl EncodeScratch {
         (&mut self.payload, &mut self.coded)
     }
 
+    /// Takes the pooled matrix of the given format kind, if one was
+    /// recycled; its buffers are rebuilt in place by the `assign_from_coo`
+    /// family instead of allocating a fresh conversion.
+    pub(crate) fn take_matrix(&mut self, kind: FormatKind) -> Option<AnyMatrix<f32>> {
+        let i = self.matrices.iter().position(|m| m.kind() == kind)?;
+        Some(self.matrices.swap_remove(i))
+    }
+
+    /// The triplet workspace for the in-place format conversions.
+    pub(crate) fn tmp_triplets(&mut self) -> &mut Vec<Triplet<f32>> {
+        &mut self.tmp_triplets
+    }
+
+    /// The pooled second-stage decoder state, for
+    /// [`Codec::decode_bytes_with`](crate::Codec::decode_bytes_with).
+    pub fn codec_scratch(&mut self) -> &mut CodecScratch {
+        &mut self.codec
+    }
+
+    /// Takes exactly `n` worker scratches for a tile-parallel pass,
+    /// reusing pooled ones (warm buffers) before building fresh ones.
+    pub(crate) fn take_workers(&mut self, n: usize) -> Vec<EncodeScratch> {
+        let mut pool = std::mem::take(&mut self.workers);
+        pool.truncate(n);
+        while pool.len() < n {
+            pool.push(EncodeScratch::new());
+        }
+        pool
+    }
+
+    /// Returns the worker scratches after a tile-parallel pass.
+    pub(crate) fn give_workers(&mut self, pool: Vec<EncodeScratch>) {
+        self.workers = pool;
+    }
+
     /// A zeroed dense row of length `p`, reusing a pooled buffer when one
     /// is available.
     pub(crate) fn row(&mut self, p: usize) -> Vec<f32> {
@@ -81,9 +130,29 @@ impl EncodeScratch {
         row
     }
 
+    /// A dense row holding a copy of `src`, reusing a pooled buffer when
+    /// one is available (skips the zero-fill [`EncodeScratch::row`] pays).
+    pub(crate) fn row_from(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut row = self.rows.pop().unwrap_or_default();
+        row.clear();
+        row.extend_from_slice(src);
+        row
+    }
+
     /// Returns an unused row buffer to the pool.
     pub(crate) fn give_row(&mut self, row: Vec<f32>) {
         self.rows.push(row);
+    }
+
+    /// Takes the (empty) BCSR block-row staging list.
+    pub(crate) fn take_row_stage(&mut self) -> Vec<Vec<f32>> {
+        std::mem::take(&mut self.row_stage)
+    }
+
+    /// Returns the drained BCSR block-row staging list.
+    pub(crate) fn give_row_stage(&mut self, stage: Vec<Vec<f32>>) {
+        debug_assert!(stage.is_empty());
+        self.row_stage = stage;
     }
 
     /// Takes an empty contribution list for a decompress pass.
@@ -121,11 +190,20 @@ impl EncodeScratch {
     }
 
     /// Recycles an encoded partition's buffers once its transfer accounting
-    /// has been folded into the timing.
+    /// has been folded into the timing: the stream list and the encoded
+    /// matrix itself, whose arrays the next tile of the same format rebuilds
+    /// in place.
     pub fn recycle_encoded(&mut self, encoded: EncodedPartition) {
-        let mut streams = encoded.streams;
+        let EncodedPartition {
+            matrix,
+            mut streams,
+            ..
+        } = encoded;
         streams.clear();
         self.streams = streams;
+        let kind = matrix.kind();
+        self.matrices.retain(|m| m.kind() != kind);
+        self.matrices.push(matrix);
     }
 
     /// Recycles a decompression's row buffers once its contributions have
@@ -140,11 +218,18 @@ impl EncodeScratch {
 
     /// Functional verification without materializing dense matrices: both
     /// the decompressed contributions and the reference tile accumulate
-    /// into persistent `p²` scratch planes (same `f32` addition order as
-    /// [`Decompression::assemble`] / `Coo::to_dense`, zero addends skipped
-    /// — a no-op under IEEE `==`), and only the touched cells are compared.
+    /// into persistent `p²` scratch planes (the model side in the exact
+    /// `f32` addition order of [`Decompression::assemble`], the tile side
+    /// in `Coo::to_dense` order), and only the touched spans are compared.
     /// Equivalent to `d.assemble(p) == tile.to_dense()` bit for bit,
     /// without the two `p×p` allocations.
+    ///
+    /// The model-side add, compare and reset passes each run over whole
+    /// contribution-row slices (one `(base, len)` span per emitted row)
+    /// instead of branching per cell. Cells a span covers beyond the old
+    /// per-non-zero bookkeeping hold `+0.0` from the model unless the tile
+    /// touched them — in which case the per-cell tile pass compares them
+    /// anyway — so the verdict is unchanged.
     pub(crate) fn verify_tile(&mut self, d: &Decompression, tile: &Coo<f32>, p: usize) -> bool {
         let cells = p * p;
         if self.acc_model.len() < cells {
@@ -153,25 +238,24 @@ impl EncodeScratch {
         }
         for (r, row) in &d.contributions {
             let base = r * p;
-            for (c, &v) in row.iter().enumerate() {
-                if v != 0.0 {
-                    self.acc_model[base + c] += v;
-                    self.touched_model.push(base + c);
-                }
+            for (a, &v) in self.acc_model[base..base + row.len()].iter_mut().zip(row) {
+                *a += v;
             }
+            self.touched_model.push((base, row.len()));
         }
         for t in tile.iter() {
             let i = t.row * p + t.col;
             self.acc_tile[i] += t.val;
             self.touched_tile.push(i);
         }
-        let ok = self
-            .touched_model
+        let ok = self.touched_model.iter().all(|&(base, len)| {
+            self.acc_model[base..base + len] == self.acc_tile[base..base + len]
+        }) && self
+            .touched_tile
             .iter()
-            .chain(self.touched_tile.iter())
             .all(|&i| self.acc_model[i] == self.acc_tile[i]);
-        for &i in &self.touched_model {
-            self.acc_model[i] = 0.0;
+        for &(base, len) in &self.touched_model {
+            self.acc_model[base..base + len].fill(0.0);
         }
         for &i in &self.touched_tile {
             self.acc_tile[i] = 0.0;

@@ -58,6 +58,7 @@ pub struct RunRequest<'a> {
     sink: Option<&'a mut dyn TraceSink>,
     spmv_x: Option<&'a [f32]>,
     lanes: Option<usize>,
+    tile_jobs: Option<usize>,
 }
 
 impl std::fmt::Debug for RunRequest<'_> {
@@ -68,6 +69,7 @@ impl std::fmt::Debug for RunRequest<'_> {
             .field("sink", &self.sink.is_some())
             .field("spmv", &self.spmv_x.is_some())
             .field("lanes", &self.lanes)
+            .field("tile_jobs", &self.tile_jobs)
             .finish()
     }
 }
@@ -82,6 +84,7 @@ impl<'a> RunRequest<'a> {
             sink: None,
             spmv_x: None,
             lanes: None,
+            tile_jobs: None,
         }
     }
 
@@ -94,6 +97,7 @@ impl<'a> RunRequest<'a> {
             sink: None,
             spmv_x: None,
             lanes: None,
+            tile_jobs: None,
         }
     }
 
@@ -119,6 +123,17 @@ impl<'a> RunRequest<'a> {
     #[must_use]
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = Some(lanes);
+        self
+    }
+
+    /// Processes this run's partitions on `jobs` worker threads (clamped to
+    /// at least 1 = serial), overriding the session-wide
+    /// [`Session::set_tile_jobs`] setting for this request only. Purely a
+    /// host-side speedup: reports, traces and SpMV results are
+    /// byte-identical at any worker count.
+    #[must_use]
+    pub fn par_tiles(mut self, jobs: usize) -> Self {
+        self.tile_jobs = Some(jobs);
         self
     }
 }
@@ -195,6 +210,26 @@ impl Session {
         self
     }
 
+    /// Sets how many worker threads process each subsequent run's
+    /// partitions (clamped to at least 1 = serial). Purely a host-side
+    /// speedup: every run's outputs are byte-identical at any worker count
+    /// (test-enforced). [`RunRequest::par_tiles`] overrides this per run.
+    pub fn set_tile_jobs(&mut self, jobs: usize) {
+        self.platform.set_tile_jobs(jobs);
+    }
+
+    /// Builder-style [`Session::set_tile_jobs`].
+    #[must_use]
+    pub fn with_tile_jobs(mut self, jobs: usize) -> Self {
+        self.set_tile_jobs(jobs);
+        self
+    }
+
+    /// The session-wide intra-run worker count.
+    pub fn tile_jobs(&self) -> usize {
+        self.platform.tile_jobs()
+    }
+
     /// Executes one request. See [`RunRequest`] for the option matrix.
     ///
     /// # Errors
@@ -211,7 +246,27 @@ impl Session {
             sink,
             spmv_x,
             lanes,
+            tile_jobs,
         } = request;
+        let session_jobs = self.platform.tile_jobs();
+        if let Some(jobs) = tile_jobs {
+            self.platform.set_tile_jobs(jobs);
+        }
+        let outcome = self.dispatch(input, format, sink, spmv_x, lanes);
+        self.platform.set_tile_jobs(session_jobs);
+        outcome
+    }
+
+    /// The option dispatch behind [`Session::run`], after the per-request
+    /// tile-jobs override has been applied.
+    fn dispatch(
+        &mut self,
+        input: Input<'_>,
+        format: FormatKind,
+        sink: Option<&mut dyn TraceSink>,
+        spmv_x: Option<&[f32]>,
+        lanes: Option<usize>,
+    ) -> Result<RunOutcome, PlatformError> {
         let mut null = NullSink;
         let sink: &mut dyn TraceSink = match sink {
             Some(sink) => sink,

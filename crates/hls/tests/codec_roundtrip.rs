@@ -51,7 +51,7 @@ proptest! {
         for kind in CODECS {
             let codec = codec_for(kind).expect("registered");
             let mut coded = Vec::new();
-            codec.encode_bytes(&src, &mut coded);
+            codec.encode_bytes(&src, &mut coded).expect("encodable");
             let mut back = Vec::new();
             codec.decode_bytes(&coded, &mut back).expect("own output decodes");
             prop_assert_eq!(&back, &src, "{} round trip", kind);

@@ -93,6 +93,72 @@ impl<T: Scalar> Bcsr<T> {
         })
     }
 
+    /// Rebuilds this matrix in place from `coo`, reusing every buffer
+    /// (including the caller's triplet scratch), producing exactly the
+    /// matrix [`Bcsr::from_coo`] builds.
+    ///
+    /// Duplicate-free, zero-free inputs rebuild without allocating once
+    /// capacities are warm — blocks emerge in the same `(block_row,
+    /// block_col)` order the BTreeMap bucketing yields; anything else falls
+    /// back to the allocating conversion so the per-slot float accumulation
+    /// order is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] when `block == 0`.
+    pub fn assign_from_coo(
+        &mut self,
+        coo: &Coo<T>,
+        block: usize,
+        tmp: &mut Vec<Triplet<T>>,
+    ) -> Result<(), SparseError> {
+        if block == 0 {
+            return Err(SparseError::InvalidBlockSize {
+                size: 0,
+                requirement: "block size must be positive",
+            });
+        }
+        tmp.clear();
+        tmp.extend(coo.iter().copied());
+        // Unique (row, col) keys within a block keep the unstable sort
+        // deterministic; the leading block key yields BTreeMap order.
+        tmp.sort_unstable_by_key(|t| (t.row / block, t.col / block, t.row, t.col));
+        let clean = tmp
+            .windows(2)
+            .all(|w| (w[0].row, w[0].col) != (w[1].row, w[1].col))
+            && tmp.iter().all(|t| !t.val.is_zero());
+        if !clean {
+            *self = Bcsr::from_coo(coo, block)?;
+            return Ok(());
+        }
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.block = block;
+        let block_rows = self.nrows.div_ceil(block);
+        self.offsets.clear();
+        self.offsets.resize(block_rows + 1, 0);
+        self.indices.clear();
+        self.values.clear();
+        self.nnz = tmp.len();
+        let b2 = block * block;
+        let mut current = (usize::MAX, usize::MAX);
+        for t in tmp.iter() {
+            let key = (t.row / block, t.col / block);
+            if key != current {
+                current = key;
+                self.offsets[key.0 + 1] += 1;
+                self.indices.push(key.1 * block);
+                self.values.resize(self.values.len() + b2, T::ZERO);
+            }
+            let base = self.values.len() - b2;
+            self.values[base + (t.row % block) * block + t.col % block] = t.val;
+        }
+        for i in 0..block_rows {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        Ok(())
+    }
+
     /// The block edge length `b`.
     pub fn block_size(&self) -> usize {
         self.block

@@ -97,19 +97,36 @@ impl<T: Scalar> Coo<T> {
         self.entries.iter()
     }
 
+    /// Replaces this matrix's shape and entries with a copy of `other`,
+    /// reusing the entry buffer — the allocation-free counterpart of
+    /// `clone_from` for warm scratch pools.
+    pub fn assign_from(&mut self, other: &Coo<T>) {
+        self.nrows = other.nrows;
+        self.ncols = other.ncols;
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
     /// Sorts entries row-major and merges duplicate coordinates by summation,
     /// dropping entries that cancel to zero.
+    ///
+    /// The merge is a two-pointer compaction of the sorted buffer, so apart
+    /// from the sort's own workspace no allocation happens.
     pub fn compress(&mut self) {
         sort_row_major(&mut self.entries);
-        let mut out: Vec<Triplet<T>> = Vec::with_capacity(self.entries.len());
-        for t in self.entries.drain(..) {
-            match out.last_mut() {
+        let mut kept = 0usize;
+        for i in 0..self.entries.len() {
+            let t = self.entries[i];
+            match self.entries[..kept].last_mut() {
                 Some(last) if last.row == t.row && last.col == t.col => last.val += t.val,
-                _ => out.push(t),
+                _ => {
+                    self.entries[kept] = t;
+                    kept += 1;
+                }
             }
         }
-        out.retain(|t| !t.val.is_zero());
-        self.entries = out;
+        self.entries.truncate(kept);
+        self.entries.retain(|t| !t.val.is_zero());
     }
 
     /// Whether the entries are sorted row-major with no duplicate

@@ -148,6 +148,44 @@ impl<T: Scalar> Csc<T> {
     pub fn max_col_nnz(&self) -> usize {
         (0..self.ncols).map(|c| self.col_nnz(c)).max().unwrap_or(0)
     }
+
+    /// Rebuilds this matrix in place from `coo`, reusing every buffer
+    /// (including the caller's triplet scratch), producing exactly the
+    /// matrix [`Csc::from`] builds.
+    ///
+    /// Duplicate-free, zero-free inputs rebuild without allocating once
+    /// capacities are warm; inputs that need duplicate merging fall back to
+    /// the allocating conversion so the merge's float summation order is
+    /// untouched.
+    pub fn assign_from_coo(&mut self, coo: &Coo<T>, tmp: &mut Vec<Triplet<T>>) {
+        tmp.clear();
+        tmp.extend(coo.iter().copied());
+        // Unique (col, row) keys make the unstable sort deterministic and
+        // equal to the stable sort the fallback uses.
+        tmp.sort_unstable_by_key(|t| (t.col, t.row));
+        let clean = tmp
+            .windows(2)
+            .all(|w| (w[0].col, w[0].row) < (w[1].col, w[1].row))
+            && tmp.iter().all(|t| !t.val.is_zero());
+        if !clean {
+            *self = Csc::from(coo);
+            return;
+        }
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.offsets.clear();
+        self.offsets.resize(self.ncols + 1, 0);
+        for t in tmp.iter() {
+            self.offsets[t.col + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.indices.clear();
+        self.indices.extend(tmp.iter().map(|t| t.row));
+        self.values.clear();
+        self.values.extend(tmp.iter().map(|t| t.val));
+    }
 }
 
 impl<T: Scalar> Matrix<T> for Csc<T> {

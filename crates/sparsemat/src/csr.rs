@@ -165,6 +165,44 @@ impl<T: Scalar> Csr<T> {
         (0..self.nrows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
     }
 
+    /// Rebuilds this matrix in place from `coo`, reusing every buffer
+    /// (including the caller's triplet scratch), producing exactly the
+    /// matrix [`Csr::from`] builds.
+    ///
+    /// Duplicate-free, zero-free inputs — every partition tile a campaign
+    /// workload generates — rebuild without allocating once capacities are
+    /// warm; inputs that need duplicate merging fall back to the allocating
+    /// conversion so the merge's float summation order is untouched.
+    pub fn assign_from_coo(&mut self, coo: &Coo<T>, tmp: &mut Vec<Triplet<T>>) {
+        tmp.clear();
+        tmp.extend(coo.iter().copied());
+        // Unique (row, col) keys make the unstable sort deterministic and
+        // equal to the stable sort the fallback uses.
+        tmp.sort_unstable_by_key(|t| (t.row, t.col));
+        let clean = tmp
+            .windows(2)
+            .all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col))
+            && tmp.iter().all(|t| !t.val.is_zero());
+        if !clean {
+            *self = Csr::from(coo);
+            return;
+        }
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.offsets.clear();
+        self.offsets.resize(self.nrows + 1, 0);
+        for t in tmp.iter() {
+            self.offsets[t.row + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.indices.clear();
+        self.indices.extend(tmp.iter().map(|t| t.col));
+        self.values.clear();
+        self.values.extend(tmp.iter().map(|t| t.val));
+    }
+
     /// The transpose, computed through a CSC-style counting pass.
     pub fn transpose(&self) -> Csr<T> {
         let mut counts = vec![0usize; self.ncols + 1];

@@ -97,6 +97,20 @@ impl<T: Scalar> Dense<T> {
         self.data
     }
 
+    /// Rebuilds this matrix in place from `coo`, reusing the row-major
+    /// buffer — exactly the matrix [`Dense::from`] builds (the same
+    /// `+=` scatter in entry order), without allocating once the buffer
+    /// capacity is warm.
+    pub fn assign_from_coo(&mut self, coo: &Coo<T>) {
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.data.clear();
+        self.data.resize(self.nrows * self.ncols, T::ZERO);
+        for t in coo.iter() {
+            self.data[t.row * self.ncols + t.col] += t.val;
+        }
+    }
+
     /// The transposed matrix.
     pub fn transpose(&self) -> Dense<T> {
         let mut t = Dense::zeros(self.ncols, self.nrows);

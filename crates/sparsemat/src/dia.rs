@@ -16,7 +16,7 @@ use crate::{check_spmv_operand, Coo, FormatKind, Matrix, Scalar, SparseError, Tr
 /// Each stored diagonal is kept at its full in-matrix length; slots not
 /// backed by an entry hold explicit zeros (they are transferred, so they
 /// count against bandwidth utilization, but not toward [`Matrix::nnz`]).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dia<T> {
     nrows: usize,
     ncols: usize,
@@ -26,6 +26,48 @@ pub struct Dia<T> {
     /// diagonal's first in-matrix cell, full in-matrix length.
     diagonals: Vec<Vec<T>>,
     nnz: usize,
+    /// Retired diagonal buffers held for reuse by [`Dia::assign_from_coo`]:
+    /// when a rebuild stores fewer diagonals than the last one, the surplus
+    /// buffers park here (capacity intact) instead of being dropped, so a
+    /// later rebuild that grows again stays allocation-free. Never part of
+    /// the matrix value — excluded from equality and serialization, which
+    /// is why both are written by hand below.
+    spare: Vec<Vec<T>>,
+}
+
+impl<T: PartialEq> PartialEq for Dia<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.offsets == other.offsets
+            && self.diagonals == other.diagonals
+            && self.nnz == other.nnz
+    }
+}
+
+impl<T: serde::Serialize> serde::Serialize for Dia<T> {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("nrows".to_string(), self.nrows.serialize()),
+            ("ncols".to_string(), self.ncols.serialize()),
+            ("offsets".to_string(), self.offsets.serialize()),
+            ("diagonals".to_string(), self.diagonals.serialize()),
+            ("nnz".to_string(), self.nnz.serialize()),
+        ])
+    }
+}
+
+impl<T: serde::Deserialize> serde::Deserialize for Dia<T> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Dia {
+            nrows: serde::field(v, "nrows")?,
+            ncols: serde::field(v, "ncols")?,
+            offsets: serde::field(v, "offsets")?,
+            diagonals: serde::field(v, "diagonals")?,
+            nnz: serde::field(v, "nnz")?,
+            spare: Vec::new(),
+        })
+    }
 }
 
 /// In-matrix length of diagonal `d` (`col - row = d`) of an
@@ -74,7 +116,64 @@ impl<T: Scalar> Dia<T> {
             offsets: kept_offsets,
             diagonals: kept_diagonals,
             nnz,
+            spare: Vec::new(),
         }
+    }
+
+    /// Rebuilds this matrix in place from `coo`, reusing the offset and
+    /// diagonal buffers — exactly the matrix [`Dia::from_coo`] builds (the
+    /// same `+=` scatter in entry order). Inputs whose duplicates cancel a
+    /// whole diagonal fall back to the allocating conversion for its
+    /// compaction pass; everything else rebuilds without allocating once
+    /// capacities are warm.
+    pub fn assign_from_coo(&mut self, coo: &Coo<T>) {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        // The registered diagonals, ascending — `diagonal_offsets()`
+        // rebuilt into the reused buffer.
+        self.offsets.clear();
+        self.offsets
+            .extend(coo.iter().map(|t| t.col as isize - t.row as isize));
+        self.offsets.sort_unstable();
+        self.offsets.dedup();
+        let num = self.offsets.len();
+        // Resize the diagonal list through the spare pool: surplus buffers
+        // park there with their capacity, growth takes them back before it
+        // ever creates a fresh (allocating) `Vec`.
+        while self.diagonals.len() > num {
+            if let Some(buf) = self.diagonals.pop() {
+                self.spare.push(buf);
+            }
+        }
+        while self.diagonals.len() < num {
+            self.diagonals.push(self.spare.pop().unwrap_or_default());
+        }
+        for (diag, &d) in self.diagonals.iter_mut().zip(self.offsets.iter()) {
+            diag.clear();
+            diag.resize(diagonal_len(nrows, ncols, d), T::ZERO);
+        }
+        for t in coo.iter() {
+            let d = t.col as isize - t.row as isize;
+            let k = self.offsets.binary_search(&d).expect("diagonal registered");
+            let first_row = if d < 0 { (-d) as usize } else { 0 };
+            self.diagonals[k][t.row - first_row] += t.val;
+        }
+        let mut nnz = 0usize;
+        let mut all_nonempty = true;
+        for diag in &self.diagonals {
+            let count = diag.iter().filter(|v| !v.is_zero()).count();
+            nnz += count;
+            all_nonempty &= count > 0;
+        }
+        if !all_nonempty {
+            // Duplicates cancelled a whole diagonal: take the allocating
+            // conversion's compaction wholesale.
+            *self = Dia::from_coo(coo);
+            return;
+        }
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.nnz = nnz;
     }
 
     /// The stored diagonal numbers (`col - row`), ascending.

@@ -87,6 +87,52 @@ impl<T: Scalar> Ell<T> {
         })
     }
 
+    /// Rebuilds this matrix in place from `coo` at the natural width,
+    /// reusing the slot arrays (and the caller's triplet scratch) —
+    /// exactly the matrix [`Ell::from_coo_natural`] builds.
+    ///
+    /// Duplicate-free, zero-free inputs rebuild without allocating once
+    /// capacities are warm; anything else falls back to the allocating
+    /// conversion so the CSR merge's float summation order is untouched.
+    pub fn assign_from_coo_natural(&mut self, coo: &Coo<T>, tmp: &mut Vec<Triplet<T>>) {
+        tmp.clear();
+        tmp.extend(coo.iter().copied());
+        tmp.sort_unstable_by_key(|t| (t.row, t.col));
+        let clean = tmp
+            .windows(2)
+            .all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col))
+            && tmp.iter().all(|t| !t.val.is_zero());
+        if !clean {
+            *self = Ell::from_coo_natural(coo);
+            return;
+        }
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.nnz = tmp.len();
+        // Natural width = the longest row's population.
+        let mut width = 0usize;
+        let mut run = 0usize;
+        let mut last_row = usize::MAX;
+        for t in tmp.iter() {
+            run = if t.row == last_row { run + 1 } else { 1 };
+            last_row = t.row;
+            width = width.max(run);
+        }
+        self.width = width;
+        self.indices.clear();
+        self.indices.resize(self.nrows * width, PAD);
+        self.values.clear();
+        self.values.resize(self.nrows * width, T::ZERO);
+        let mut slot = 0usize;
+        last_row = usize::MAX;
+        for t in tmp.iter() {
+            slot = if t.row == last_row { slot + 1 } else { 0 };
+            last_row = t.row;
+            self.indices[t.row * width + slot] = t.col;
+            self.values[t.row * width + slot] = t.val;
+        }
+    }
+
     /// The fixed row width (number of slots per row, including padding).
     pub fn width(&self) -> usize {
         self.width

@@ -67,6 +67,39 @@ impl<T: Scalar> Lil<T> {
         lil
     }
 
+    /// Rebuilds this matrix in place as a column-oriented LIL from `coo`,
+    /// reusing the per-line lists (and the caller's triplet scratch) —
+    /// exactly the matrix [`Lil::from_coo_columns`] builds.
+    ///
+    /// Duplicate-free, zero-free inputs rebuild without allocating once
+    /// capacities are warm; anything else falls back to the allocating
+    /// conversion so the insert-merge float summation order is untouched.
+    pub fn assign_from_coo_columns(&mut self, coo: &Coo<T>, tmp: &mut Vec<Triplet<T>>) {
+        tmp.clear();
+        tmp.extend(coo.iter().copied());
+        tmp.sort_unstable_by_key(|t| (t.col, t.row));
+        let clean = tmp
+            .windows(2)
+            .all(|w| (w[0].col, w[0].row) < (w[1].col, w[1].row))
+            && tmp.iter().all(|t| !t.val.is_zero());
+        if !clean {
+            *self = Lil::from_coo_columns(coo);
+            return;
+        }
+        self.nrows = coo.nrows();
+        self.ncols = coo.ncols();
+        self.axis = Axis::Columns;
+        for list in &mut self.lists {
+            list.clear();
+        }
+        self.lists.resize_with(self.ncols, Vec::new);
+        // Sorted by (col, row): each column's rows arrive ascending, so a
+        // plain push reproduces the binary-search inserts of the fallback.
+        for t in tmp.iter() {
+            self.lists[t.col].push((t.row, t.val));
+        }
+    }
+
     /// The list orientation.
     pub fn axis(&self) -> Axis {
         self.axis

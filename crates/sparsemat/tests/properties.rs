@@ -227,3 +227,63 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a COO matrix that may carry duplicate coordinates and explicit
+/// zeros — the dirty inputs the in-place rebuilds must hand off to the
+/// allocating conversions bit-for-bit.
+fn messy_coo_strategy() -> impl Strategy<Value = Coo<f32>> {
+    (1usize..=16, 1usize..=16).prop_flat_map(|(nrows, ncols)| {
+        let cells = nrows * ncols;
+        proptest::collection::vec((0..cells, -5i32..=5), 0..=cells.min(50)).prop_map(move |pairs| {
+            let triplets = pairs
+                .into_iter()
+                .map(|(cell, v)| Triplet::new(cell / ncols, cell % ncols, v as f32))
+                .collect();
+            Coo::from_triplets(nrows, ncols, triplets).expect("coords in range")
+        })
+    })
+}
+
+proptest! {
+    /// The buffer-reusing rebuilds must equal the allocating `From`
+    /// conversions exactly — on clean tiles (fast path) and on matrices
+    /// with duplicates or explicit zeros (fallback path) — even when the
+    /// target still holds an unrelated previous matrix.
+    #[test]
+    fn in_place_rebuilds_equal_the_allocating_conversions(
+        (first, second) in (messy_coo_strategy(), messy_coo_strategy())
+    ) {
+        let mut tmp = Vec::new();
+        let mut csr = Csr::<f32>::new(1, 1);
+        let mut csc = Csc::<f32>::new(1, 1);
+        let mut dense = sparsemat::Dense::<f32>::zeros(1, 1);
+        let mut ell = Ell::from(&Coo::<f32>::new(1, 1));
+        let mut lil = Lil::new(1, 1, Axis::Columns);
+        let mut dia = Dia::from(&Coo::<f32>::new(1, 1));
+        let mut bcsr = Bcsr::from(&Coo::<f32>::new(1, 1));
+        let mut coo_buf = Coo::<f32>::new(1, 1);
+        // Two rounds through the same targets: the second rebuild starts
+        // from dirty buffers of a different shape.
+        for coo in [&first, &second] {
+            csr.assign_from_coo(coo, &mut tmp);
+            prop_assert_eq!(&csr, &Csr::from(coo));
+            csc.assign_from_coo(coo, &mut tmp);
+            prop_assert_eq!(&csc, &Csc::from(coo));
+            dense.assign_from_coo(coo);
+            prop_assert_eq!(&dense, &sparsemat::Dense::from(coo));
+            ell.assign_from_coo_natural(coo, &mut tmp);
+            prop_assert_eq!(&ell, &Ell::from_coo_natural(coo));
+            lil.assign_from_coo_columns(coo, &mut tmp);
+            prop_assert_eq!(&lil, &Lil::from_coo_columns(coo));
+            dia.assign_from_coo(coo);
+            prop_assert_eq!(&dia, &Dia::from_coo(coo));
+            bcsr.assign_from_coo(coo, 4, &mut tmp).unwrap();
+            prop_assert_eq!(&bcsr, &Bcsr::from_coo(coo, 4).unwrap());
+            coo_buf.assign_from(coo);
+            coo_buf.compress();
+            let mut reference = coo.clone();
+            reference.compress();
+            prop_assert_eq!(&coo_buf, &reference);
+        }
+    }
+}

@@ -310,6 +310,19 @@ impl PhaseAcc {
     pub fn total(&self, phase: Phase) -> f64 {
         self.totals[phase.index()]
     }
+
+    /// Folds another accumulator's totals into this one — used to reduce
+    /// per-worker accumulators into the run accumulator after a
+    /// tile-parallel pass. Phase totals then aggregate CPU time across
+    /// workers rather than wall time, which is what the per-phase
+    /// histograms report for parallel runs.
+    pub fn merge(&mut self, other: &PhaseAcc) {
+        if other.enabled {
+            for (t, o) in self.totals.iter_mut().zip(other.totals) {
+                *t += o;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
