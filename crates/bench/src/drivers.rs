@@ -8,10 +8,12 @@
 //! passing their own name. `copernicus-bench fig05 --tsv` and
 //! `cargo run --bin fig05 -- --tsv` are byte-identical.
 //!
-//! Two commands parse their own flags instead of [`Cli`] and live in
+//! Four commands parse their own flags instead of [`Cli`] and live in
 //! sibling modules: [`crate::perf`] (the hot-path benchmark harness and
-//! trajectory regression gate) and [`crate::report`] (the offline run-dir
-//! summarizer). Both are dispatched here before `Cli::parse`.
+//! trajectory regression gate), [`crate::report`] (the offline run-dir
+//! summarizer), [`crate::serve`] (the characterization daemon) and
+//! [`crate::storm`] (its load generator). All are dispatched here before
+//! `Cli::parse`.
 
 use crate::{emit, emit_named, Cli};
 use copernicus::experiments as ex;
@@ -47,6 +49,8 @@ pub const COMMANDS: &[&str] = &[
     "explain",
     "perf",
     "report",
+    "serve",
+    "storm",
 ];
 
 /// Runs one regeneration command and returns the process exit code.
@@ -63,6 +67,12 @@ pub fn run(cmd: &str, args: Vec<String>) -> i32 {
     }
     if cmd == "report" {
         return crate::report::report(args);
+    }
+    if cmd == "serve" {
+        return crate::serve::serve(args);
+    }
+    if cmd == "storm" {
+        return crate::storm::storm(args);
     }
     let cli = match Cli::parse(args) {
         Ok(cli) => cli,
@@ -426,8 +436,10 @@ fn repro_all(cli: &Cli) -> i32 {
             ),
         ]);
         let json = serde::json::to_string_pretty(&doc);
+        // Atomic (temp + rename): a kill mid-write must never leave a torn
+        // measurements.json for a later resume or report to choke on.
         if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join("measurements.json"), json))
+            .and_then(|()| copernicus_telemetry::atomic_write(&dir.join("measurements.json"), json))
         {
             eprintln!("warning: could not write measurements.json: {e}");
         }
@@ -775,6 +787,8 @@ mod tests {
             "explain",
             "perf",
             "report",
+            "serve",
+            "storm",
         ] {
             assert!(COMMANDS.contains(&cmd), "{cmd} missing from COMMANDS");
         }

@@ -55,6 +55,8 @@ use std::sync::Arc;
 pub mod drivers;
 pub mod perf;
 pub mod report;
+pub mod serve;
+pub mod storm;
 
 pub use drivers::{run, COMMANDS};
 
@@ -91,6 +93,9 @@ pub struct Cli {
     pub max_retries: u32,
     /// Fault-injection spec (validated at parse time), for testing.
     pub inject_faults: Option<String>,
+    /// Wall-clock deadline per cell attempt, in seconds (fractional
+    /// allowed). Expiry fails the cell with `FailureKind::Timeout`.
+    pub cell_timeout: Option<f64>,
 }
 
 impl Cli {
@@ -114,6 +119,7 @@ impl Cli {
         let mut keep_going = false;
         let mut max_retries = 0u32;
         let mut inject_faults = None;
+        let mut cell_timeout = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -187,9 +193,19 @@ impl Cli {
                     FaultPlan::parse(&v)?;
                     inject_faults = Some(v);
                 }
+                "--cell-timeout" => {
+                    let v = args.next().ok_or("--cell-timeout needs seconds")?;
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|e| format!("bad --cell-timeout {v:?}: {e}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err("--cell-timeout must be a non-negative number".to_string());
+                    }
+                    cell_timeout = Some(secs);
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tile-jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tile-jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC] [--cell-timeout SECS]"
                     ));
                 }
             }
@@ -215,6 +231,7 @@ impl Cli {
             keep_going,
             max_retries,
             inject_faults,
+            cell_timeout,
         })
     }
 
@@ -230,6 +247,7 @@ impl Cli {
         let mut policy = CampaignPolicy {
             max_retries: self.max_retries,
             keep_going: self.keep_going,
+            cell_timeout: self.cell_timeout.map(std::time::Duration::from_secs_f64),
             ..CampaignPolicy::default()
         };
         if let Some(spec) = &self.inject_faults {
@@ -580,15 +598,21 @@ impl Telemetry {
         }
         if let Some(dir) = &self.out_dir {
             if !self.metrics.counter_names().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(dir)
-                    .and_then(|()| std::fs::write(dir.join("metrics.tsv"), self.metrics.to_tsv()))
-                {
+                if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                    copernicus_telemetry::atomic_write(
+                        &dir.join("metrics.tsv"),
+                        self.metrics.to_tsv(),
+                    )
+                }) {
                     eprintln!("warning: could not write metrics.tsv: {e}");
                 }
             }
             if self.profiler.has_data() {
                 if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
-                    std::fs::write(dir.join("profile.json"), self.profiler.to_json())
+                    copernicus_telemetry::atomic_write(
+                        &dir.join("profile.json"),
+                        self.profiler.to_json(),
+                    )
                 }) {
                     eprintln!("warning: could not write profile.json: {e}");
                 }
@@ -667,9 +691,9 @@ pub fn emit(cli: &Cli, aligned: &str) {
 pub fn emit_named(cli: &Cli, name: &str, aligned: &str) {
     emit(cli, aligned);
     if let Some(dir) = &cli.out_dir {
-        if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join(format!("{name}.tsv")), to_tsv(aligned)))
-        {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            copernicus_telemetry::atomic_write(&dir.join(format!("{name}.tsv")), to_tsv(aligned))
+        }) {
             eprintln!("warning: could not write {name}.tsv: {e}");
         }
     }

@@ -373,7 +373,7 @@ pub fn perf(args: Vec<String>) -> i32 {
         }
     }
     let json = serde::json::to_string_pretty(&Value::Map(doc));
-    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+    if let Err(e) = copernicus_telemetry::atomic_write(&out, format!("{json}\n")) {
         eprintln!("perf: could not write {}: {e}", out.display());
         return 1;
     }
@@ -439,7 +439,9 @@ pub fn perf(args: Vec<String>) -> i32 {
             stddev_secs: stddev,
             cv,
         });
-        if let Err(e) = std::fs::write(&trajectory_path, render_trajectory(&points)) {
+        if let Err(e) =
+            copernicus_telemetry::atomic_write(&trajectory_path, render_trajectory(&points))
+        {
             eprintln!("perf: could not write {}: {e}", trajectory_path.display());
             return 1;
         }

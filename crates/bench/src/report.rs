@@ -125,6 +125,11 @@ pub fn render_report(dir: &Path, top: usize) -> String {
         None => absent.push("measurements.json"),
     }
 
+    if let Some(doc) = read_json(&dir.join("BENCH_serve.json")) {
+        out.push_str("\n== service latency (BENCH_serve.json) ==\n");
+        out.push_str(&render_serve(&doc));
+    }
+
     if let Some(lines) = read_json_lines(&dir.join("checkpoint.jsonl")) {
         out.push_str(&format!(
             "\ncheckpoint.jsonl: {} cell(s) resumable\n",
@@ -410,6 +415,49 @@ fn render_failures(doc: &Value) -> String {
     t.render()
 }
 
+/// The storm results: one row per concurrency level, then the chaos-audit
+/// verdict when one ran. Malformed or missing fields render `n/a`, never a
+/// fabricated zero — a torn benchmark file must look torn.
+fn render_serve(doc: &Value) -> String {
+    let mut out = String::new();
+    match doc.get("levels").and_then(Value::as_seq) {
+        Some(levels) if !levels.is_empty() => {
+            let mut t = TextTable::new(&[
+                "clients", "ok", "rejected", "errors", "p50_ms", "p99_ms", "req/s",
+            ]);
+            for level in levels {
+                t.row(&[
+                    fmt_uint(uint(level.get("clients"))),
+                    fmt_uint(uint(level.get("ok"))),
+                    fmt_uint(uint(level.get("rejected"))),
+                    fmt_uint(uint(level.get("errors"))),
+                    fmt_num(num(level.get("p50_ms")), 1),
+                    fmt_num(num(level.get("p99_ms")), 1),
+                    fmt_num(num(level.get("req_per_s")), 1),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        _ => out.push_str("no load-test levels recorded\n"),
+    }
+    if let Some(chaos) = doc.get("chaos") {
+        let lost = uint(chaos.get("lost"));
+        let verdict = match lost {
+            Some(0) => "PASS",
+            Some(_) => "FAIL",
+            None => "n/a",
+        };
+        out.push_str(&format!(
+            "chaos audit: {verdict} — sent {} answered {} never_accepted {} lost {}\n",
+            fmt_uint(uint(chaos.get("sent"))),
+            fmt_uint(uint(chaos.get("answered_total"))),
+            fmt_uint(uint(chaos.get("never_accepted"))),
+            fmt_uint(lost),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +607,46 @@ mod tests {
         let text = render_report(&dir, 5);
         assert!(text.contains("bus bytes saved:       n/a"), "{text}");
         assert!(!text.contains("raw stream bytes"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_section_renders_levels_and_chaos_with_na_degradation() {
+        let dir = scratch("serve");
+        // Absent file: no serve section at all.
+        let text = render_report(&dir, 5);
+        assert!(!text.contains("service latency"), "{text}");
+
+        // A healthy file: both levels rendered, chaos verdict PASS.
+        std::fs::write(
+            dir.join("BENCH_serve.json"),
+            "{\"schema\": \"bench_serve_v1\", \"levels\": [{\"clients\": 2, \"ok\": 8, \"rejected\": 0, \"errors\": 0, \"p50_ms\": 85.3, \"p99_ms\": 89.9, \"req_per_s\": 29.9}, {\"clients\": 8, \"ok\": 30, \"rejected\": 2, \"errors\": 0, \"p50_ms\": 120.0, \"p99_ms\": 310.5, \"req_per_s\": 51.0}], \"chaos\": {\"sent\": 10, \"answered_pre_kill\": 6, \"answered_total\": 8, \"never_accepted\": 2, \"lost\": 0, \"garbage_rejected\": true, \"clean_exit\": true}}",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("service latency"), "{text}");
+        assert!(text.contains("85.3"), "{text}");
+        assert!(text.contains("310.5"), "{text}");
+        assert!(
+            text.contains("chaos audit: PASS") && text.contains("lost 0"),
+            "{text}"
+        );
+
+        // Malformed fields degrade to n/a; a lost request flips the verdict.
+        std::fs::write(
+            dir.join("BENCH_serve.json"),
+            "{\"levels\": [{\"clients\": 2, \"ok\": \"many\", \"p50_ms\": \"fast\"}], \"chaos\": {\"sent\": 10, \"lost\": 3}}",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("n/a"), "{text}");
+        assert!(text.contains("chaos audit: FAIL"), "{text}");
+        assert!(!text.contains("\t0\t"), "{text}");
+
+        // No levels at all is said out loud, not rendered as an empty table.
+        std::fs::write(dir.join("BENCH_serve.json"), "{\"levels\": []}").unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("no load-test levels recorded"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

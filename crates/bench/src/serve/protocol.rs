@@ -1,0 +1,484 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The workspace is offline/vendored — no tokio, no hyper — so the serve
+//! daemon speaks a deliberately small, defensive subset of HTTP/1.1 over
+//! `std::net`:
+//!
+//! * request line + headers + optional `Content-Length` body (no chunked
+//!   transfer encoding — a chunked request is rejected with `411`);
+//! * hard limits on line length, header count and body size, each mapped
+//!   to a typed [`ProtocolError`] (and from there to `400`/`413`/`431`);
+//! * keep-alive by default, `Connection: close` honored.
+//!
+//! Every malformed, truncated, oversized or garbage input must surface as
+//! a typed error — never a panic. The fixed-seed fuzz suite in
+//! `tests/protocol_fuzz.rs` holds the parser to that.
+
+use std::io::{BufRead, Write};
+
+/// Parser limits. Defaults are generous for the tiny JSON bodies the
+/// characterization API exchanges while still bounding a hostile client.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted request/header line in bytes (terminator included).
+    pub max_line: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+    /// Maximum `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be parsed. Maps onto an HTTP status via
+/// [`ProtocolError::status`].
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The peer closed the connection cleanly before sending a request —
+    /// the normal end of a keep-alive session, not an error to report.
+    ConnectionClosed,
+    /// The bytes violate HTTP framing (bad request line, header without a
+    /// colon, non-numeric `Content-Length`, …).
+    Malformed(String),
+    /// The peer closed mid-request (truncated headers or body).
+    Truncated(String),
+    /// A line, the header count, or the body exceeds [`Limits`].
+    TooLarge(String),
+    /// The request uses `Transfer-Encoding` instead of `Content-Length`.
+    LengthRequired,
+    /// Socket-level failure (including read timeouts from slow clients).
+    Io(std::io::Error),
+}
+
+impl ProtocolError {
+    /// The HTTP status this error earns, when a response can still be
+    /// written at all (`ConnectionClosed`/`Io` get none).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            ProtocolError::Malformed(_) => Some((400, "Bad Request")),
+            ProtocolError::Truncated(_) => Some((400, "Bad Request")),
+            ProtocolError::TooLarge(_) => Some((413, "Payload Too Large")),
+            ProtocolError::LengthRequired => Some((411, "Length Required")),
+            ProtocolError::ConnectionClosed | ProtocolError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::ConnectionClosed => write!(f, "connection closed"),
+            ProtocolError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ProtocolError::Truncated(m) => write!(f, "truncated request: {m}"),
+            ProtocolError::TooLarge(m) => write!(f, "request too large: {m}"),
+            ProtocolError::LengthRequired => write!(f, "length required"),
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub target: String,
+    /// Lower-cased header names with their (trimmed) values, in order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one line (terminated by `\n`) with a byte cap; the terminator and
+/// any trailing `\r` are stripped.
+fn read_limited_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    what: &str,
+) -> Result<Option<String>, ProtocolError> {
+    let mut buf = Vec::new();
+    // Bounded read_until: accumulate from fill_buf so a line without a
+    // terminator cannot grow past the limit no matter how many bytes the
+    // peer pushes.
+    let found_newline = loop {
+        let used = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                break false; // EOF
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..=pos]);
+                    pos + 1
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    available.len()
+                }
+            }
+        };
+        let done = buf.last() == Some(&b'\n');
+        reader.consume(used);
+        if done {
+            break true;
+        }
+        if buf.len() > limit {
+            return Err(ProtocolError::TooLarge(format!(
+                "{what} line exceeds {limit} bytes"
+            )));
+        }
+    };
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if !found_newline {
+        if buf.len() > limit {
+            return Err(ProtocolError::TooLarge(format!(
+                "{what} line exceeds {limit} bytes"
+            )));
+        }
+        return Err(ProtocolError::Truncated(format!(
+            "{what} line ended without a terminator"
+        )));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    if buf.len() > limit {
+        return Err(ProtocolError::TooLarge(format!(
+            "{what} line exceeds {limit} bytes"
+        )));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ProtocolError::Malformed(format!("{what} line is not valid UTF-8")))
+}
+
+/// Parses one HTTP/1.1 request from `reader`.
+///
+/// # Errors
+///
+/// [`ProtocolError::ConnectionClosed`] on clean EOF before the request
+/// line; other variants for framing violations, limit breaches, truncation
+/// and socket failures. Never panics, whatever the bytes.
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+) -> Result<Request, ProtocolError> {
+    let request_line = match read_limited_line(reader, limits.max_line, "request")? {
+        Some(line) => line,
+        None => return Err(ProtocolError::ConnectionClosed),
+    };
+    if request_line.is_empty() {
+        return Err(ProtocolError::Malformed("empty request line".to_string()));
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ProtocolError::Malformed(format!(
+                "request line needs `METHOD TARGET VERSION`, got {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtocolError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ProtocolError::Malformed(format!("bad method {method:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_limited_line(reader, limits.max_line, "header")? {
+            Some(line) => line,
+            None => {
+                return Err(ProtocolError::Truncated(
+                    "connection closed inside the header block".to_string(),
+                ))
+            }
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ProtocolError::TooLarge(format!(
+                "more than {} headers",
+                limits.max_headers
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ProtocolError::Malformed(format!(
+                "header without a colon: {line:?}"
+            )));
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(ProtocolError::Malformed(format!(
+                "bad header name in {line:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ProtocolError::LengthRequired);
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ProtocolError::Malformed(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?;
+    if let Some(len) = content_length {
+        if len > limits.max_body {
+            return Err(ProtocolError::TooLarge(format!(
+                "body of {len} bytes exceeds the {}-byte limit",
+                limits.max_body
+            )));
+        }
+        body.resize(len, 0);
+        let mut read = 0;
+        while read < len {
+            let n = std::io::Read::read(reader, &mut body[read..])?;
+            if n == 0 {
+                return Err(ProtocolError::Truncated(format!(
+                    "body ended after {read} of {len} bytes"
+                )));
+            }
+            read += n;
+        }
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// A response about to be written: status, extra headers, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Extra headers beyond `Content-Length`/`Content-Type`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response to `writer` (HTTP/1.1, explicit
+    /// `Content-Length`, keep-alive unless `close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (including write timeouts — a slow
+    /// client that cannot drain the response in time is disconnected).
+    pub fn write_to<W: Write + ?Sized>(&self, writer: &mut W, close: bool) -> std::io::Result<()> {
+        write!(writer, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        write!(writer, "Content-Type: application/json\r\n")?;
+        write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        if close {
+            write!(writer, "Connection: close\r\n")?;
+        }
+        write!(writer, "\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        parse_request(&mut Cursor::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("parse");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let r = parse(b"POST /characterize HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .expect("parse");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let r = parse(b"GET / HTTP/1.1\nHost: x\n\n").expect("parse");
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_is_connection_closed() {
+        assert!(matches!(parse(b""), Err(ProtocolError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn truncated_headers_are_typed_truncation() {
+        let e = parse(b"GET / HTTP/1.1\r\nHost: x\r\n").expect_err("truncated");
+        assert!(matches!(e, ProtocolError::Truncated(_)), "{e}");
+        assert_eq!(e.status(), Some((400, "Bad Request")));
+    }
+
+    #[test]
+    fn truncated_body_is_typed_truncation() {
+        let e = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").expect_err("truncated");
+        assert!(matches!(e, ProtocolError::Truncated(_)), "{e}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let limits = Limits {
+            max_body: 8,
+            ..Limits::default()
+        };
+        let mut c = Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789".to_vec());
+        let e = parse_request(&mut c, &limits).expect_err("too large");
+        assert!(matches!(e, ProtocolError::TooLarge(_)), "{e}");
+        assert_eq!(e.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let limits = Limits {
+            max_line: 32,
+            ..Limits::default()
+        };
+        let line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let e = parse_request(&mut Cursor::new(line.into_bytes()), &limits).expect_err("too long");
+        assert!(matches!(e, ProtocolError::TooLarge(_)), "{e}");
+    }
+
+    #[test]
+    fn garbage_bytes_are_malformed_not_panics() {
+        for garbage in [
+            &b"\xff\xfe\xfd\r\n\r\n"[..],
+            b"NOT-HTTP\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            let e = parse(garbage).expect_err("garbage must fail");
+            assert!(
+                e.status().is_some() || matches!(e, ProtocolError::Truncated(_)),
+                "unexpected classification for {garbage:?}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_earns_length_required() {
+        let e = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").expect_err("te");
+        assert!(matches!(e, ProtocolError::LengthRequired));
+        assert_eq!(e.status(), Some((411, "Length Required")));
+    }
+
+    #[test]
+    fn too_many_headers_is_too_large() {
+        let limits = Limits {
+            max_headers: 4,
+            ..Limits::default()
+        };
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..6 {
+            req.push_str(&format!("H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        let e = parse_request(&mut Cursor::new(req.into_bytes()), &limits).expect_err("too many");
+        assert!(matches!(e, ProtocolError::TooLarge(_)), "{e}");
+    }
+
+    #[test]
+    fn responses_render_with_length_and_extra_headers() {
+        let mut out = Vec::new();
+        Response::json(429, "Too Many Requests", "{}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, true)
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The bounded admission queue: accept-or-429 at the front door.
+//!
+//! Backpressure is immediate — [`BoundedQueue::try_push`] never blocks the
+//! connection thread. A full queue answers `429 Too Many Requests` with a
+//! `Retry-After` hint instead of letting latency collapse for everyone
+//! already admitted. The queue tracks its depth high-watermark so `/stats`
+//! can report how close to shedding the service has run.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the request with `429`.
+    Full,
+    /// The queue is draining — no new work is admitted (`503`).
+    Closed,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking push, blocking pop, explicit
+/// close for drain.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+    high_watermark: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            high_watermark: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lock helper that survives a poisoned mutex (a panicking worker must
+    /// not wedge admission).
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admits `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] once the
+    /// queue is draining; the item rides back in the error so the caller
+    /// can answer the client with it.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err((PushError::Closed, item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.high_watermark.fetch_max(depth, Ordering::Relaxed);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// empty (drain: admitted work is still handed out after close).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission and wakes every blocked popper. Items already
+    /// admitted remain poppable — close refuses *new* work, it never drops
+    /// accepted work.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_round_trips_in_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        let (err, item) = q.try_push(3).expect_err("full");
+        assert_eq!(err, PushError::Full);
+        assert_eq!(item, 3);
+        assert_eq!(q.high_watermark(), 2);
+    }
+
+    #[test]
+    fn closed_queue_refuses_new_but_drains_admitted() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).expect("push");
+        q.close();
+        let (err, _) = q.try_push(2).expect_err("closed");
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(q.pop(), Some(1), "admitted work survives close");
+        assert_eq!(q.pop(), None, "then poppers unblock with None");
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().expect("join"), None);
+    }
+
+    #[test]
+    fn watermark_tracks_the_deepest_point() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).expect("push");
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.try_push(9).expect("push");
+        assert_eq!(q.high_watermark(), 5);
+        assert_eq!(q.len(), 1);
+    }
+}

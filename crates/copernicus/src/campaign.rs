@@ -86,8 +86,8 @@ use crate::fault::{
 use crate::{ExperimentConfig, Instruments, Measurement};
 use copernicus_hls::{PlatformError, RunRequest, Session};
 use copernicus_telemetry::{
-    replay, Phase, PhaseProfiler, PipelineEvent, ProgressReporter, RecordingSink, TraceSink,
-    WorkerStats,
+    replay, CancelToken, Phase, PhaseProfiler, PipelineEvent, ProgressReporter, RecordingSink,
+    TraceSink, WorkerStats,
 };
 use copernicus_workloads::Workload;
 use sparsemat::FormatKind;
@@ -551,6 +551,28 @@ impl CampaignRunner {
     ) -> Result<Measurement, CellFailure> {
         let mut attempt: u32 = 0;
         loop {
+            // Campaign-level cancellation (shutdown/drain or a request
+            // deadline) stops the cell before any more work: the attempt
+            // is not started and — below — not retried.
+            if self.policy.cancelled() {
+                return Err(CellFailure {
+                    cell,
+                    workload: workload.label(),
+                    partition_size: p,
+                    format,
+                    kind: FailureKind::Timeout,
+                    message: "campaign cancelled before the attempt started".to_string(),
+                    retries: attempt,
+                });
+            }
+            // Each attempt gets a fresh deadline: a retried timeout starts
+            // its clock over, chained under the campaign token so a drain
+            // cancels the attempt mid-run.
+            let attempt_cancel = match (&self.policy.cancel, self.policy.cell_timeout) {
+                (None, None) => None,
+                (Some(parent), timeout) => Some(parent.child(timeout)),
+                (None, Some(timeout)) => Some(CancelToken::new().child(Some(timeout))),
+            };
             let mark = sink.events.len();
             let injected = self.policy.faults.as_ref().and_then(|plan| plan.fire(cell));
             let attempt_result =
@@ -585,6 +607,9 @@ impl CampaignRunner {
                             "unit preparation lost".to_string(),
                         )));
                     };
+                    // (Re)arm this attempt's token — the session outlives
+                    // the attempt, the deadline must not.
+                    session.set_cancel(attempt_cancel.clone());
                     let request = RunRequest::grid(&entry.grid, format);
                     let report = if trace {
                         session.run(request.with_sink(&mut *sink))?.report
@@ -618,7 +643,10 @@ impl CampaignRunner {
             // half-written; rebuild the unit state so a retry starts from a
             // clean session (the grid itself comes back as a cache hit).
             *prepared = None;
-            if kind.is_transient() && attempt < self.policy.max_retries {
+            // A cancelled campaign never retries: cancellation means "stop
+            // now", not "try harder" — retrying would stall the drain.
+            if kind.is_transient() && attempt < self.policy.max_retries && !self.policy.cancelled()
+            {
                 attempt += 1;
                 if let Some(progress) = observers.progress {
                     progress.record_retry();
@@ -1163,6 +1191,7 @@ mod tests {
             backoff_cap_ms: 1,
             keep_going: true,
             faults: Some(FaultPlan::single(FaultKind::TransientError, 0, 5)),
+            ..CampaignPolicy::default()
         });
         let outcome = runner
             .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
@@ -1170,6 +1199,89 @@ mod tests {
         assert_eq!(outcome.failures.len(), 1);
         assert_eq!(outcome.failures[0].kind, FailureKind::Timeout);
         assert_eq!(outcome.failures[0].retries, 1);
+    }
+
+    #[test]
+    fn expired_cell_deadline_is_a_real_transient_timeout() {
+        // A zero deadline is born expired: every attempt fails with a
+        // *real* FailureKind::Timeout (no fault injection involved), and
+        // the transient retry budget is spent in full before giving up.
+        let (w, f, p, cfg) = grid();
+        let total = w.len() * p.len() * f.len();
+        let runner = CampaignRunner::sequential().with_policy(
+            CampaignPolicy {
+                max_retries: 2,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 1,
+                keep_going: true,
+                ..CampaignPolicy::default()
+            }
+            .with_cell_timeout(std::time::Duration::ZERO),
+        );
+        let outcome = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .expect("keep-going campaigns complete");
+        assert_eq!(outcome.failures.len(), total);
+        assert!(outcome.measurements.is_empty());
+        for failure in &outcome.failures {
+            assert_eq!(failure.kind, FailureKind::Timeout);
+            assert_eq!(
+                failure.retries, 2,
+                "transient timeouts spend the retry budget"
+            );
+            assert!(failure.message.contains("cancelled"), "{failure}");
+        }
+    }
+
+    #[test]
+    fn generous_cell_deadline_leaves_results_byte_identical() {
+        let (w, f, p, cfg) = grid();
+        let runner = CampaignRunner::sequential().with_policy(
+            CampaignPolicy::default().with_cell_timeout(std::time::Duration::from_secs(3600)),
+        );
+        let ms = runner
+            .characterize(&w, &f, &p, &cfg)
+            .expect("generous deadline never fires");
+        assert_eq!(ms, reference(&w, &f, &p, &cfg));
+    }
+
+    #[test]
+    fn campaign_cancellation_stops_cells_without_retrying() {
+        // A pre-cancelled campaign token models shutdown/drain: every cell
+        // fails Timeout immediately with zero retries even though retries
+        // are allowed — cancellation must not stall behind backoff sleeps.
+        let (w, f, p, cfg) = grid();
+        let total = w.len() * p.len() * f.len();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let runner = CampaignRunner::sequential().with_policy(
+            CampaignPolicy {
+                max_retries: 3,
+                keep_going: true,
+                ..CampaignPolicy::default()
+            }
+            .with_cancel(cancel),
+        );
+        let outcome = runner
+            .run_campaign(&w, &f, &p, &cfg, &mut Instruments::none())
+            .expect("keep-going campaigns complete");
+        assert_eq!(outcome.failures.len(), total);
+        for failure in &outcome.failures {
+            assert_eq!(failure.kind, FailureKind::Timeout);
+            assert_eq!(failure.retries, 0, "cancelled cells never retry");
+        }
+    }
+
+    #[test]
+    fn live_campaign_token_leaves_results_byte_identical() {
+        let (w, f, p, cfg) = grid();
+        let cancel = CancelToken::new();
+        let runner =
+            CampaignRunner::sequential().with_policy(CampaignPolicy::default().with_cancel(cancel));
+        let ms = runner
+            .characterize(&w, &f, &p, &cfg)
+            .expect("live token never fires");
+        assert_eq!(ms, reference(&w, &f, &p, &cfg));
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! * **Panic** — a worker panicked while computing the cell. Treated as
 //!   transient (a wedged allocation, a poisoned dependency) and retried.
 //! * **Timeout** — the cell exceeded its deadline, the canonical transient
-//!   failure of real measurement fleets. The cycle-level model itself never
-//!   times out, so this kind is produced by the fault-injection harness
-//!   (`err:`/`timeout:` faults), standing in for any transient platform
-//!   hiccup.
+//!   failure of real measurement fleets. Produced by real per-cell
+//!   deadlines ([`CampaignPolicy::cell_timeout`], the `--cell-timeout`
+//!   flag, or a serve-daemon request deadline cancelling the cell
+//!   cooperatively) and by the fault-injection harness (`err:`/`timeout:`
+//!   faults).
 //!
 //! Transient kinds are retried up to
 //! [`CampaignPolicy::max_retries`] with bounded, deterministic exponential
@@ -59,8 +60,8 @@ pub enum FailureKind {
     Platform,
     /// The worker panicked while computing the cell. Transient.
     Panic,
-    /// The cell exceeded its deadline (injected by the fault harness as the
-    /// stand-in for any transient platform hiccup). Transient.
+    /// The cell exceeded its deadline — a real `--cell-timeout` expiry, a
+    /// cooperative cancellation, or an injected fault. Transient.
     Timeout,
 }
 
@@ -84,6 +85,7 @@ impl FailureKind {
     pub fn of_platform_error(e: &PlatformError) -> Self {
         match e {
             PlatformError::Sparse(_) => FailureKind::Input,
+            PlatformError::Cancelled => FailureKind::Timeout,
             _ => FailureKind::Platform,
         }
     }
@@ -234,6 +236,17 @@ pub struct CampaignPolicy {
     pub backoff_cap_ms: u64,
     /// Deterministic fault injection (testing only).
     pub faults: Option<FaultPlan>,
+    /// Wall-clock deadline applied to each cell attempt. The runner
+    /// derives a child [`CancelToken`](copernicus_telemetry::CancelToken)
+    /// with this timeout per attempt; an expired deadline fails the cell
+    /// with [`FailureKind::Timeout`] (transient — retried like any other
+    /// timeout). `None` disables per-cell deadlines.
+    pub cell_timeout: Option<std::time::Duration>,
+    /// Campaign-level cancellation (shutdown/drain or a per-request
+    /// deadline in the serve daemon). Once cancelled, in-flight cells fail
+    /// with [`FailureKind::Timeout`] and are *not* retried — cancellation
+    /// means "stop now", not "try harder".
+    pub cancel: Option<copernicus_telemetry::CancelToken>,
 }
 
 impl Default for CampaignPolicy {
@@ -244,6 +257,8 @@ impl Default for CampaignPolicy {
             backoff_base_ms: 10,
             backoff_cap_ms: 250,
             faults: None,
+            cell_timeout: None,
+            cancel: None,
         }
     }
 }
@@ -276,6 +291,25 @@ impl CampaignPolicy {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Builder: sets a per-cell wall-clock deadline.
+    pub fn with_cell_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: attaches a campaign-level cancellation token.
+    pub fn with_cancel(mut self, cancel: copernicus_telemetry::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// True when campaign-level cancellation has been requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(copernicus_telemetry::CancelToken::is_cancelled)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::{decompress_with, Decompression, EncodeScratch, EncodedPartition, HwConfig};
 use copernicus_telemetry::{
-    NullSink, Phase, PhaseAcc, PhaseProfiler, PipelineEvent, Stage, TraceSink,
+    CancelToken, NullSink, Phase, PhaseAcc, PhaseProfiler, PipelineEvent, Stage, TraceSink,
 };
 use sparsemat::{Coo, FormatKind, Matrix, Partition, PartitionGrid, SparseError};
 use std::sync::Arc;
@@ -24,6 +24,9 @@ pub enum PlatformError {
         /// Grid coordinates of the offending partition.
         grid: (usize, usize),
     },
+    /// The run was cooperatively cancelled (deadline expired or shutdown
+    /// requested) before it completed; partial results are discarded.
+    Cancelled,
 }
 
 impl std::fmt::Display for PlatformError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for PlatformError {
                 "functional mismatch decompressing {format} partition ({}, {})",
                 grid.0, grid.1
             ),
+            PlatformError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }
@@ -330,6 +334,11 @@ pub struct Platform {
     /// back in grid order, so reports, traces and SpMV results are
     /// byte-identical at any setting.
     tile_jobs: usize,
+    /// Optional cooperative cancellation token, polled between partitions.
+    /// A successful run is byte-identical with and without one; a
+    /// cancelled run fails with [`PlatformError::Cancelled`] and produces
+    /// no report.
+    cancel: Option<CancelToken>,
 }
 
 impl Platform {
@@ -345,6 +354,7 @@ impl Platform {
             cfg,
             profiler: None,
             tile_jobs: 1,
+            cancel: None,
         })
     }
 
@@ -377,6 +387,25 @@ impl Platform {
     /// The attached phase profiler, if any.
     pub fn profiler(&self) -> Option<&Arc<PhaseProfiler>> {
         self.profiler.as_ref()
+    }
+
+    /// Attaches (or with `None`, detaches) a cooperative cancellation
+    /// token. The pipeline polls it between partitions: once it reports
+    /// cancelled, the run fails with [`PlatformError::Cancelled`] instead
+    /// of producing a report. A run that completes before cancellation is
+    /// byte-identical to an untokened run.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// True when a token is attached and reports cancelled.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Streams a whole matrix through the platform in `format`: tiles it at
@@ -496,6 +525,12 @@ impl Platform {
         let mut schedule = SpanScheduler::default();
         let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
         let mut acc = PhaseAcc::new(self.profiler.is_some());
+        // Cooperative cancellation: a deadline that expired (or a shutdown
+        // that fired) before this run starts stops it up front; the
+        // per-partition poll below bounds how much work happens after.
+        if self.cancelled() {
+            return Err(PlatformError::Cancelled);
+        }
         if self.tile_jobs > 1 && grid.partitions().len() > 1 {
             // Tile-parallel pass: workers process partitions out of order,
             // then this loop reduces them back in grid order so every
@@ -543,8 +578,14 @@ impl Platform {
             if let Some(e) = failure {
                 return Err(e);
             }
+            if self.cancelled() {
+                return Err(PlatformError::Cancelled);
+            }
         } else {
             for (idx, part) in grid.partitions().iter().enumerate() {
+                if self.cancelled() {
+                    return Err(PlatformError::Cancelled);
+                }
                 let (timing, d) = self.process_partition(
                     &part.coo,
                     format,
@@ -975,6 +1016,9 @@ impl Platform {
         let mut timings = Vec::with_capacity(grid.partitions().len());
         let run_start = self.profiler.as_ref().map(|_| std::time::Instant::now());
         let mut acc = PhaseAcc::new(self.profiler.is_some());
+        if self.cancelled() {
+            return Err(PlatformError::Cancelled);
+        }
         if self.tile_jobs > 1 && grid.partitions().len() > 1 {
             let (mut pool, mut slots) = self.process_grid_parallel(grid, format, scratch, &mut acc);
             let mut failure: Option<PlatformError> = None;
@@ -1012,8 +1056,14 @@ impl Platform {
             if let Some(e) = failure {
                 return Err(e);
             }
+            if self.cancelled() {
+                return Err(PlatformError::Cancelled);
+            }
         } else {
             for (idx, part) in grid.partitions().iter().enumerate() {
+                if self.cancelled() {
+                    return Err(PlatformError::Cancelled);
+                }
                 let (timing, d) = self.process_partition(
                     &part.coo,
                     format,

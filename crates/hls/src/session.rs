@@ -230,6 +230,22 @@ impl Session {
         self.platform.tile_jobs()
     }
 
+    /// Attaches (or with `None`, detaches) a cooperative cancellation
+    /// token, polled between partitions of every subsequent run. Once the
+    /// token reports cancelled, runs fail with
+    /// [`PlatformError::Cancelled`]; runs that complete first are
+    /// byte-identical to untokened runs.
+    pub fn set_cancel(&mut self, cancel: Option<copernicus_telemetry::CancelToken>) {
+        self.platform.set_cancel(cancel);
+    }
+
+    /// Builder-style [`Session::set_cancel`].
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: copernicus_telemetry::CancelToken) -> Self {
+        self.set_cancel(Some(cancel));
+        self
+    }
+
     /// Executes one request. See [`RunRequest`] for the option matrix.
     ///
     /// # Errors

@@ -1,0 +1,161 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is the one signal that threads through every layer of
+//! a characterization run: the serve daemon arms one per request, the
+//! campaign runner derives a per-cell child with an optional deadline, and
+//! the pipeline hot loop polls it between partitions. Cancellation is
+//! *cooperative* — nothing is interrupted mid-instruction; work stops at
+//! the next poll point, which keeps every artifact either complete or
+//! absent, never torn.
+//!
+//! Tokens form a parent chain: cancelling a parent cancels every child
+//! derived from it (shutdown cancels all in-flight requests; a request
+//! deadline cancels the cells it spawned), while a child expiring leaves
+//! its siblings untouched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    /// Wall-clock deadline after which the token reports cancelled even
+    /// without an explicit [`CancelToken::cancel`] call.
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+/// A cheaply clonable, thread-safe cancellation signal with optional
+/// deadline and parent chaining. Clones share state: cancelling any clone
+/// cancels them all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh root token: never cancelled until [`CancelToken::cancel`]
+    /// is called on it (or a clone of it).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derives a child token that is cancelled when *either* this token is
+    /// cancelled *or* `timeout` (measured from now) elapses. Pass `None`
+    /// for a pure child that only follows the parent.
+    ///
+    /// A zero timeout yields a child that is already expired — the
+    /// deterministic "deadline has passed" test hook.
+    pub fn child(&self, timeout: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: timeout
+                    .map(|t| Instant::now().checked_add(t).unwrap_or_else(Instant::now)),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Signals cancellation. Idempotent; visible to every clone and every
+    /// child derived from this token.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once this token (or any ancestor) has been cancelled, or its
+    /// deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_until_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_cancellation_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn cancelling_parent_cancels_child_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not leak upward");
+
+        let parent2 = CancelToken::new();
+        let child2 = parent2.child(None);
+        parent2.cancel();
+        assert!(child2.is_cancelled(), "parent cancel reaches the child");
+    }
+
+    #[test]
+    fn zero_deadline_child_is_born_expired() {
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Duration::ZERO));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_child_stays_live() {
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Duration::from_secs(3600)));
+        assert!(!child.is_cancelled());
+    }
+
+    #[test]
+    fn grandchild_sees_grandparent_cancel() {
+        let root = CancelToken::new();
+        let mid = root.child(None);
+        let leaf = mid.child(Some(Duration::from_secs(3600)));
+        root.cancel();
+        assert!(leaf.is_cancelled());
+    }
+}

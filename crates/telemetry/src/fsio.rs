@@ -1,0 +1,155 @@
+//! Durable file writes.
+//!
+//! Top-level run artifacts (`measurements.json`, `manifest.json`,
+//! `metrics.tsv`, spool entries) must never be observable in a torn state:
+//! a kill between `open` and the final `write` of a plain
+//! [`std::fs::write`] leaves a truncated file that poisons every later
+//! resume or report. [`atomic_write`] closes that window with the classic
+//! temp-file + fsync + rename dance — readers see either the complete old
+//! content or the complete new content, nothing in between.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first (same directory, so the rename cannot cross a
+/// filesystem), are flushed and fsynced, and only then renamed over the
+/// destination. A crash at any point leaves `path` either untouched or
+/// fully written — never truncated.
+///
+/// Leftover `.tmp-*` siblings from an earlier crash are harmless (they are
+/// never read) and are overwritten on the next write from the same
+/// process id.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating, writing, syncing, or renaming
+/// the temp file. On failure the temp file is best-effort removed and
+/// `path` is untouched.
+pub fn atomic_write(path: &Path, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.flush()?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Durability of the rename itself: fsync the parent directory when
+        // we can open it (best effort — some platforms refuse O_RDONLY on
+        // directories; the rename is still atomic without it).
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Names the temp sibling for `path`: same directory, `.tmp-<pid>` suffix
+/// so concurrent processes writing the same artifact never collide on the
+/// staging file.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("artifact"));
+    name.push(format!(".tmp-{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copernicus-fsio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_new_file_and_overwrites_existing() {
+        let dir = scratch_dir("basic");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, "first").expect("first write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "first");
+        atomic_write(&path, "second").expect("second write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch_dir("clean");
+        let path = dir.join("artifact.json");
+        atomic_write(&path, "payload").expect("write");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_temp_from_a_crash_does_not_corrupt_target() {
+        let dir = scratch_dir("stale");
+        let path = dir.join("artifact.json");
+        // Simulate a crash that left a torn staging file behind.
+        std::fs::write(super::tmp_sibling(&path), "TORN GARBAGE").expect("plant stale tmp");
+        atomic_write(&path, "good").expect("write over stale tmp");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash-simulation: a reader racing many rewrites must only ever see
+    /// a complete old or complete new payload — never a prefix.
+    #[test]
+    fn concurrent_reader_never_observes_a_torn_file() {
+        let dir = scratch_dir("race");
+        let path = dir.join("artifact.json");
+        let old = "A".repeat(64 * 1024);
+        let new = "B".repeat(64 * 1024);
+        atomic_write(&path, &old).expect("seed");
+
+        std::thread::scope(|scope| {
+            let reader_path = path.clone();
+            let (old_r, new_r) = (old.clone(), new.clone());
+            let reader = scope.spawn(move || {
+                for _ in 0..200 {
+                    let got = std::fs::read_to_string(&reader_path).expect("read");
+                    assert!(
+                        got == old_r || got == new_r,
+                        "torn read: {} bytes, starts {:?}",
+                        got.len(),
+                        &got[..got.len().min(8)]
+                    );
+                }
+            });
+            for i in 0..100 {
+                let payload = if i % 2 == 0 { &new } else { &old };
+                atomic_write(&path, payload).expect("rewrite");
+            }
+            reader.join().expect("reader thread");
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,7 +16,9 @@
 // runs clippy with `-D warnings`, making this a gate.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 pub mod event;
+pub mod fsio;
 mod locks;
 pub mod manifest;
 pub mod metrics;
@@ -24,7 +26,9 @@ pub mod profile;
 pub mod progress;
 pub mod sink;
 
+pub use cancel::CancelToken;
 pub use event::{PipelineEvent, Stage};
+pub use fsio::atomic_write;
 pub use manifest::{FailureRecord, RunManifest};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{Phase, PhaseAcc, PhaseProfiler, PhaseScope, WorkerStats};

@@ -98,9 +98,10 @@ impl RunManifest {
         Self::deserialize(&serde::json::from_str(text)?)
     }
 
-    /// Writes the manifest JSON to a file at `path`.
+    /// Writes the manifest JSON to a file at `path` atomically (temp file
+    /// + rename), so a kill mid-write can never leave a torn manifest.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::fsio::atomic_write(path, self.to_json())
     }
 }
 
