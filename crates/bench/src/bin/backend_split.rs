@@ -1,0 +1,11 @@
+//! Beyond-paper backend crossover comparison (format × hardware backend)
+//! — a wrapper over `copernicus-bench backend_split`; the driver lives in
+//! `copernicus_bench::drivers` and all flags are shared (see
+//! `copernicus_bench::Cli`).
+
+fn main() {
+    std::process::exit(copernicus_bench::run(
+        "backend_split",
+        std::env::args().skip(1).collect(),
+    ));
+}

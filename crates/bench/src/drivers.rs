@@ -44,6 +44,7 @@ pub const COMMANDS: &[&str] = &[
     "fig14",
     "partition_sweep",
     "compound",
+    "backend_split",
     "ablation",
     "scaling",
     "explain",
@@ -262,6 +263,20 @@ pub fn run(cmd: &str, args: Vec<String>) -> i32 {
                 Err(e) => telemetry.record_error("compound", &e),
             }
             telemetry.finish(ex::ext_compound_scheme::manifest(&cli.cfg))
+        }
+        "backend_split" => {
+            let mut telemetry = cli.telemetry();
+            match ex::ext_backend_split::run_on(
+                &cli.runner(),
+                &cli.cfg,
+                &mut telemetry.instruments(),
+            ) {
+                Ok(rows) => {
+                    emit_named(&cli, "backend_split", &ex::ext_backend_split::render(&rows))
+                }
+                Err(e) => telemetry.record_error("backend_split", &e),
+            }
+            telemetry.finish(ex::ext_backend_split::manifest(&cli.cfg))
         }
         "ablation" => ablation(&cli),
         "scaling" => scaling(&cli),
@@ -782,6 +797,7 @@ mod tests {
             "fig14",
             "partition_sweep",
             "compound",
+            "backend_split",
             "ablation",
             "scaling",
             "explain",

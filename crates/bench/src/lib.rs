@@ -15,6 +15,8 @@
 //! * `--seed N` — workload generation seed.
 //! * `--codec NAME` — second-stage stream codec applied to every transfer
 //!   stream (`none`, `rle`, `delta-varint`, `huffman`; default `none`).
+//! * `--backend NAME` — hardware backend the encoded streams are costed on
+//!   (`hls`, `cpu`, `hetero`; default `hls`, the paper's pipeline).
 //! * `--tsv` — print tab-separated values instead of the aligned table.
 //! * `--trace FILE` — write a Chrome trace-event JSON of every modeled
 //!   pipeline run (open in Perfetto or `chrome://tracing`).
@@ -161,6 +163,12 @@ impl Cli {
                     cfg.hw.stream_codec =
                         v.parse().map_err(|e| format!("bad --codec {v:?}: {e}"))?;
                 }
+                "--backend" => {
+                    let v = args
+                        .next()
+                        .ok_or("--backend needs one of: hls, cpu, hetero")?;
+                    cfg.hw.backend = v.parse().map_err(|e| format!("bad --backend {v:?}: {e}"))?;
+                }
                 "--jobs" => {
                     let v = args.next().ok_or("--jobs needs a value")?;
                     jobs = v.parse().map_err(|e| format!("bad --jobs {v:?}: {e}"))?;
@@ -205,7 +213,7 @@ impl Cli {
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--jobs N] [--tile-jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC] [--cell-timeout SECS]"
+                        "unknown flag {other:?}\nusage: [--paper] [--dim N] [--suite-dim N] [--seed N] [--codec none|rle|delta-varint|huffman] [--backend hls|cpu|hetero] [--jobs N] [--tile-jobs N] [--tsv] [--chart] [--out DIR] [--trace FILE] [--manifest FILE] [--progress] [--force-progress] [--resume] [--keep-going] [--max-retries N] [--inject-faults SPEC] [--cell-timeout SECS]"
                     ));
                 }
             }
@@ -379,6 +387,22 @@ mod tests {
         }
         assert!(parse(&["--codec"]).is_err());
         assert!(parse(&["--codec", "lzma"]).is_err());
+    }
+
+    #[test]
+    fn backend_flag_is_parsed_and_validated() {
+        use copernicus_hls::BackendKind;
+        assert_eq!(parse(&[]).unwrap().cfg.hw.backend, BackendKind::Hls);
+        for (name, kind) in [
+            ("hls", BackendKind::Hls),
+            ("cpu", BackendKind::Cpu),
+            ("hetero", BackendKind::Hetero),
+        ] {
+            let cli = parse(&["--backend", name]).unwrap();
+            assert_eq!(cli.cfg.hw.backend, kind, "{name}");
+        }
+        assert!(parse(&["--backend"]).is_err());
+        assert!(parse(&["--backend", "gpu"]).is_err());
     }
 
     #[test]

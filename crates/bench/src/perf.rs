@@ -14,8 +14,8 @@
 //!   trajectory file (default `BENCH_trajectory.json`), the append-only
 //!   history CI regresses against.
 //! * `--check` — compares this run's best-of-N against the most recent
-//!   trajectory point with the same command, scale and job count, and
-//!   exits nonzero
+//!   trajectory point with the same command, scale, job count and hardware
+//!   backend, and exits nonzero
 //!   when the current best is slower by more than `--threshold-pct`
 //!   (default 50%, deliberately generous: shared CI runners jitter tens
 //!   of percent, and the gate exists to catch order-of-magnitude
@@ -47,6 +47,10 @@ pub struct TrajectoryPoint {
     pub scale: String,
     /// Worker threads the measured child ran with.
     pub jobs: u64,
+    /// Hardware backend the measured child costed on (`hls`, `cpu`,
+    /// `hetero`). Points recorded before this field existed parse as `hls`
+    /// — the only backend that existed then.
+    pub backend: String,
     /// Repetitions in this sample.
     pub iterations: u64,
     /// Every repetition's wall seconds, in run order.
@@ -81,6 +85,7 @@ impl TrajectoryPoint {
             ("cmd".to_string(), Value::Str(self.cmd.clone())),
             ("scale".to_string(), Value::Str(self.scale.clone())),
             ("jobs".to_string(), Value::UInt(self.jobs)),
+            ("backend".to_string(), Value::Str(self.backend.clone())),
             ("iterations".to_string(), Value::UInt(self.iterations)),
             (
                 "runs_secs".to_string(),
@@ -113,6 +118,13 @@ impl TrajectoryPoint {
                 .to_string(),
             scale: v.get("scale")?.as_str()?.to_string(),
             jobs: v.get("jobs")?.as_u64()?,
+            // Same backward-compatible read: pre-backend points were all
+            // costed on the HLS pipeline.
+            backend: v
+                .get("backend")
+                .and_then(Value::as_str)
+                .unwrap_or("hls")
+                .to_string(),
             iterations: v.get("iterations")?.as_u64()?,
             runs_secs,
             best_secs: v.get("best_secs")?.as_f64()?,
@@ -156,18 +168,22 @@ pub fn render_trajectory(points: &[TrajectoryPoint]) -> String {
     format!("{}\n", serde::json::to_string_pretty(&doc))
 }
 
-/// The most recent trajectory point comparable to a `(cmd, scale, jobs)`
-/// run. Points for other benchmarked commands never gate each other.
+/// The most recent trajectory point comparable to a `(cmd, scale, jobs,
+/// backend)` run. Points for other benchmarked commands — or the same
+/// command costed on another hardware backend — never gate each other: a
+/// CPU-model measurement regressing against an HLS baseline would compare
+/// different simulations.
 pub fn find_baseline<'a>(
     points: &'a [TrajectoryPoint],
     cmd: &str,
     scale: &str,
     jobs: u64,
+    backend: &str,
 ) -> Option<&'a TrajectoryPoint> {
     points
         .iter()
         .rev()
-        .find(|p| p.cmd == cmd && p.scale == scale && p.jobs == jobs)
+        .find(|p| p.cmd == cmd && p.scale == scale && p.jobs == jobs && p.backend == backend)
 }
 
 /// The regression gate: compares a current best-of-N against a baseline
@@ -203,7 +219,8 @@ pub fn regression_gate(
 /// `perf` — see the [module docs](self).
 ///
 /// Flags: `--quick` (default) / `--paper` pick the scale; `--cmd NAME`
-/// the bench command to measure (default `repro_all`); `--iters N`
+/// the bench command to measure (default `repro_all`); `--backend NAME`
+/// the hardware backend the child costs on (default `hls`); `--iters N`
 /// repetitions (default 3, best-of is reported); `--warmup N` unrecorded
 /// warmup runs before the sample (default 1); `--jobs N` worker threads
 /// for each child (default 1); `--out FILE` evidence path (default
@@ -215,6 +232,7 @@ pub fn regression_gate(
 pub fn perf(args: Vec<String>) -> i32 {
     let mut paper = false;
     let mut cmd = "repro_all".to_string();
+    let mut backend = copernicus_hls::BackendKind::Hls;
     let mut iters = 3usize;
     let mut warmup = 1usize;
     let mut jobs = 1usize;
@@ -224,7 +242,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     let mut record: Option<String> = None;
     let mut check = false;
     let mut threshold_pct = 50.0f64;
-    let usage = "usage: perf [--quick|--paper] [--cmd NAME] [--iters N] [--warmup N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
+    let usage = "usage: perf [--quick|--paper] [--cmd NAME] [--backend hls|cpu|hetero] [--iters N] [--warmup N] [--jobs N] [--out FILE] [--baseline-secs X] [--trajectory FILE] [--record LABEL] [--check] [--threshold-pct X]";
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{usage}"));
@@ -242,6 +260,10 @@ pub fn perf(args: Vec<String>) -> i32 {
                     return Err("--cmd needs a non-empty command name".to_string());
                 }
                 cmd = v;
+                Ok(())
+            }),
+            "--backend" => value("--backend").and_then(|v| {
+                backend = v.parse().map_err(|e| format!("bad --backend {v:?}: {e}"))?;
                 Ok(())
             }),
             "--iters" => value("--iters").and_then(|v| {
@@ -303,9 +325,17 @@ pub fn perf(args: Vec<String>) -> i32 {
         }
     };
     let scale = if paper { "paper" } else { "quick" };
+    let backend = backend.to_string();
     let mut child_args: Vec<String> = vec!["--jobs".into(), jobs.to_string()];
     if paper {
         child_args.push("--paper".into());
+    }
+    // Only non-default backends reach the child's command line, so
+    // commands that parse their own flags (and legacy invocations) keep
+    // their exact argument vector when measured on the HLS baseline.
+    if backend != "hls" {
+        child_args.push("--backend".into());
+        child_args.push(backend.clone());
     }
     let run_child = |label: String| -> Result<f64, i32> {
         let started = std::time::Instant::now();
@@ -327,7 +357,7 @@ pub fn perf(args: Vec<String>) -> i32 {
             }
         }
         let secs = started.elapsed().as_secs_f64();
-        eprintln!("[perf] {scale} {cmd} --jobs {jobs}, {label}: {secs:.3}s");
+        eprintln!("[perf] {scale} {cmd} [{backend}] --jobs {jobs}, {label}: {secs:.3}s");
         Ok(secs)
     };
     // Unrecorded warmup runs absorb one-time costs (page cache, binary
@@ -352,6 +382,7 @@ pub fn perf(args: Vec<String>) -> i32 {
         ("benchmark".to_string(), Value::Str(cmd.clone())),
         ("scale".to_string(), Value::Str(scale.to_string())),
         ("jobs".to_string(), Value::UInt(jobs as u64)),
+        ("backend".to_string(), Value::Str(backend.clone())),
         ("iterations".to_string(), Value::UInt(iters as u64)),
         (
             "runs_secs".to_string(),
@@ -379,12 +410,12 @@ pub fn perf(args: Vec<String>) -> i32 {
     }
     match baseline {
         Some(base) => println!(
-            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
+            "{scale} {cmd} [{backend}] --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s); baseline {base:.3}s ({:+.1}%)",
             cv * 100.0,
             (base - best) / base * 100.0
         ),
         None => println!(
-            "{scale} {cmd} --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s)",
+            "{scale} {cmd} [{backend}] --jobs {jobs}: best {best:.3}s / mean {mean:.3}s ± {stddev:.3}s (cv {:.1}%) over {iters} run(s)",
             cv * 100.0
         ),
     }
@@ -400,7 +431,7 @@ pub fn perf(args: Vec<String>) -> i32 {
     };
 
     if check {
-        match find_baseline(&points, &cmd, scale, jobs as u64) {
+        match find_baseline(&points, &cmd, scale, jobs as u64, &backend) {
             Some(point) => match regression_gate(point.best_secs, best, threshold_pct) {
                 Ok(delta) => println!(
                     "regression gate OK: best {best:.3}s is {delta:+.1}% vs \"{}\" ({:.3}s, threshold {threshold_pct:.0}%; sample noise cv {:.1}%)",
@@ -419,7 +450,7 @@ pub fn perf(args: Vec<String>) -> i32 {
             // made `--check` unusable until someone hand-recorded a point
             // for every new combination.)
             None => println!(
-                "regression gate SKIPPED: no prior {cmd}/{scale}/jobs={jobs} point in {} — nothing to compare against; record one with --record LABEL",
+                "regression gate SKIPPED: no prior {cmd}/{scale}/jobs={jobs}/{backend} point in {} — nothing to compare against; record one with --record LABEL",
                 trajectory_path.display()
             ),
         }
@@ -432,6 +463,7 @@ pub fn perf(args: Vec<String>) -> i32 {
             cmd,
             scale: scale.to_string(),
             jobs: jobs as u64,
+            backend,
             iterations: iters as u64,
             runs_secs: runs,
             best_secs: best,
@@ -467,6 +499,7 @@ mod tests {
             cmd: "repro_all".to_string(),
             scale: scale.to_string(),
             jobs,
+            backend: "hls".to_string(),
             iterations: 3,
             runs_secs: runs,
             best_secs: best,
@@ -504,6 +537,8 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert!((parsed[0].stddev_secs - 1.0).abs() < 1e-12);
         assert!((parsed[0].cv - 0.5).abs() < 1e-12);
+        // It also predates the backend field: an HLS measurement.
+        assert_eq!(parsed[0].backend, "hls");
         // And the derived fields round-trip exactly from then on.
         let rendered = render_trajectory(&parsed);
         assert!(rendered.contains("stddev_secs"));
@@ -522,36 +557,49 @@ mod tests {
         let parsed = parse_trajectory(text);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].cmd, "repro_all");
+        assert_eq!(parsed[0].backend, "hls");
     }
 
     #[test]
     fn baseline_is_the_latest_matching_point() {
         let mut compound = point("sweep", "quick", 1, 0.3);
         compound.cmd = "compound".to_string();
+        let mut cpu = point("cpu-model", "quick", 1, 0.4);
+        cpu.backend = "cpu".to_string();
         let points = vec![
             point("old", "quick", 1, 1.0),
             point("paper", "paper", 1, 60.0),
             point("new", "quick", 1, 0.5),
             point("parallel", "quick", 4, 0.2),
             compound,
+            cpu,
         ];
-        let baseline = find_baseline(&points, "repro_all", "quick", 1).unwrap();
+        let baseline = find_baseline(&points, "repro_all", "quick", 1, "hls").unwrap();
         assert_eq!(baseline.label, "new");
         assert_eq!(
-            find_baseline(&points, "repro_all", "quick", 4)
+            find_baseline(&points, "repro_all", "quick", 4, "hls")
                 .unwrap()
                 .label,
             "parallel"
         );
         // Different commands never gate each other.
         assert_eq!(
-            find_baseline(&points, "compound", "quick", 1)
+            find_baseline(&points, "compound", "quick", 1, "hls")
                 .unwrap()
                 .label,
             "sweep"
         );
-        assert!(find_baseline(&points, "repro_all", "paper", 8).is_none());
-        assert!(find_baseline(&points, "compound", "paper", 1).is_none());
+        // Neither do different hardware backends: the cpu point is the
+        // cpu baseline, and it never shadows the hls one.
+        assert_eq!(
+            find_baseline(&points, "repro_all", "quick", 1, "cpu")
+                .unwrap()
+                .label,
+            "cpu-model"
+        );
+        assert!(find_baseline(&points, "repro_all", "quick", 1, "hetero").is_none());
+        assert!(find_baseline(&points, "repro_all", "paper", 8, "hls").is_none());
+        assert!(find_baseline(&points, "compound", "paper", 1, "hls").is_none());
     }
 
     #[test]

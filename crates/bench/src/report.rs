@@ -130,6 +130,14 @@ pub fn render_report(dir: &Path, top: usize) -> String {
         out.push_str(&render_serve(&doc));
     }
 
+    if let Ok(text) = std::fs::read_to_string(dir.join("BENCH_trajectory.json")) {
+        let points = crate::perf::parse_trajectory(&text);
+        if !points.is_empty() {
+            out.push_str("\n== performance trajectory (BENCH_trajectory.json) ==\n");
+            out.push_str(&render_trajectory(&points));
+        }
+    }
+
     if let Some(lines) = read_json_lines(&dir.join("checkpoint.jsonl")) {
         out.push_str(&format!(
             "\ncheckpoint.jsonl: {} cell(s) resumable\n",
@@ -415,6 +423,29 @@ fn render_failures(doc: &Value) -> String {
     t.render()
 }
 
+/// The recorded perf trajectory, one row per point in record order. The
+/// backend column keeps measurements from different hardware models
+/// visibly separate — they never gate each other, so a reader comparing
+/// rows across backends would be comparing different simulations.
+fn render_trajectory(points: &[crate::perf::TrajectoryPoint]) -> String {
+    let mut t = TextTable::new(&[
+        "label", "cmd", "scale", "jobs", "backend", "best_s", "mean_s", "cv",
+    ]);
+    for p in points {
+        t.row(&[
+            p.label.clone(),
+            p.cmd.clone(),
+            p.scale.clone(),
+            p.jobs.to_string(),
+            p.backend.clone(),
+            format!("{:.3}", p.best_secs),
+            format!("{:.3}", p.mean_secs),
+            format!("{:.1}%", p.cv * 100.0),
+        ]);
+    }
+    t.render()
+}
+
 /// The storm results: one row per concurrency level, then the chaos-audit
 /// verdict when one ran. Malformed or missing fields render `n/a`, never a
 /// fabricated zero — a torn benchmark file must look torn.
@@ -647,6 +678,29 @@ mod tests {
         std::fs::write(dir.join("BENCH_serve.json"), "{\"levels\": []}").unwrap();
         let text = render_report(&dir, 5);
         assert!(text.contains("no load-test levels recorded"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trajectory_section_keeps_backends_in_separate_rows() {
+        let dir = scratch("trajectory");
+        // One modern point (cpu backend) and one legacy point with no
+        // backend field, which must render as hls — never blend together.
+        std::fs::write(
+            dir.join("BENCH_trajectory.json"),
+            "{\"points\": [{\"label\": \"old\", \"scale\": \"quick\", \"jobs\": 1, \"iterations\": 1, \"runs_secs\": [1.0], \"best_secs\": 1.0, \"mean_secs\": 1.0}, {\"label\": \"cpu-model\", \"cmd\": \"repro_all\", \"scale\": \"quick\", \"jobs\": 1, \"backend\": \"cpu\", \"iterations\": 1, \"runs_secs\": [0.5], \"best_secs\": 0.5, \"mean_secs\": 0.5}]}",
+        )
+        .unwrap();
+        let text = render_report(&dir, 5);
+        assert!(text.contains("performance trajectory"), "{text}");
+        assert!(text.contains("backend"), "{text}");
+        let old = text.lines().find(|l| l.contains("old")).expect("old row");
+        assert!(old.contains("hls"), "legacy point must read as hls\n{old}");
+        let cpu = text
+            .lines()
+            .find(|l| l.contains("cpu-model"))
+            .expect("cpu row");
+        assert!(cpu.contains("cpu"), "{cpu}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

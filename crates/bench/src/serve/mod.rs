@@ -540,7 +540,12 @@ fn admit(req: &Request, state: &Arc<ServiceState>) -> Response {
     }
     let spec = match RequestSpec::parse(&req.body) {
         Ok(spec) => spec,
-        Err(msg) => return Response::json(400, "Bad Request", error_body(&msg)),
+        // Framing/encoding problems are 400; a well-formed body with
+        // invalid content (unknown field, bad hardware override) is 422.
+        Err(e) => {
+            let (status, reason) = e.status().unwrap_or((400, "Bad Request"));
+            return Response::json(status, reason, error_body(&e.to_string()));
+        }
     };
     let id = spec.id.clone().unwrap_or_else(|| state.fresh_id());
 

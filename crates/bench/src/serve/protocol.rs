@@ -54,6 +54,12 @@ pub enum ProtocolError {
     TooLarge(String),
     /// The request uses `Transfer-Encoding` instead of `Content-Length`.
     LengthRequired,
+    /// The body is well-formed JSON but semantically invalid as an API
+    /// request (unknown field, out-of-range value, bad hardware override).
+    /// Distinct from [`ProtocolError::Malformed`] — the framing and
+    /// encoding were fine, the *content* was not — so it maps to `422`
+    /// rather than `400`.
+    Unprocessable(String),
     /// Socket-level failure (including read timeouts from slow clients).
     Io(std::io::Error),
 }
@@ -67,6 +73,7 @@ impl ProtocolError {
             ProtocolError::Truncated(_) => Some((400, "Bad Request")),
             ProtocolError::TooLarge(_) => Some((413, "Payload Too Large")),
             ProtocolError::LengthRequired => Some((411, "Length Required")),
+            ProtocolError::Unprocessable(_) => Some((422, "Unprocessable Entity")),
             ProtocolError::ConnectionClosed | ProtocolError::Io(_) => None,
         }
     }
@@ -80,6 +87,7 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Truncated(m) => write!(f, "truncated request: {m}"),
             ProtocolError::TooLarge(m) => write!(f, "request too large: {m}"),
             ProtocolError::LengthRequired => write!(f, "length required"),
+            ProtocolError::Unprocessable(m) => write!(f, "unprocessable request: {m}"),
             ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

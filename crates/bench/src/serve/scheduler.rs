@@ -8,9 +8,11 @@
 //! reply channel closing on a scheduler bug surfaces as `500` to exactly
 //! one client.
 
+use super::protocol::ProtocolError;
 use super::ServiceState;
 use copernicus::{CampaignError, CampaignPolicy, CampaignRunner, ExperimentConfig};
 use copernicus::{FailureKind, Measurement};
+use copernicus_hls::HwConfig;
 use copernicus_telemetry::CancelToken;
 use copernicus_workloads::Workload;
 use serde::Value;
@@ -40,19 +42,54 @@ pub struct RequestSpec {
     pub timeout_ms: Option<u64>,
     /// Transient-failure retries granted per cell.
     pub max_retries: u32,
+    /// Hardware-model override assembled from the `backend` and `hw`
+    /// fields, already validated. `None` keeps the service default
+    /// (`HwConfig::default()` — the paper's HLS pipeline).
+    pub hw: Option<HwConfig>,
 }
+
+/// Every top-level field `POST /characterize` accepts. Anything else is
+/// rejected `422` — a typo like `"partion_sizes"` silently falling back to
+/// a default is worse than an error.
+const SPEC_FIELDS: [&str; 9] = [
+    "id",
+    "workload",
+    "formats",
+    "partition_sizes",
+    "seed",
+    "timeout_ms",
+    "max_retries",
+    "backend",
+    "hw",
+];
 
 impl RequestSpec {
     /// Parses and validates a request body.
     ///
     /// # Errors
     ///
-    /// A human-readable message (rendered into the `400` body) for any
-    /// malformed, missing, or out-of-range field.
-    pub fn parse(body: &[u8]) -> Result<RequestSpec, String> {
-        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-        let doc: Value =
-            serde::json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    /// [`ProtocolError::Malformed`] (`400`) when the body is not UTF-8 or
+    /// not JSON; [`ProtocolError::Unprocessable`] (`422`) when it is JSON
+    /// but semantically invalid — missing/out-of-range fields, unknown
+    /// fields, or a hardware override that fails validation.
+    pub fn parse(body: &[u8]) -> Result<RequestSpec, ProtocolError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ProtocolError::Malformed("body is not UTF-8".to_string()))?;
+        let doc: Value = serde::json::from_str(text)
+            .map_err(|e| ProtocolError::Malformed(format!("body is not JSON: {e}")))?;
+        Self::from_doc(&doc).map_err(ProtocolError::Unprocessable)
+    }
+
+    fn from_doc(doc: &Value) -> Result<RequestSpec, String> {
+        let fields = doc.as_map().ok_or("body must be a JSON object")?;
+        for (key, _) in fields {
+            if !SPEC_FIELDS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field `{key}` (accepted: {})",
+                    SPEC_FIELDS.join(", ")
+                ));
+            }
+        }
         let workload = parse_workload(doc.get("workload").ok_or("missing field `workload`")?)?;
 
         let formats = match doc.get("formats") {
@@ -104,6 +141,7 @@ impl RequestSpec {
                 Some(s.to_string())
             }
         };
+        let hw = parse_hw_override(doc)?;
         Ok(RequestSpec {
             id,
             workload,
@@ -116,8 +154,74 @@ impl RequestSpec {
                 .and_then(Value::as_u64)
                 .map(|r| r.min(8) as u32)
                 .unwrap_or(0),
+            hw,
         })
     }
+}
+
+/// Assembles the per-request hardware override from the `backend` string
+/// and the `hw` object, both optional. The override starts from
+/// `HwConfig::default()` (not the incoming config — requests are
+/// self-contained) and is validated as a whole, so an inconsistent
+/// combination is rejected before any work is admitted.
+fn parse_hw_override(doc: &Value) -> Result<Option<HwConfig>, String> {
+    let mut hw: Option<HwConfig> = None;
+    if let Some(v) = doc.get("backend") {
+        let s = v.as_str().ok_or("`backend` must be a string")?;
+        hw.get_or_insert_with(HwConfig::default).backend = s.parse()?;
+    }
+    if let Some(v) = doc.get("hw") {
+        let map = v.as_map().ok_or("`hw` must be an object")?;
+        let cfg = hw.get_or_insert_with(HwConfig::default);
+        for (key, val) in map {
+            match key.as_str() {
+                "backend" => {
+                    cfg.backend = val.as_str().ok_or("`hw.backend` must be a string")?.parse()?;
+                }
+                "stream_codec" => {
+                    cfg.stream_codec = val
+                        .as_str()
+                        .ok_or("`hw.stream_codec` must be a string")?
+                        .parse()
+                        .map_err(|e| format!("bad `hw.stream_codec`: {e}"))?;
+                }
+                "clock_mhz" => {
+                    cfg.clock_mhz = val
+                        .as_f64()
+                        .filter(|c| c.is_finite())
+                        .ok_or("`hw.clock_mhz` must be a number")?;
+                }
+                "bus_bytes_per_cycle" => {
+                    cfg.bus_bytes_per_cycle = val
+                        .as_u64()
+                        .ok_or("`hw.bus_bytes_per_cycle` must be an integer")?
+                        as usize;
+                }
+                "cpu_clock_mhz" => {
+                    cfg.cpu.clock_mhz = val
+                        .as_f64()
+                        .filter(|c| c.is_finite())
+                        .ok_or("`hw.cpu_clock_mhz` must be a number")?;
+                }
+                "cpu_simd_width" => {
+                    cfg.cpu.simd_width = val
+                        .as_u64()
+                        .ok_or("`hw.cpu_simd_width` must be an integer")?
+                        as usize;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown field `hw.{other}` (accepted: backend, stream_codec, clock_mhz, bus_bytes_per_cycle, cpu_clock_mhz, cpu_simd_width)"
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(cfg) = &hw {
+        cfg.validate()
+            .map_err(|e| format!("invalid `hw` override: {e}"))?;
+    }
+    Ok(hw)
 }
 
 /// Request IDs become spool directory names; keep them path-safe.
@@ -234,10 +338,15 @@ fn persist_outcome(dir: &std::path::Path, outcome: &JobOutcome) {
 /// campaign checkpoint machinery in the job's spool directory.
 fn execute_job(state: &ServiceState, job: &Job) -> JobOutcome {
     let spec = &job.spec;
-    let cfg = ExperimentConfig {
+    let mut cfg = ExperimentConfig {
         seed: spec.seed,
         ..ExperimentConfig::quick()
     };
+    if let Some(hw) = &spec.hw {
+        // Per-request hardware override, validated at parse time. The
+        // campaign still owns partition_size — it rewrites it per cell.
+        cfg.hw = hw.clone();
+    }
     let policy = CampaignPolicy {
         max_retries: spec.max_retries,
         cancel: Some(job.cancel.clone()),
@@ -400,10 +509,120 @@ mod tests {
         ] {
             let err = RequestSpec::parse(body).expect_err("must fail");
             assert!(
-                err.contains(needle),
+                err.to_string().contains(needle),
                 "error {err:?} does not mention {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn body_shape_errors_are_400_and_content_errors_are_422() {
+        // Not JSON at all: a framing-level 400.
+        let e = RequestSpec::parse(b"not json").expect_err("must fail");
+        assert!(matches!(e, ProtocolError::Malformed(_)), "{e}");
+        assert_eq!(e.status(), Some((400, "Bad Request")));
+        // Valid JSON, invalid content: 422.
+        let e = RequestSpec::parse(b"{}").expect_err("must fail");
+        assert!(matches!(e, ProtocolError::Unprocessable(_)), "{e}");
+        assert_eq!(e.status(), Some((422, "Unprocessable Entity")));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        // A typo'd field name must not silently fall back to a default.
+        let err = RequestSpec::parse(
+            br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "partion_sizes": [8]}"#,
+        )
+        .expect_err("typo must fail");
+        assert!(matches!(err, ProtocolError::Unprocessable(_)), "{err}");
+        assert!(err.to_string().contains("partion_sizes"), "{err}");
+        let err = RequestSpec::parse(
+            br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "hw": {"warp_drive": 9}}"#,
+        )
+        .expect_err("unknown hw knob must fail");
+        assert!(err.to_string().contains("hw.warp_drive"), "{err}");
+    }
+
+    #[test]
+    fn backend_and_hw_overrides_parse_and_validate() {
+        use copernicus_hls::BackendKind;
+        // No override fields: no HwConfig attached.
+        let spec = RequestSpec::parse(br#"{"workload": {"kind": "band", "n": 32, "width": 3}}"#)
+            .expect("parse");
+        assert!(spec.hw.is_none());
+        // A bare backend string selects the backend on an otherwise
+        // default config.
+        let spec = RequestSpec::parse(
+            br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "backend": "cpu"}"#,
+        )
+        .expect("parse");
+        let hw = spec.hw.expect("override attached");
+        assert_eq!(hw.backend, BackendKind::Cpu);
+        assert_eq!(hw.clock_mhz, HwConfig::default().clock_mhz);
+        // The hw object tunes individual knobs, backend included.
+        let spec = RequestSpec::parse(
+            br#"{"workload": {"kind": "band", "n": 32, "width": 3},
+                 "hw": {"backend": "hetero", "cpu_clock_mhz": 1000.0, "cpu_simd_width": 8}}"#,
+        )
+        .expect("parse");
+        let hw = spec.hw.expect("override attached");
+        assert_eq!(hw.backend, BackendKind::Hetero);
+        assert_eq!(hw.cpu.clock_mhz, 1000.0);
+        assert_eq!(hw.cpu.simd_width, 8);
+        // Invalid overrides are 422 with a field-naming message.
+        for (body, needle) in [
+            (
+                &br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "backend": "gpu"}"#[..],
+                "backend",
+            ),
+            (
+                br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "hw": {"cpu_simd_width": 0}}"#,
+                "simd_width",
+            ),
+            (
+                br#"{"workload": {"kind": "band", "n": 32, "width": 3}, "hw": 7}"#,
+                "object",
+            ),
+        ] {
+            let err = RequestSpec::parse(body).expect_err("must fail");
+            assert!(matches!(err, ProtocolError::Unprocessable(_)), "{err}");
+            assert!(
+                err.to_string().contains(needle),
+                "error {err} does not mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overridden_jobs_execute_on_the_requested_backend() {
+        // The same workload on hls and cpu must both succeed and produce
+        // different modeled cycle totals (different hardware models).
+        let run = |body: &[u8], id: &str| {
+            let spec = RequestSpec::parse(body).expect("parse");
+            let state = ServiceState::for_tests();
+            let outcome = execute_job(&state, &recovery_job(id.to_string(), spec));
+            assert_eq!(outcome.status, 200, "{}", outcome.body);
+            outcome.body
+        };
+        let hls = run(
+            br#"{"workload": {"kind": "random", "n": 24, "density": 0.2}, "partition_sizes": [8]}"#,
+            "b-hls",
+        );
+        let cpu = run(
+            br#"{"workload": {"kind": "random", "n": 24, "density": 0.2}, "partition_sizes": [8], "backend": "cpu"}"#,
+            "b-cpu",
+        );
+        let cycles = |body: &str| {
+            let doc: Value = serde::json::from_str(body).expect("json");
+            doc.get("measurements")
+                .and_then(Value::as_seq)
+                .and_then(|ms| ms.first())
+                .and_then(|m| m.get("report"))
+                .and_then(|r| r.get("total_cycles"))
+                .and_then(Value::as_u64)
+                .expect("total_cycles")
+        };
+        assert_ne!(cycles(&hls), cycles(&cpu));
     }
 
     #[test]

@@ -125,6 +125,84 @@ fn compound_campaign_with_a_codec_is_byte_identical_across_job_counts() {
     assert!(tsv1.contains("codec.saved_bytes"), "{tsv1}");
 }
 
+/// Renders the compound-scheme campaign on the CPU backend at `jobs`
+/// workers — the non-default cost model must honor the same contract.
+fn cpu_compound_artifacts_at(jobs: usize) -> (String, String) {
+    let cli = Cli::parse([
+        "--jobs".to_string(),
+        jobs.to_string(),
+        "--codec".to_string(),
+        "delta-varint".to_string(),
+        "--backend".to_string(),
+        "cpu".to_string(),
+    ])
+    .unwrap();
+    let runner = cli.runner();
+    let mut telemetry = cli.telemetry();
+    let rows = copernicus::experiments::ext_compound_scheme::run_on(
+        &runner,
+        &cli.cfg,
+        &mut telemetry.instruments(),
+    )
+    .unwrap();
+    let table = copernicus::experiments::ext_compound_scheme::render(&rows);
+    (table, telemetry.metrics.to_tsv())
+}
+
+#[test]
+fn cpu_backend_campaign_is_byte_identical_across_job_counts() {
+    let (table1, tsv1) = cpu_compound_artifacts_at(1);
+    let (table4, tsv4) = cpu_compound_artifacts_at(4);
+    assert_eq!(
+        table1, table4,
+        "--backend cpu table diverged between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        tsv1, tsv4,
+        "--backend cpu metrics diverged between --jobs 1 and --jobs 4"
+    );
+    // Sanity: the CPU model really drove the run — its cost surface
+    // differs from the HLS default on the same campaign.
+    let (hls_table, _) = compound_artifacts_at(1);
+    assert_ne!(
+        table1, hls_table,
+        "cpu and hls backends produced identical compound tables"
+    );
+}
+
+/// Renders the three-backend split campaign at `jobs` workers.
+fn backend_split_artifacts_at(jobs: usize) -> (String, String) {
+    let cli = Cli::parse(["--jobs".to_string(), jobs.to_string()]).unwrap();
+    let runner = cli.runner();
+    let mut telemetry = cli.telemetry();
+    let rows = copernicus::experiments::ext_backend_split::run_on(
+        &runner,
+        &cli.cfg,
+        &mut telemetry.instruments(),
+    )
+    .unwrap();
+    let table = copernicus::experiments::ext_backend_split::render(&rows);
+    (table, telemetry.metrics.to_tsv())
+}
+
+#[test]
+fn backend_split_campaign_is_byte_identical_across_job_counts() {
+    let (table1, tsv1) = backend_split_artifacts_at(1);
+    let (table4, tsv4) = backend_split_artifacts_at(4);
+    assert_eq!(
+        table1, table4,
+        "backend_split table diverged between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        tsv1, tsv4,
+        "backend_split metrics diverged between --jobs 1 and --jobs 4"
+    );
+    // All three cost models are present in the rendered artifact.
+    for backend in ["hls", "cpu", "hetero"] {
+        assert!(table1.contains(backend), "missing {backend} in:\n{table1}");
+    }
+}
+
 #[test]
 fn cache_hits_reproduce_the_original_rows() {
     let cli = Cli::parse(["--jobs".to_string(), "4".to_string()]).unwrap();

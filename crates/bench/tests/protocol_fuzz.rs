@@ -9,6 +9,7 @@
 //! every prefix length.
 
 use copernicus_bench::serve::protocol::{parse_request, Limits, ProtocolError};
+use copernicus_bench::serve::scheduler::RequestSpec;
 
 /// Deterministic byte stream (same LCG family the workloads crate uses).
 struct Lcg(u64);
@@ -175,4 +176,46 @@ fn error_variants_map_to_the_documented_statuses() {
         None,
         "a clean close gets no response, just a hangup"
     );
+    // Body-level classification, one layer up: non-JSON is malformed
+    // (400), valid JSON with bad content is unprocessable (422).
+    assert_eq!(
+        RequestSpec::parse(b"\xffnot json")
+            .expect_err("garbage body")
+            .status(),
+        Some((400, "Bad Request"))
+    );
+    assert_eq!(
+        RequestSpec::parse(br#"{"surprise_field": 1}"#)
+            .expect_err("unknown field")
+            .status(),
+        Some((422, "Unprocessable Entity"))
+    );
+}
+
+#[test]
+fn spec_parser_never_panics_on_garbage_or_mutated_json() {
+    let mut rng = Lcg(0xABAD1DEA);
+    // Pure garbage bodies.
+    for _ in 0..500 {
+        let len = rng.below(512);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.byte()).collect();
+        let _ = RequestSpec::parse(&bytes);
+    }
+    // Single-byte mutations of a fully valid spec (override fields
+    // included): every outcome must be a typed error or a valid spec.
+    let valid = br#"{"workload": {"kind": "random", "n": 48, "density": 0.1}, "formats": ["CSR"], "partition_sizes": [8], "backend": "cpu", "hw": {"cpu_simd_width": 8}}"#;
+    RequestSpec::parse(valid).expect("the unmutated spec is valid");
+    for _ in 0..2000 {
+        let mut bytes = valid.to_vec();
+        let pos = rng.below(bytes.len());
+        bytes[pos] = rng.byte();
+        let _ = RequestSpec::parse(&bytes);
+    }
+    // Unknown fields sprinkled at the top level always classify as 422.
+    for i in 0..50 {
+        let body =
+            format!(r#"{{"workload": {{"kind": "band", "n": 32, "width": 3}}, "fuzz_{i}": {i}}}"#);
+        let err = RequestSpec::parse(body.as_bytes()).expect_err("unknown field");
+        assert_eq!(err.status(), Some((422, "Unprocessable Entity")), "{err}");
+    }
 }

@@ -195,9 +195,27 @@ fn round_trip_status_endpoints_and_idempotent_replay() {
     assert_eq!(doc.get("completed").and_then(Value::as_u64), Some(1));
 
     // Malformed and oversized bodies come back typed, and the daemon
-    // survives them.
+    // survives them. A body that is not JSON at all is 400; well-formed
+    // JSON with invalid content (unknown field, bad override) is 422.
     let (status, _, _) = http(&server.addr, "POST", "/characterize", "not json").expect("bad");
     assert_eq!(status, 400);
+    let (status, _, body) = http(
+        &server.addr,
+        "POST",
+        "/characterize",
+        r#"{"workload": {"kind": "random", "n": 24, "density": 0.1}, "partion_sizes": [8]}"#,
+    )
+    .expect("typo");
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("partion_sizes"), "{body}");
+    let (status, _, body) = http(
+        &server.addr,
+        "POST",
+        "/characterize",
+        r#"{"workload": {"kind": "random", "n": 24, "density": 0.1}, "backend": "gpu"}"#,
+    )
+    .expect("bad backend");
+    assert_eq!(status, 422, "{body}");
     let (status, _, _) = http(&server.addr, "GET", "/nope", "").expect("404");
     assert_eq!(status, 404);
 
@@ -205,6 +223,46 @@ fn round_trip_status_endpoints_and_idempotent_replay() {
     assert_eq!(status, 200);
     assert_eq!(server.wait_for_exit(Duration::from_secs(30)), Some(0));
     let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn per_request_backend_override_changes_the_model() {
+    let mut server = Server::spawn(&[]);
+    let body = |backend: &str| {
+        format!(
+            r#"{{"workload": {{"kind": "random", "n": 24, "density": 0.1}}, "partition_sizes": [8]{backend}}}"#
+        )
+    };
+    let cycles = |result: &str| {
+        let doc: Value = serde::json::from_str(result).expect("result JSON");
+        doc.get("measurements")
+            .and_then(Value::as_seq)
+            .and_then(|ms| ms.first())
+            .and_then(|m| m.get("report"))
+            .and_then(|r| r.get("total_cycles"))
+            .and_then(Value::as_u64)
+            .expect("total_cycles")
+    };
+    let (status, _, hls) =
+        http(&server.addr, "POST", "/characterize", &body("")).expect("default backend");
+    assert_eq!(status, 200, "{hls}");
+    let (status, _, cpu) = http(
+        &server.addr,
+        "POST",
+        "/characterize",
+        &body(r#", "backend": "cpu""#),
+    )
+    .expect("cpu backend");
+    assert_eq!(status, 200, "{cpu}");
+    assert_ne!(
+        cycles(&hls),
+        cycles(&cpu),
+        "the cpu backend must model different cycle totals"
+    );
+
+    let (status, _, _) = http(&server.addr, "POST", "/admin/drain", "").expect("drain");
+    assert_eq!(status, 200);
+    assert_eq!(server.wait_for_exit(Duration::from_secs(30)), Some(0));
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! aligned text/TSV. The quick preset regenerates the whole set in seconds;
 //! the paper preset matches the paper's matrix scales.
 
+pub mod ext_backend_split;
 pub mod ext_compound_scheme;
 pub mod ext_partition_sweep;
 pub mod fig03;

@@ -1,5 +1,6 @@
 //! Hardware configuration of the modeled platform (§4.1 of the paper).
 
+use crate::backend::{BackendKind, CpuParams};
 use crate::codec::CodecKind;
 
 /// Configuration of the modeled HLS SpMV platform.
@@ -48,6 +49,14 @@ pub struct HwConfig {
     /// bit-for-bit). Coded streams larger than the structural form are
     /// shipped raw, so enabling a codec never increases transfer bytes.
     pub stream_codec: CodecKind,
+    /// Hardware model that costs every partition ([`BackendKind::Hls`]
+    /// reproduces the paper's platform bit-for-bit). The format/codec
+    /// fields above stay backend-independent: they describe what is
+    /// transferred and decoded, the backend decides what that costs.
+    pub backend: BackendKind,
+    /// Parameters of the CPU cache-hierarchy model, used by the `cpu`
+    /// and `hetero` backends and ignored by `hls`.
+    pub cpu: CpuParams,
 }
 
 impl Default for HwConfig {
@@ -64,6 +73,8 @@ impl Default for HwConfig {
             ell_hw_width: 6,
             verify_functional: true,
             stream_codec: CodecKind::None,
+            backend: BackendKind::Hls,
+            cpu: CpuParams::default(),
         }
     }
 }
@@ -131,6 +142,7 @@ impl HwConfig {
         if self.value_bytes == 0 || self.index_bytes == 0 {
             return Err("value/index widths must be positive".into());
         }
+        self.cpu.validate()?;
         Ok(())
     }
 }
@@ -156,7 +168,16 @@ mod tests {
         assert_eq!(cfg.bcsr_block, 4);
         assert_eq!(cfg.ell_hw_width, 6);
         assert_eq!(cfg.stream_codec, CodecKind::None);
+        assert_eq!(cfg.backend, BackendKind::Hls);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_covers_the_cpu_params() {
+        let mut cfg = HwConfig::default();
+        cfg.cpu.simd_width = 0;
+        let err = cfg.validate().expect_err("bad CPU params must fail");
+        assert!(err.contains("simd_width"), "error names the field: {err}");
     }
 
     #[test]

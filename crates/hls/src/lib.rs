@@ -20,7 +20,10 @@
 //! * the three-stage outer pipeline ([`Platform`] — memory-read, compute,
 //!   memory-write, bottleneck-overlapped across partitions),
 //! * synthesis-side models: FPGA [`resources`] (Table 2) and [`power`]
-//!   (Table 2 + Fig. 13).
+//!   (Table 2 + Fig. 13),
+//! * pluggable hardware [`backend`]s behind one trait: the HLS pipeline
+//!   above, an analytical cache-hierarchy CPU model, and a per-partition
+//!   heterogeneous dispatcher driven by the paper's balance ratio.
 //!
 //! Every decompressor is *functional*: it reconstructs the dense rows and
 //! the platform cross-checks them against the reference tile (the analog of
@@ -56,6 +59,7 @@
 // `-D warnings`, making this a gate.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod codec;
 pub mod config;
 pub mod decomp;
@@ -67,6 +71,9 @@ pub mod resources;
 pub mod scratch;
 pub mod session;
 
+pub use backend::{
+    backend_for, Backend, BackendKind, CpuCacheBackend, CpuParams, HeteroBackend, HlsStreamBackend,
+};
 pub use codec::{codec_for, Codec, CodecCost, CodecError, CodecKind, CodecScratch};
 pub use config::{ceil_log2, HwConfig};
 pub use decomp::{decompress, decompress_with, Decompression};

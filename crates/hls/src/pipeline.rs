@@ -1,11 +1,12 @@
 //! The three-stage streaming platform of Fig. 2: memory-read → compute
 //! (decompress + dot-product) → memory-write, pipelined across partitions.
 
+use crate::backend::backend_for;
 use crate::{decompress_with, Decompression, EncodeScratch, EncodedPartition, HwConfig};
 use copernicus_telemetry::{
     CancelToken, NullSink, Phase, PhaseAcc, PhaseProfiler, PipelineEvent, Stage, TraceSink,
 };
-use sparsemat::{Coo, FormatKind, Matrix, Partition, PartitionGrid, SparseError};
+use sparsemat::{Coo, FormatKind, Partition, PartitionGrid, SparseError};
 use std::sync::Arc;
 
 /// Errors produced by platform runs.
@@ -193,6 +194,7 @@ struct ReportBuilder {
 
 impl ReportBuilder {
     fn new(format: FormatKind, cfg: &HwConfig) -> Self {
+        let backend = backend_for(cfg.backend);
         ReportBuilder {
             report: RunReport {
                 format,
@@ -211,12 +213,12 @@ impl ReportBuilder {
                 total_cycles: 0,
                 dense_equivalent_compute: 0,
                 balance_ratio: 0.0,
-                clock_mhz: cfg.clock_mhz,
+                clock_mhz: backend.clock_mhz(cfg),
             },
             balance_sum: 0.0,
             first_stage_sum: None,
             first_stage_max: 0,
-            dense_per_part: cfg.partition_size as u64 * cfg.dot_latency_full(),
+            dense_per_part: backend.dense_equivalent_cycles(cfg),
         }
     }
 
@@ -377,6 +379,18 @@ impl Platform {
         self.tile_jobs
     }
 
+    /// Selects the hardware backend costing subsequent runs. The encode /
+    /// decompress pass is backend-independent; only the cycle charges (and
+    /// the reported clock) change.
+    pub fn set_backend(&mut self, backend: crate::BackendKind) {
+        self.cfg.backend = backend;
+    }
+
+    /// The backend subsequent runs are costed on.
+    pub fn backend(&self) -> crate::BackendKind {
+        self.cfg.backend
+    }
+
     /// Attaches (or with `None`, detaches) a wall-clock phase profiler.
     /// Runs then observe per-run encode / decompress / verify / compute
     /// phase durations into it; the modeled reports are unaffected.
@@ -406,96 +420,6 @@ impl Platform {
     /// True when a token is attached and reports cancelled.
     fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-    }
-
-    /// Streams a whole matrix through the platform in `format`: tiles it at
-    /// the configured partition size, drops all-zero partitions, and
-    /// pipelines the non-zero ones.
-    ///
-    /// # Errors
-    ///
-    /// Propagates partitioning/encoding failures and functional mismatches
-    /// (when [`HwConfig::verify_functional`] is set).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...)`"
-    )]
-    pub fn run(&self, matrix: &Coo<f32>, format: FormatKind) -> Result<RunReport, PlatformError> {
-        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_grid_scratch(
-            &grid,
-            format,
-            &mut NullSink,
-            |_, _| {},
-            &mut EncodeScratch::new(),
-        )
-    }
-
-    /// Like [`Platform::run`], emitting pipeline events into `sink` at
-    /// modeled-cycle timestamps.
-    ///
-    /// # Errors
-    ///
-    /// See [`Platform::run`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...).with_sink(...)`"
-    )]
-    pub fn run_with_sink<S: TraceSink + ?Sized>(
-        &self,
-        matrix: &Coo<f32>,
-        format: FormatKind,
-        sink: &mut S,
-    ) -> Result<RunReport, PlatformError> {
-        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_grid_scratch(&grid, format, sink, |_, _| {}, &mut EncodeScratch::new())
-    }
-
-    /// Like [`Platform::run`] for a matrix that is already tiled (lets one
-    /// grid be reused across the format sweep).
-    ///
-    /// # Errors
-    ///
-    /// See [`Platform::run`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::grid(...)`"
-    )]
-    pub fn run_grid(
-        &self,
-        grid: &PartitionGrid<f32>,
-        format: FormatKind,
-    ) -> Result<RunReport, PlatformError> {
-        self.run_grid_scratch(
-            grid,
-            format,
-            &mut NullSink,
-            |_, _| {},
-            &mut EncodeScratch::new(),
-        )
-    }
-
-    /// Like [`Platform::run_grid`], emitting pipeline events into `sink`.
-    ///
-    /// Span invariant (test-enforced): the emitted stage spans sum exactly
-    /// to the report's `total_mem_cycles`, `total_compute_cycles`,
-    /// `total_decomp_cycles` and `total_writeback_cycles`, and the report
-    /// is bit-identical to the uninstrumented run.
-    ///
-    /// # Errors
-    ///
-    /// See [`Platform::run`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::grid(...).with_sink(...)`"
-    )]
-    pub fn run_grid_with_sink<S: TraceSink + ?Sized>(
-        &self,
-        grid: &PartitionGrid<f32>,
-        format: FormatKind,
-        sink: &mut S,
-    ) -> Result<RunReport, PlatformError> {
-        self.run_grid_scratch(grid, format, sink, |_, _| {}, &mut EncodeScratch::new())
     }
 
     /// The single shared partition loop: processes each tile exactly once,
@@ -654,25 +578,12 @@ impl Platform {
         if self.cfg.verify_functional {
             acc.lap(Phase::Verify);
         }
-        // The second-stage decoder sits in front of the structural
-        // decompressor, so its cycles join the compute stage: the trade the
-        // codec sweep measures is fewer memory-read cycles against exactly
-        // this compute-side surcharge.
-        let entropy_cycles = encoded.entropy_cycles(&self.cfg);
-        let timing = PartitionTiming {
-            mem_cycles: encoded.memory_cycles(&self.cfg),
-            compute_cycles: d.compute_cycles(&self.cfg) + entropy_cycles,
-            decomp_cycles: d.decomp_cycles,
-            entropy_cycles,
-            writeback_cycles: self
-                .cfg
-                .transfer_cycles((self.cfg.partition_size * self.cfg.value_bytes) as u64),
-            dot_issues: d.dot_issues,
-            bytes: encoded.total_bytes(),
-            coded_bytes: encoded.transfer_bytes(),
-            useful_bytes: encoded.useful_bytes,
-            bram_reads: d.bram_reads,
-        };
+        // The configured backend prices what the encode/decompress pass
+        // produced: on the HLS pipeline the second-stage decoder sits in
+        // front of the structural decompressor, so its cycles join the
+        // compute stage — the trade the codec sweep measures is fewer
+        // memory-read cycles against exactly that compute-side surcharge.
+        let timing = backend_for(self.cfg.backend).partition_timing(&encoded, &d, &self.cfg);
         scratch.recycle_encoded(encoded);
         Ok((timing, d))
     }
@@ -752,7 +663,8 @@ impl Platform {
     ///
     /// # Errors
     ///
-    /// See [`Platform::run`].
+    /// Propagates encoding failures and functional mismatches (when
+    /// [`HwConfig::verify_functional`] is set).
     pub fn run_partition(
         &self,
         tile: Coo<f32>,
@@ -769,76 +681,6 @@ impl Platform {
             &mut PhaseAcc::disabled(),
         )
         .map(|(timing, _)| timing)
-    }
-
-    /// Executes a full SpMV `y = A·x` through the modeled datapath — every
-    /// partition is encoded, decompressed and multiplied exactly as the
-    /// hardware would — and returns the result with the timing report.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Sparse`] when `x.len() != A.ncols()`, plus
-    /// everything [`Platform::run`] can return.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...).consume_spmv(x)`"
-    )]
-    pub fn run_spmv(
-        &self,
-        matrix: &Coo<f32>,
-        x: &[f32],
-        format: FormatKind,
-    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
-        self.spmv_engine(matrix, x, format, &mut NullSink, &mut EncodeScratch::new())
-    }
-
-    /// Like [`Platform::run_spmv`], emitting pipeline events into `sink`.
-    ///
-    /// Each partition is encoded and decompressed exactly once: the same
-    /// pass feeds both the timing report and the dot-product engine.
-    ///
-    /// # Errors
-    ///
-    /// See [`Platform::run_spmv`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...).consume_spmv(x).with_sink(...)`"
-    )]
-    pub fn run_spmv_with_sink<S: TraceSink + ?Sized>(
-        &self,
-        matrix: &Coo<f32>,
-        x: &[f32],
-        format: FormatKind,
-        sink: &mut S,
-    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
-        self.spmv_engine(matrix, x, format, sink, &mut EncodeScratch::new())
-    }
-
-    fn spmv_engine<S: TraceSink + ?Sized>(
-        &self,
-        matrix: &Coo<f32>,
-        x: &[f32],
-        format: FormatKind,
-        sink: &mut S,
-        scratch: &mut EncodeScratch,
-    ) -> Result<(Vec<f32>, RunReport), PlatformError> {
-        if x.len() != matrix.ncols() {
-            return Err(PlatformError::Sparse(SparseError::ShapeMismatch {
-                expected: (matrix.ncols(), 1),
-                found: (x.len(), 1),
-            }));
-        }
-        let p = self.cfg.partition_size;
-        let grid = PartitionGrid::new(matrix, p)?;
-        let mut y = vec![0.0f32; matrix.nrows()];
-        let report = self.run_grid_scratch(
-            &grid,
-            format,
-            sink,
-            |part, d| apply_contributions(part, d, p, x, &mut y),
-            scratch,
-        )?;
-        Ok((y, report))
     }
 }
 
@@ -940,58 +782,6 @@ impl ParallelReport {
 }
 
 impl Platform {
-    /// Runs a matrix through `lanes` aggregated platform instances sharing
-    /// one memory channel.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlatformError::Config`] when `lanes == 0`, plus everything
-    /// [`Platform::run`] can return.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...).with_lanes(n)`"
-    )]
-    pub fn run_parallel(
-        &self,
-        matrix: &Coo<f32>,
-        format: FormatKind,
-        lanes: usize,
-    ) -> Result<ParallelReport, PlatformError> {
-        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_parallel_grid_scratch(
-            &grid,
-            format,
-            lanes,
-            &mut NullSink,
-            &mut EncodeScratch::new(),
-        )
-    }
-
-    /// Like [`Platform::run_parallel`], emitting pipeline events into
-    /// `sink`: memory spans land on the shared-channel track, compute spans
-    /// (with their decompression prefixes) on one track per lane.
-    ///
-    /// Each partition is processed exactly once; the same timings feed the
-    /// single-lane baseline report and the lane schedule.
-    ///
-    /// # Errors
-    ///
-    /// See [`Platform::run_parallel`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::run` with `RunRequest::matrix(...).with_lanes(n).with_sink(...)`"
-    )]
-    pub fn run_parallel_with_sink<S: TraceSink + ?Sized>(
-        &self,
-        matrix: &Coo<f32>,
-        format: FormatKind,
-        lanes: usize,
-        sink: &mut S,
-    ) -> Result<ParallelReport, PlatformError> {
-        let grid = PartitionGrid::new(matrix, self.cfg.partition_size)?;
-        self.run_parallel_grid_scratch(&grid, format, lanes, sink, &mut EncodeScratch::new())
-    }
-
     /// The aggregated-lanes engine over a pre-built grid: one shared memory
     /// channel, `lanes` decompress+dot pipelines, online-LPT dealing.
     pub(crate) fn run_parallel_grid_scratch<S: TraceSink + ?Sized>(
@@ -1152,7 +942,7 @@ impl Default for Platform {
 mod tests {
     use super::*;
     use crate::{RunRequest, Session};
-    use sparsemat::Coo;
+    use sparsemat::{Coo, Matrix};
 
     fn matrix() -> Coo<f32> {
         let mut coo = Coo::new(64, 64);
@@ -1619,56 +1409,44 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_session_api() {
-        // Every pre-Session entry point must keep producing exactly what
-        // the Session produces, until the shims are removed.
-        let platform = Platform::default();
-        let m = matrix();
-        let x: Vec<f32> = (0..64).map(|i| ((i % 3) as f32) - 1.0).collect();
-        let grid = PartitionGrid::new(&m, platform.config().partition_size).unwrap();
-        let mut s = Session::from_platform(platform.clone());
-        let want = run(&mut s, &m, FormatKind::Csr);
-        let spmv_want = s
-            .run(RunRequest::matrix(&m, FormatKind::Csr).consume_spmv(&x))
-            .unwrap();
-        let par_want = run_parallel(&mut s, &m, FormatKind::Csr, 3);
+    fn cpu_backend_reports_at_the_cpu_clock() {
+        let cfg = HwConfig {
+            backend: crate::BackendKind::Cpu,
+            ..HwConfig::default()
+        };
+        let mut s = Session::new(cfg.clone()).unwrap();
+        let r = run(&mut s, &matrix(), FormatKind::Csr);
+        assert_eq!(r.clock_mhz, cfg.cpu.clock_mhz);
+        assert!(r.total_cycles > 0);
+        // The dense-equivalent baseline is the CPU's, so σ still compares
+        // like with like.
+        assert_eq!(
+            r.dense_equivalent_compute,
+            r.partitions as u64
+                * cfg.partition_size as u64
+                * cfg.cpu.dot_latency(cfg.partition_size)
+        );
+    }
 
-        assert_eq!(platform.run(&m, FormatKind::Csr).unwrap(), want);
-        let mut sink = copernicus_telemetry::RecordingSink::new();
-        assert_eq!(
-            platform
-                .run_with_sink(&m, FormatKind::Csr, &mut sink)
-                .unwrap(),
-            want
-        );
-        assert_eq!(platform.run_grid(&grid, FormatKind::Csr).unwrap(), want);
-        let mut sink = copernicus_telemetry::RecordingSink::new();
-        assert_eq!(
-            platform
-                .run_grid_with_sink(&grid, FormatKind::Csr, &mut sink)
-                .unwrap(),
-            want
-        );
-        let (y, report) = platform.run_spmv(&m, &x, FormatKind::Csr).unwrap();
-        assert_eq!(y, spmv_want.y.clone().unwrap());
-        assert_eq!(report, spmv_want.report);
-        let mut sink = copernicus_telemetry::RecordingSink::new();
-        let (y, report) = platform
-            .run_spmv_with_sink(&m, &x, FormatKind::Csr, &mut sink)
-            .unwrap();
-        assert_eq!(y, spmv_want.y.clone().unwrap());
-        assert_eq!(report, spmv_want.report);
-        assert_eq!(
-            platform.run_parallel(&m, FormatKind::Csr, 3).unwrap(),
-            par_want
-        );
-        let mut sink = copernicus_telemetry::RecordingSink::new();
-        assert_eq!(
-            platform
-                .run_parallel_with_sink(&m, FormatKind::Csr, 3, &mut sink)
-                .unwrap(),
-            par_want
-        );
+    #[test]
+    fn hetero_backend_never_exceeds_the_pure_hls_bottlenecks() {
+        // The dispatcher only reroutes a partition when the HLS pipeline is
+        // memory-bound on it; every partition it touches keeps the stage
+        // structure, so a report still forms and stays deterministic.
+        let m = matrix();
+        let mut hls = session();
+        let base = run(&mut hls, &m, FormatKind::Dense);
+        let mut het = Session::new(HwConfig {
+            backend: crate::BackendKind::Hetero,
+            ..HwConfig::default()
+        })
+        .unwrap();
+        let r = run(&mut het, &m, FormatKind::Dense);
+        assert_eq!(r.partitions, base.partitions);
+        // Dense is memory-bound on the FPGA, so the CPU path must fire and
+        // shrink the memory stage (cycles land in the 250 MHz domain).
+        assert!(r.total_mem_cycles < base.total_mem_cycles);
+        let again = run(&mut het, &m, FormatKind::Dense);
+        assert_eq!(r, again);
     }
 }

@@ -23,7 +23,9 @@
 //! ```
 
 use crate::pipeline::apply_contributions;
-use crate::{EncodeScratch, HwConfig, ParallelReport, Platform, PlatformError, RunReport};
+use crate::{
+    BackendKind, EncodeScratch, HwConfig, ParallelReport, Platform, PlatformError, RunReport,
+};
 use copernicus_telemetry::{NullSink, TraceSink};
 use sparsemat::{Coo, FormatKind, PartitionGrid, SparseError};
 
@@ -59,6 +61,7 @@ pub struct RunRequest<'a> {
     spmv_x: Option<&'a [f32]>,
     lanes: Option<usize>,
     tile_jobs: Option<usize>,
+    backend: Option<BackendKind>,
 }
 
 impl std::fmt::Debug for RunRequest<'_> {
@@ -70,6 +73,7 @@ impl std::fmt::Debug for RunRequest<'_> {
             .field("spmv", &self.spmv_x.is_some())
             .field("lanes", &self.lanes)
             .field("tile_jobs", &self.tile_jobs)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -85,6 +89,7 @@ impl<'a> RunRequest<'a> {
             spmv_x: None,
             lanes: None,
             tile_jobs: None,
+            backend: None,
         }
     }
 
@@ -98,6 +103,7 @@ impl<'a> RunRequest<'a> {
             spmv_x: None,
             lanes: None,
             tile_jobs: None,
+            backend: None,
         }
     }
 
@@ -134,6 +140,16 @@ impl<'a> RunRequest<'a> {
     #[must_use]
     pub fn par_tiles(mut self, jobs: usize) -> Self {
         self.tile_jobs = Some(jobs);
+        self
+    }
+
+    /// Costs this run on `backend` instead of the session's configured
+    /// [`HwConfig::backend`], for this request only. The encode /
+    /// decompress pass (and any SpMV product) is backend-independent;
+    /// only cycle charges and the reported clock change.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
         self
     }
 }
@@ -263,12 +279,18 @@ impl Session {
             spmv_x,
             lanes,
             tile_jobs,
+            backend,
         } = request;
         let session_jobs = self.platform.tile_jobs();
         if let Some(jobs) = tile_jobs {
             self.platform.set_tile_jobs(jobs);
         }
+        let session_backend = self.platform.backend();
+        if let Some(b) = backend {
+            self.platform.set_backend(b);
+        }
         let outcome = self.dispatch(input, format, sink, spmv_x, lanes);
+        self.platform.set_backend(session_backend);
         self.platform.set_tile_jobs(session_jobs);
         outcome
     }
@@ -462,6 +484,40 @@ mod tests {
         assert_eq!(plain.report, traced.report);
         assert_eq!(sink.count("run_start"), 1);
         assert_eq!(sink.count("partition_start"), traced.report.partitions);
+    }
+
+    #[test]
+    fn backend_override_applies_per_request_and_restores() {
+        let m = matrix();
+        let mut session = Session::new(HwConfig::default()).unwrap();
+        let hls = session
+            .run(RunRequest::matrix(&m, FormatKind::Csr))
+            .unwrap()
+            .report;
+        let cpu = session
+            .run(RunRequest::matrix(&m, FormatKind::Csr).backend(BackendKind::Cpu))
+            .unwrap()
+            .report;
+        assert_eq!(cpu.clock_mhz, session.config().cpu.clock_mhz);
+        assert_ne!(cpu, hls);
+        // A session configured for the CPU up front agrees with the
+        // per-request override ...
+        let mut cpu_session = Session::new(HwConfig {
+            backend: BackendKind::Cpu,
+            ..HwConfig::default()
+        })
+        .unwrap();
+        let configured = cpu_session
+            .run(RunRequest::matrix(&m, FormatKind::Csr))
+            .unwrap()
+            .report;
+        assert_eq!(cpu, configured);
+        // ... and the override does not leak into the next request.
+        let after = session
+            .run(RunRequest::matrix(&m, FormatKind::Csr))
+            .unwrap()
+            .report;
+        assert_eq!(after, hls);
     }
 
     #[test]
